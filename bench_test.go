@@ -1,0 +1,218 @@
+package knw_test
+
+// Benchmark harness: one target per experiment in DESIGN.md §3.
+// Regenerate all numbers with
+//
+//	go test -bench=. -benchmem .
+//
+// and per-experiment with -bench=BenchmarkFigure1UpdateTime etc.
+// EXPERIMENTS.md records a reference run.
+
+import (
+	"math/rand"
+	"testing"
+
+	knw "repro"
+	"repro/internal/baseline"
+	"repro/internal/l0core"
+	"repro/internal/rough"
+	"repro/internal/simulate"
+	"repro/internal/stream"
+)
+
+// --- E1: Figure 1's update-time column ------------------------------
+
+// BenchmarkFigure1UpdateTime measures ns/update for every implemented
+// Figure 1 row at ε = 0.05 (where applicable).
+func BenchmarkFigure1UpdateTime(b *testing.B) {
+	const eps = 0.05
+	rng := func(s int64) *rand.Rand { return rand.New(rand.NewSource(s)) }
+	algos := map[string]baseline.F0Estimator{
+		"KNW-fast":       knw.NewF0(knw.WithEpsilon(eps), knw.WithSeed(1), knw.WithCopies(1)),
+		"KNW-reference":  knw.NewF0(knw.WithEpsilon(eps), knw.WithSeed(1), knw.WithCopies(1), knw.WithReference()),
+		"FM85":           baseline.NewFM85(64, 1),
+		"AMS":            baseline.NewAMS(9, 32, rng(2)),
+		"GT":             baseline.NewGT(4096, 32, rng(3)),
+		"KMV":            baseline.NewKMV(4096, rng(4)),
+		"BJKST":          baseline.NewBJKST(4096, 32, rng(5)),
+		"LogLog":         baseline.NewLogLog(2048, 6),
+		"HyperLogLog":    baseline.NewHyperLogLog(baseline.MForEpsilon(eps), 7),
+		"LinearCounting": baseline.NewLinearCounting(1<<23, 8),
+	}
+	for name, est := range algos {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				est.Add(uint64(i) * 0x9e3779b97f4a7c15)
+			}
+		})
+	}
+}
+
+// --- E2: RoughEstimator (Figure 2 / Theorem 1) ----------------------
+
+func BenchmarkRoughEstimatorUpdate(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"fast-tabulation", true}, {"reference-polynomial", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			re := rough.New(rough.Config{LogN: 32, Fast: mode.fast}, rand.New(rand.NewSource(1)))
+			for i := 0; i < b.N; i++ {
+				re.Update(uint64(i) * 0x9e3779b97f4a7c15)
+			}
+		})
+	}
+}
+
+func BenchmarkRoughEstimatorReport(b *testing.B) {
+	re := rough.New(rough.Config{LogN: 32, Fast: true}, rand.New(rand.NewSource(1)))
+	for i := 0; i < 1<<20; i++ {
+		re.Update(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += re.Estimate()
+	}
+	_ = s
+}
+
+// --- E3: the full F0 algorithm (Figure 3 / Theorems 3, 9) -----------
+
+func BenchmarkKNWUpdate(b *testing.B) {
+	for _, eps := range []float64{0.1, 0.05, 0.03} {
+		b.Run(epsName(eps), func(b *testing.B) {
+			sk := knw.NewF0(knw.WithEpsilon(eps), knw.WithSeed(1), knw.WithCopies(1))
+			for i := 0; i < b.N; i++ {
+				sk.Add(uint64(i) * 0x9e3779b97f4a7c15)
+			}
+		})
+	}
+}
+
+func BenchmarkKNWReport(b *testing.B) {
+	sk := knw.NewF0(knw.WithEpsilon(0.05), knw.WithSeed(1), knw.WithCopies(1))
+	for i := 0; i < 1<<21; i++ {
+		sk.Add(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = sk.Estimate()
+	}
+	_ = v
+}
+
+// BenchmarkKNWAmplified measures the amplified (δ = 0.05) sketch the
+// public API defaults to — the cost the paper's "independent
+// repetition" multiplies in.
+func BenchmarkKNWAmplified(b *testing.B) {
+	sk := knw.NewF0(knw.WithEpsilon(0.05), knw.WithSeed(1))
+	for i := 0; i < b.N; i++ {
+		sk.Add(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+// --- E6: worst-case update time (Theorem 9) -------------------------
+
+// BenchmarkWorstCaseUpdate reports per-update latency quantiles across
+// a stream crossing many rescale boundaries, comparing the deamortized
+// FastSketch against the reference's Θ(K) rescale spikes. Quantiles
+// are attached as custom benchmark metrics (ns units).
+func BenchmarkWorstCaseUpdate(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts []knw.Option
+	}{
+		{"fast-deamortized", []knw.Option{knw.WithCopies(1)}},
+		{"reference-amortized", []knw.Option{knw.WithCopies(1), knw.WithReference()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := append([]knw.Option{knw.WithEpsilon(0.03), knw.WithSeed(1)}, mode.opts...)
+			sk := knw.NewF0(opts...)
+			prof := simulate.MeasureLatency(wrap{sk}, stream.NewUniform(2_000_000, 2_000_000, 1))
+			b.ReportMetric(float64(prof.P50.Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(prof.P999.Nanoseconds()), "p999-ns")
+			b.ReportMetric(float64(prof.Max.Nanoseconds()), "max-ns")
+			// Keep the runtime loop honest.
+			for i := 0; i < b.N; i++ {
+				sk.Add(uint64(i))
+			}
+		})
+	}
+}
+
+// --- E7: L0 estimation (Figure 4 / Theorem 10) ----------------------
+
+func BenchmarkL0Update(b *testing.B) {
+	b.Run("KNW-L0", func(b *testing.B) {
+		sk := knw.NewL0(knw.WithEpsilon(0.1), knw.WithSeed(1), knw.WithCopies(1))
+		for i := 0; i < b.N; i++ {
+			sk.Update(uint64(i)*0x9e3779b97f4a7c15, 1)
+		}
+	})
+	b.Run("Ganguly", func(b *testing.B) {
+		g := baseline.NewGangulyL0(4096, 32, rand.New(rand.NewSource(1)))
+		for i := 0; i < b.N; i++ {
+			g.Update(uint64(i)*0x9e3779b97f4a7c15, 1)
+		}
+	})
+}
+
+func BenchmarkL0Report(b *testing.B) {
+	sk := knw.NewL0(knw.WithEpsilon(0.1), knw.WithSeed(1), knw.WithCopies(1))
+	for i := 0; i < 500_000; i++ {
+		sk.Update(uint64(i)*0x9e3779b97f4a7c15, 1)
+	}
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = sk.Estimate()
+	}
+	_ = v
+}
+
+// --- E8/E9: the small-L0 structures ---------------------------------
+
+func BenchmarkExactSmallL0Update(b *testing.B) {
+	e := l0core.NewExactSmallL0(141, 1.0/16, 32, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		e.Update(uint64(i)&1023, 1)
+	}
+}
+
+func BenchmarkRoughL0Update(b *testing.B) {
+	e := l0core.NewRoughL0(l0core.RoughL0Config{LogN: 32}, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		e.Update(uint64(i)*0x9e3779b97f4a7c15, 1)
+	}
+}
+
+// --- E12: application workloads --------------------------------------
+
+func BenchmarkNetmonPacket(b *testing.B) {
+	tr := stream.NewNetTrace(stream.NetTraceConfig{Seed: 1})
+	srcs := knw.NewF0(knw.WithEpsilon(0.1), knw.WithSeed(1), knw.WithCopies(1))
+	flows := knw.NewF0(knw.WithEpsilon(0.1), knw.WithSeed(2), knw.WithCopies(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, ok := tr.Next()
+		if !ok {
+			b.StopTimer()
+			tr = stream.NewNetTrace(stream.NetTraceConfig{Seed: int64(i)})
+			b.StartTimer()
+			p, _ = tr.Next()
+		}
+		srcs.Add(p.SrcKey())
+		flows.Add(p.FlowKey())
+	}
+}
+
+func epsName(eps float64) string {
+	switch eps {
+	case 0.1:
+		return "eps=0.10"
+	case 0.05:
+		return "eps=0.05"
+	case 0.03:
+		return "eps=0.03"
+	}
+	return "eps=?"
+}

@@ -1,0 +1,109 @@
+// f0bench reproduces Figure 1 of the paper empirically (experiment
+// E1): it sweeps every implemented algorithm over the same workloads
+// and prints measured space (bits of state), update latency, and
+// accuracy, alongside each algorithm's theoretical space formula.
+//
+// Usage:
+//
+//	f0bench [-f0 N] [-eps E] [-trials T] [-workload uniform|zipf|sequential] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	knw "repro"
+	"repro/internal/baseline"
+	"repro/internal/simulate"
+	"repro/internal/stream"
+)
+
+func main() {
+	f0 := flag.Int("f0", 1_000_000, "distinct elements in the stream")
+	eps := flag.Float64("eps", 0.05, "target relative error for the ε-parameterized algorithms")
+	trials := flag.Int("trials", 5, "independent trials per algorithm")
+	workload := flag.String("workload", "uniform", "uniform | zipf | sequential")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	mkStream := func(trial int) stream.F0Stream {
+		s := *seed + int64(trial)*1000
+		switch *workload {
+		case "uniform":
+			return stream.NewUniform(*f0, *f0*2, s)
+		case "zipf":
+			return stream.NewZipf(uint64(*f0)*8, 1.1, *f0*2, s)
+		case "sequential":
+			return stream.NewSequential(*f0, *f0*2)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+			panic("unreachable")
+		}
+	}
+
+	type algo struct {
+		name    string
+		formula string // the Figure 1 space bound
+		mk      func(trial int) baseline.F0Estimator
+	}
+	algos := []algo{
+		{"KNW-F0 (this paper)", "O(eps^-2 + log n)", func(t int) baseline.F0Estimator {
+			return knw.NewF0(knw.WithEpsilon(*eps), knw.WithSeed(*seed+int64(t)), knw.WithCopies(1))
+		}},
+		{"KNW-F0 (reference)", "O(eps^-2 + log n)", func(t int) baseline.F0Estimator {
+			return knw.NewF0(knw.WithEpsilon(*eps), knw.WithSeed(*seed+int64(t)), knw.WithCopies(1), knw.WithReference())
+		}},
+		{"FM85-PCSA [20]", "O(log n), const eps", func(t int) baseline.F0Estimator {
+			return baseline.NewFM85(64, uint64(*seed)+uint64(t))
+		}},
+		{"AMS [3]", "O(log n), const eps", func(t int) baseline.F0Estimator {
+			return baseline.NewAMS(9, 32, rand.New(rand.NewSource(*seed+int64(t))))
+		}},
+		{"GT [24]", "O(eps^-2 log n)", func(t int) baseline.F0Estimator {
+			return baseline.NewGT(baseline.TForEpsilon(*eps)/24, 32, rand.New(rand.NewSource(*seed+int64(t))))
+		}},
+		{"KMV / BJKST-I [4]", "O(eps^-2 log n)", func(t int) baseline.F0Estimator {
+			return baseline.NewKMV(baseline.TForEpsilon(*eps)/24, rand.New(rand.NewSource(*seed+int64(t))))
+		}},
+		{"BJKST-II [4]", "O(eps^-2 loglog n + ...)", func(t int) baseline.F0Estimator {
+			return baseline.NewBJKST(baseline.TForEpsilon(*eps)/24, 32, rand.New(rand.NewSource(*seed+int64(t))))
+		}},
+		{"LogLog [16]", "O(eps^-2 loglog n)", func(t int) baseline.F0Estimator {
+			return baseline.NewLogLog(maxi(64, baseline.MForEpsilon(*eps)*2), uint64(*seed)+uint64(t))
+		}},
+		{"Estan bitmap [17]", "O(eps^-2 log n)", func(t int) baseline.F0Estimator {
+			return baseline.NewLinearCounting(*f0*8, uint64(*seed)+uint64(t))
+		}},
+		{"HyperLogLog [19]", "O(eps^-2 loglog n)", func(t int) baseline.F0Estimator {
+			return baseline.NewHyperLogLog(baseline.MForEpsilon(*eps), uint64(*seed)+uint64(t))
+		}},
+	}
+
+	fmt.Printf("Figure 1 reproduction: F0=%d, eps=%.3f, workload=%s, %d trials\n\n",
+		*f0, *eps, *workload, *trials)
+	var rows []simulate.Aggregate
+	for _, a := range algos {
+		agg := simulate.RunTrials(*trials, a.mk, mkStream)
+		agg.Algorithm = a.name
+		rows = append(rows, agg)
+	}
+	fmt.Print(simulate.FormatAggregates(rows))
+
+	fmt.Println("\ntheoretical space (Figure 1):")
+	for _, a := range algos {
+		fmt.Printf("  %-24s %s\n", a.name, a.formula)
+	}
+	fmt.Println("\nNotes: KNW's win is asymptotic — its eps^-2 term carries no log n factor")
+	fmt.Println("and no random-oracle assumption; at practical (eps, n) the oracle-based")
+	fmt.Println("HyperLogLog has smaller constants. See EXPERIMENTS.md §E1.")
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+// l0bench compares the paper's L0 sketch against the Ganguly-style
+// baseline (experiment E7) on turnstile workloads with deletions,
+// reporting accuracy, space, and update latency — including the
+// mixed-sign-frequency case Ganguly's algorithm does not support.
+//
+// Usage:
+//
+//	l0bench [-live N] [-churn N] [-eps E] [-trials T] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	knw "repro"
+	"repro/internal/baseline"
+	"repro/internal/stream"
+)
+
+func main() {
+	live := flag.Int("live", 100_000, "items with nonzero final frequency")
+	churn := flag.Int("churn", 100_000, "items inserted then fully deleted")
+	eps := flag.Float64("eps", 0.1, "target relative error")
+	trials := flag.Int("trials", 5, "independent trials")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	type result struct {
+		name             string
+		rms, maxErr      float64
+		bits             int
+		nsPerUpdate      float64
+		handlesNegatives bool
+	}
+
+	run := func(name string, handlesNeg bool,
+		mk func(trial int) (update func(uint64, int64), est func() float64, bits func() int)) result {
+		sum2, maxe, sumNs := 0.0, 0.0, 0.0
+		bits := 0
+		for trial := 0; trial < *trials; trial++ {
+			upd, est, spaceBits := mk(trial)
+			cfg := stream.ChurnConfig{
+				Live: *live, Churned: *churn,
+				Negative: 0, Seed: *seed + int64(trial),
+			}
+			if handlesNeg {
+				cfg.Negative = *live / 10
+			}
+			ch := stream.NewChurn(cfg)
+			start := time.Now()
+			n := stream.DrainTurnstile(ch, upd)
+			sumNs += float64(time.Since(start).Nanoseconds()) / float64(n)
+			rel := (est() - float64(ch.TrueL0())) / float64(ch.TrueL0())
+			sum2 += rel * rel
+			if a := math.Abs(rel); a > maxe {
+				maxe = a
+			}
+			bits = spaceBits()
+		}
+		return result{name, math.Sqrt(sum2 / float64(*trials)), maxe, bits,
+			sumNs / float64(*trials), handlesNeg}
+	}
+
+	knwRes := run("KNW-L0 (this paper)", true, func(t int) (func(uint64, int64), func() float64, func() int) {
+		sk := knw.NewL0(knw.WithEpsilon(*eps), knw.WithSeed(*seed+int64(t)), knw.WithCopies(1))
+		return sk.Update, sk.Estimate, sk.SpaceBits
+	})
+	gangulyRes := run("Ganguly-style [22]", false, func(t int) (func(uint64, int64), func() float64, func() int) {
+		g := baseline.NewGangulyL0(4096, 32, rand.New(rand.NewSource(*seed+int64(t))))
+		return g.Update, g.Estimate, g.SpaceBits
+	})
+
+	fmt.Printf("L0 with deletions: live=%d churned=%d eps=%.3f (%d trials)\n\n",
+		*live, *churn, *eps, *trials)
+	fmt.Printf("%-24s %10s %10s %14s %12s %14s\n",
+		"algorithm", "rms.err", "max.err", "space(bits)", "ns/update", "neg. freqs?")
+	for _, r := range []result{knwRes, gangulyRes} {
+		fmt.Printf("%-24s %9.3f%% %9.3f%% %14d %12.1f %14v\n",
+			r.name, 100*r.rms, 100*r.maxErr, r.bits, r.nsPerUpdate, r.handlesNegatives)
+	}
+	fmt.Println("\npaper claim (Section 1): KNW improves Ganguly's O(eps^-2 log n log mM) bits")
+	fmt.Println("to O(eps^-2 log n (log 1/eps + loglog mM)) and O(log 1/eps) update to O(1),")
+	fmt.Println("while additionally supporting negative frequencies.")
+}

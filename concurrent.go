@@ -1,0 +1,152 @@
+package knw
+
+import (
+	"sync"
+
+	"repro/internal/bitutil"
+)
+
+// ConcurrentF0 is a goroutine-safe wrapper around F0: keys are routed
+// to one of several same-seed shards (each guarded by its own mutex),
+// and Estimate merges the shards into a scratch sketch. Because the
+// shards share hash functions and the KNW counters are max-mergeable,
+// the merged estimate is exactly what a single sketch over the whole
+// stream would report (up to rough-estimator timing, as with Merge).
+//
+// Add is cheap and scales with the shard count; Estimate is O(shards ·
+// state) and intended for periodic reads, not per-update calls.
+type ConcurrentF0 struct {
+	cfg    settings
+	mask   uint64
+	shards []f0Shard
+}
+
+type f0Shard struct {
+	mu sync.Mutex
+	sk *F0
+	_  [40]byte // keep shard locks on distinct cache lines
+}
+
+// NewConcurrentF0 builds a wrapper with the given shard count (rounded
+// up to a power of two) and the same options NewF0 accepts. A seed is
+// chosen automatically if none is given; all shards share it.
+func NewConcurrentF0(shards int, opts ...Option) *ConcurrentF0 {
+	if shards < 1 {
+		panic("knw: need at least one shard")
+	}
+	n := int(bitutil.NextPow2(uint64(shards)))
+	cfg := defaultSettings()
+	cfg.resolve(opts)
+	c := &ConcurrentF0{cfg: cfg, mask: uint64(n - 1), shards: make([]f0Shard, n)}
+	for i := range c.shards {
+		c.shards[i].sk = newF0From(cfg)
+	}
+	return c
+}
+
+// Add records one stream element; safe for concurrent use.
+func (c *ConcurrentF0) Add(key uint64) {
+	// Route by a cheap mix of the key so shards stay balanced even on
+	// sequential keys. Routing only affects contention, not
+	// correctness: shards merge by max.
+	s := &c.shards[(key*0x9e3779b97f4a7c15>>32)&c.mask]
+	s.mu.Lock()
+	s.sk.Add(key)
+	s.mu.Unlock()
+}
+
+// AddString records a string element; safe for concurrent use.
+func (c *ConcurrentF0) AddString(s string) { c.Add(fnv1a([]byte(s))) }
+
+// Estimate merges all shards into a fresh scratch sketch and returns
+// its estimate; safe for concurrent use with Add.
+func (c *ConcurrentF0) Estimate() float64 {
+	scratch := newF0From(c.cfg)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		// Merge mutates only the receiver; the shard is read (and its
+		// deamortized phases drained) under its lock.
+		if err := scratch.Merge(s.sk); err != nil {
+			s.mu.Unlock()
+			panic("knw: shard configuration diverged: " + err.Error())
+		}
+		s.mu.Unlock()
+	}
+	return scratch.Estimate()
+}
+
+// Shards returns the shard count.
+func (c *ConcurrentF0) Shards() int { return len(c.shards) }
+
+// SpaceBits sums the shards' accounted state.
+func (c *ConcurrentF0) SpaceBits() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.sk.SpaceBits()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// ConcurrentL0 is the goroutine-safe wrapper for L0 turnstile streams,
+// built the same way (same-seed shards, linear-counter merge on read).
+type ConcurrentL0 struct {
+	cfg    settings
+	mask   uint64
+	shards []l0Shard
+}
+
+type l0Shard struct {
+	mu sync.Mutex
+	sk *L0
+	_  [40]byte
+}
+
+// NewConcurrentL0 builds a wrapper with the given shard count (rounded
+// up to a power of two) and the same options NewL0 accepts.
+func NewConcurrentL0(shards int, opts ...Option) *ConcurrentL0 {
+	if shards < 1 {
+		panic("knw: need at least one shard")
+	}
+	n := int(bitutil.NextPow2(uint64(shards)))
+	cfg := defaultSettings()
+	cfg.resolve(opts)
+	c := &ConcurrentL0{cfg: cfg, mask: uint64(n - 1), shards: make([]l0Shard, n)}
+	for i := range c.shards {
+		c.shards[i].sk = newL0From(cfg)
+	}
+	return c
+}
+
+// Update applies x_key ← x_key + delta; safe for concurrent use.
+// Updates to the same key may land on the same shard lock, but any
+// routing is correct: the merged frequency vector is the sum over
+// shards.
+func (c *ConcurrentL0) Update(key uint64, delta int64) {
+	s := &c.shards[(key*0x9e3779b97f4a7c15>>32)&c.mask]
+	s.mu.Lock()
+	s.sk.Update(key, delta)
+	s.mu.Unlock()
+}
+
+// Estimate merges all shards into a scratch sketch and returns its
+// estimate; safe for concurrent use with Update.
+func (c *ConcurrentL0) Estimate() float64 {
+	scratch := newL0From(c.cfg)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		if err := scratch.Merge(s.sk); err != nil {
+			s.mu.Unlock()
+			panic("knw: shard configuration diverged: " + err.Error())
+		}
+		s.mu.Unlock()
+	}
+	return scratch.Estimate()
+}
+
+// Shards returns the shard count.
+func (c *ConcurrentL0) Shards() int { return len(c.shards) }

@@ -1,0 +1,146 @@
+package knw
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentF0Basic(t *testing.T) {
+	c := NewConcurrentF0(4, WithSeed(60), WithEpsilon(0.1), WithCopies(1))
+	if c.Shards() != 4 {
+		t.Fatalf("Shards=%d", c.Shards())
+	}
+	const f0 = 100_000
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < f0; i += 8 {
+				k := uint64(i)*0x9e3779b97f4a7c15 + 1
+				c.Add(k)
+				c.Add(k) // concurrent duplicates
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := c.Estimate()
+	if rel := math.Abs(got-f0) / f0; rel > 0.15 {
+		t.Errorf("concurrent estimate %v (rel %.3f)", got, rel)
+	}
+	if c.SpaceBits() <= 0 {
+		t.Error("SpaceBits")
+	}
+}
+
+func TestConcurrentF0MatchesSequentialUnion(t *testing.T) {
+	// The sharded wrapper must agree with a single same-seed sketch
+	// over the same stream (max-merge makes the union exact up to
+	// rough-estimator timing).
+	c := NewConcurrentF0(8, WithSeed(61), WithEpsilon(0.1), WithCopies(1))
+	single := NewF0(WithSeed(61), WithEpsilon(0.1), WithCopies(1))
+	for i := 0; i < 200_000; i++ {
+		k := uint64(i)*2654435761 + 1
+		c.Add(k)
+		single.Add(k)
+	}
+	a, b := c.Estimate(), single.Estimate()
+	if math.Abs(a-b)/b > 0.2 {
+		t.Errorf("sharded %v vs single %v", a, b)
+	}
+}
+
+func TestConcurrentF0EstimateDuringWrites(t *testing.T) {
+	// Estimate must be safe to call while writers are running; run with
+	// -race to verify synchronization.
+	c := NewConcurrentF0(4, WithSeed(62), WithEpsilon(0.2), WithCopies(1))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := uint64(g)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Add(i*0x9e3779b97f4a7c15 + 1)
+					i += 4
+				}
+			}
+		}(g)
+	}
+	prev := 0.0
+	for r := 0; r < 10; r++ {
+		est := c.Estimate()
+		if est+1 < prev*0.5 { // monotone-ish: gross decreases indicate a race
+			t.Errorf("estimate collapsed: %v after %v", est, prev)
+		}
+		prev = est
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConcurrentF0AddString(t *testing.T) {
+	c := NewConcurrentF0(2, WithSeed(63), WithCopies(1))
+	c.AddString("x")
+	c.AddString("x")
+	c.AddString("y")
+	if got := c.Estimate(); got != 2 {
+		t.Errorf("got %v want 2", got)
+	}
+}
+
+func TestConcurrentF0ShardRounding(t *testing.T) {
+	if got := NewConcurrentF0(3, WithSeed(64), WithCopies(1), WithEpsilon(0.3)).Shards(); got != 4 {
+		t.Errorf("3 shards should round to 4, got %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0 shards should panic")
+		}
+	}()
+	NewConcurrentF0(0)
+}
+
+func TestConcurrentL0(t *testing.T) {
+	c := NewConcurrentL0(4, WithSeed(65), WithEpsilon(0.1), WithCopies(1))
+	const live = 50_000
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < live+20_000; i += 8 {
+				k := uint64(i)*0x9e3779b97f4a7c15 + 1
+				c.Update(k, 5)
+				if i >= live {
+					c.Update(k, -5) // net zero for the extras
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := c.Estimate()
+	if rel := math.Abs(got-live) / live; rel > 0.2 {
+		t.Errorf("concurrent L0 %v (rel %.3f)", got, rel)
+	}
+	if c.Shards() != 4 {
+		t.Errorf("Shards=%d", c.Shards())
+	}
+}
+
+func BenchmarkConcurrentF0Add(b *testing.B) {
+	c := NewConcurrentF0(8, WithSeed(1), WithCopies(1))
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			c.Add(i*0x9e3779b97f4a7c15 + 1)
+			i++
+		}
+	})
+}

@@ -1,0 +1,40 @@
+// Package knw is a production-quality Go implementation of
+//
+//	Kane, Nelson, Woodruff.
+//	"An Optimal Algorithm for the Distinct Elements Problem."
+//	PODS 2010. doi:10.1145/1807085.1807094
+//
+// the first algorithm to estimate the number of distinct elements (F0)
+// in a data stream using the optimal O(ε⁻² + log n) bits of space with
+// O(1) worst-case update and reporting times, together with the
+// paper's near-optimal L0 (Hamming norm) estimator for streams with
+// deletions.
+//
+// # Quick start
+//
+//	sk := knw.NewF0(knw.WithEpsilon(0.05), knw.WithSeed(1))
+//	for _, ip := range packets {
+//		sk.Add(ip)
+//	}
+//	fmt.Printf("≈%.0f distinct\n", sk.Estimate())
+//
+// For turnstile streams (inserts and deletes):
+//
+//	hs := knw.NewL0(knw.WithEpsilon(0.1), knw.WithSeed(1))
+//	hs.Update(key, +3)
+//	hs.Update(key, -3) // fully deleted: no longer counts
+//	fmt.Printf("≈%.0f nonzero coordinates\n", hs.Estimate())
+//
+// # What's inside
+//
+// The top-level F0 and L0 types run a median over independent copies
+// of the paper's single-shot sketches (internal/core and
+// internal/l0core), as Section 1 prescribes for boosting the constant
+// success probability to 1 − δ. The substrates — k-wise independent
+// hashing over F_{2^61−1}, tabulation hashing, variable-bit-length
+// arrays, the Appendix A.2 logarithm table, and the balls-and-bins
+// estimator theory of Section 2 — live in internal/ packages, each
+// individually tested against the paper's lemmas. See DESIGN.md for
+// the full inventory and EXPERIMENTS.md for measured-vs-paper results
+// for every figure, table, and theorem.
+package knw

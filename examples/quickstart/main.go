@@ -1,0 +1,78 @@
+// Quickstart: count distinct elements in a stream with the KNW sketch,
+// then count surviving elements in a stream with deletions using the
+// L0 sketch.
+package main
+
+import (
+	"fmt"
+
+	knw "repro"
+)
+
+func main() {
+	// --- F0: distinct elements, insertion-only ------------------------
+	//
+	// ε = 0.05 target error, δ = 0.05 failure probability. The sketch
+	// uses O(ε⁻² + log n) bits per copy and O(1) time per operation,
+	// no matter how long the stream gets.
+	sk := knw.NewF0(knw.WithEpsilon(0.05), knw.WithSeed(42))
+
+	const distinct = 1_000_000
+	for i := 0; i < distinct; i++ {
+		key := uint64(i)*0x9e3779b97f4a7c15 + 1
+		sk.Add(key)
+		sk.Add(key) // duplicates never change the answer
+	}
+
+	fmt.Printf("F0:  true %d, estimated %.0f  (%.2f%% error, %d KiB state)\n",
+		distinct, sk.Estimate(),
+		100*(sk.Estimate()-distinct)/distinct,
+		sk.SpaceBits()/8/1024)
+
+	// Estimates are available at any point midstream in O(1) — add more
+	// and ask again.
+	for i := 0; i < 500_000; i++ {
+		sk.Add(uint64(i+distinct)*0x9e3779b97f4a7c15 + 1)
+	}
+	fmt.Printf("F0:  after 500k more: estimated %.0f (true %d)\n",
+		sk.Estimate(), distinct+500_000)
+
+	// Strings work too (hashed into the key universe).
+	users := knw.NewF0(knw.WithSeed(7))
+	for _, u := range []string{"alice", "bob", "alice", "carol", "bob"} {
+		users.AddString(u)
+	}
+	fmt.Printf("F0:  distinct users in tiny stream: %.0f (exact below 100)\n",
+		users.Estimate())
+
+	// --- L0: distinct elements under deletions ------------------------
+	//
+	// The Hamming norm |{i : x_i ≠ 0}|: items fully deleted stop
+	// counting; items with any nonzero net count (even negative) do.
+	hs := knw.NewL0(knw.WithEpsilon(0.1), knw.WithSeed(42))
+
+	for i := 0; i < 200_000; i++ {
+		hs.Update(uint64(i)+1, +3)
+	}
+	for i := 0; i < 150_000; i++ {
+		hs.Update(uint64(i)+1, -3) // fully delete the first 150k
+	}
+	fmt.Printf("L0:  true %d live, estimated %.0f\n", 50_000, hs.Estimate())
+
+	// --- Merging (distributed streams) --------------------------------
+	shardA := knw.NewF0(knw.WithSeed(99))
+	shardB := knw.NewF0(knw.WithSeed(99)) // same seed → mergeable
+	for i := 0; i < 300_000; i++ {
+		k := uint64(i)*2654435761 + 1
+		if i%2 == 0 {
+			shardA.Add(k)
+		} else {
+			shardB.Add(k)
+		}
+	}
+	if err := shardA.Merge(shardB); err != nil {
+		panic(err)
+	}
+	fmt.Printf("F0:  union of two shards: estimated %.0f (true 300000)\n",
+		shardA.Estimate())
+}

@@ -1,0 +1,205 @@
+package knw_test
+
+// Cross-module integration tests reproducing the paper's evaluation
+// artifacts end-to-end (the per-experiment index lives in DESIGN.md §3;
+// measured-vs-paper numbers are recorded in EXPERIMENTS.md). Benchmarks
+// for the same experiments are in bench_test.go.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	knw "repro"
+	"repro/internal/baseline"
+	"repro/internal/simulate"
+	"repro/internal/stream"
+)
+
+// TestFigure1SpaceTable is experiment E1's space column: for fixed ε,
+// KNW's space must be flat in the universe size up to an additive
+// O(log n) term, while the identifier-storing baselines (GT, KMV) pay
+// ε⁻²·log n — i.e. their space keeps a multiplicative relationship to
+// log n. We measure loaded sketches at logN = 16 and 32 over the same
+// stream.
+func TestFigure1SpaceTable(t *testing.T) {
+	const eps = 0.1
+	const f0 = 100_000
+	load := func(e baseline.F0Estimator) int {
+		s := stream.NewUniform(f0, f0, 7)
+		stream.Drain(s, e.Add)
+		return e.SpaceBits()
+	}
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+	knw16 := load(knw.NewF0(knw.WithEpsilon(eps), knw.WithSeed(7), knw.WithCopies(1), knw.WithUniverseBits(16)))
+	knw32 := load(knw.NewF0(knw.WithEpsilon(eps), knw.WithSeed(7), knw.WithCopies(1), knw.WithUniverseBits(32)))
+	gt16 := load(baseline.NewGT(baseline.TForEpsilon(eps)/24, 16, rng()))
+	gt32 := load(baseline.NewGT(baseline.TForEpsilon(eps)/24, 32, rng()))
+
+	// KNW: doubling log n adds little (counters unchanged; only seeds,
+	// levels, and the 100-item exact set scale mildly).
+	if g := float64(knw32) / float64(knw16); g > 1.3 {
+		t.Errorf("KNW space grew %.2fx when log n doubled; want ~flat (%d -> %d bits)",
+			g, knw16, knw32)
+	}
+	// GT: stored identifiers are log n bits, so state grows markedly.
+	if g := float64(gt32) / float64(gt16); g < 1.5 {
+		t.Errorf("GT space grew only %.2fx when log n doubled; expected ~2x (%d -> %d bits)",
+			g, gt16, gt32)
+	}
+}
+
+// TestFigure1AccuracyAllAlgorithms drives every Figure 1 row over the
+// same workload and checks each lands within its documented error
+// class — the "who wins" shape of the comparison table.
+func TestFigure1AccuracyAllAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison sweep")
+	}
+	const eps = 0.1
+	const f0 = 300_000
+	type row struct {
+		est   baseline.F0Estimator
+		limit float64 // acceptable |rel err| for this error class
+	}
+	rng := func(s int64) *rand.Rand { return rand.New(rand.NewSource(s)) }
+	rows := []row{
+		{knw.NewF0(knw.WithEpsilon(eps), knw.WithSeed(11)), 1.2 * eps},
+		{baseline.NewFM85(64, 11), 1.0},        // constant-factor class
+		{baseline.NewAMS(9, 32, rng(11)), 2.0}, // constant-factor class
+		{baseline.NewGT(4096, 32, rng(12)), 3 * eps},
+		{baseline.NewKMV(4096, rng(13)), 3 * eps},
+		{baseline.NewBJKST(4096, 32, rng(14)), 3 * eps},
+		{baseline.NewLogLog(2048, 15), 3 * eps},
+		{baseline.NewHyperLogLog(baseline.MForEpsilon(eps), 16), 3 * eps},
+		{baseline.NewLinearCounting(f0*8, 17), eps},
+	}
+	s := stream.NewUniform(f0, 2*f0, 18)
+	stream.Drain(s, func(k uint64) {
+		for _, r := range rows {
+			r.est.Add(k)
+		}
+	})
+	for _, r := range rows {
+		got := r.est.Estimate()
+		rel := math.Abs(got-f0) / f0
+		if rel > r.limit {
+			t.Errorf("%s: rel err %.4f beyond its class limit %.4f (est %.0f)",
+				r.est.Name(), rel, r.limit, got)
+		}
+	}
+}
+
+// TestFigure1UpdateTimeShape: KNW's O(1) update must not degrade as ε
+// shrinks, unlike algorithms whose update carries ε⁻² or log(1/ε)
+// work. We compare measured ns/update at ε=0.1 and ε=0.03 and require
+// KNW's ratio to stay near 1 (generous band: timers are noisy).
+func TestFigure1UpdateTimeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	measure := func(eps float64) float64 {
+		sk := knw.NewF0(knw.WithEpsilon(eps), knw.WithSeed(3), knw.WithCopies(1))
+		r := simulate.RunF0(wrap{sk}, stream.NewUniform(400_000, 400_000, 3))
+		return r.NsPerUpdate
+	}
+	wide := measure(0.1)
+	narrow := measure(0.03)
+	if narrow > 3*wide {
+		t.Errorf("KNW update slowed %.1fx when ε shrank 0.1→0.03; want O(1)", narrow/wide)
+	}
+}
+
+// TestEndToEndWorkloads runs the amplified sketch across every F0
+// workload generator (experiment E12's integration surface).
+func TestEndToEndWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	streams := []stream.F0Stream{
+		stream.NewUniform(50_000, 150_000, 21),
+		stream.NewSequential(50_000, 150_000),
+		stream.NewZipf(1<<22, 1.1, 300_000, 22),
+	}
+	for _, s := range streams {
+		sk := knw.NewF0(knw.WithEpsilon(0.1), knw.WithSeed(23))
+		r := simulate.RunF0(wrap{sk}, s)
+		if math.Abs(r.RelErr) > 0.12 {
+			t.Errorf("%s: rel err %.4f", r.Workload, r.RelErr)
+		}
+	}
+}
+
+// TestNetTraceDetection is experiment E12: the netmon thresholds must
+// actually fire on the synthetic trace's attack phases and stay quiet
+// in the baseline phase.
+func TestNetTraceDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	tr := stream.NewNetTrace(stream.NetTraceConfig{Seed: 31})
+	const epoch = 10_000
+	mk := func(s int64) *knw.F0 {
+		return knw.NewF0(knw.WithEpsilon(0.1), knw.WithDelta(0.2), knw.WithSeed(s))
+	}
+	srcs := mk(1)
+	var perEpochSrcs []float64
+	var epochStart []int
+	i := 0
+	start := 0
+	for {
+		p, ok := tr.Next()
+		if !ok {
+			break
+		}
+		srcs.Add(p.SrcKey())
+		i++
+		if i%epoch == 0 {
+			perEpochSrcs = append(perEpochSrcs, srcs.Estimate())
+			epochStart = append(epochStart, start)
+			start = i
+			srcs = mk(int64(i))
+		}
+	}
+	// Baseline epochs (entirely before DDoSStart) must be far below the
+	// attack epochs (entirely inside the DDoS window).
+	var base, attack float64
+	var nb, na int
+	for e, v := range perEpochSrcs {
+		s0, s1 := epochStart[e], epochStart[e]+epoch
+		if s1 <= tr.DDoSStart {
+			base += v
+			nb++
+		} else if s0 >= tr.DDoSStart && s1 <= tr.DDoSEnd {
+			attack += v
+			na++
+		}
+	}
+	if nb == 0 || na == 0 {
+		t.Fatalf("trace phases not covered: %d baseline, %d attack epochs", nb, na)
+	}
+	base /= float64(nb)
+	attack /= float64(na)
+	if attack < 4*base {
+		t.Errorf("DDoS signal too weak: baseline %.0f vs attack %.0f distinct sources/epoch",
+			base, attack)
+	}
+}
+
+// TestL0ColumnPairEndToEnd is the data-cleaning integration
+// (experiment E12): symmetric difference of two shuffled columns.
+func TestL0ColumnPairEndToEnd(t *testing.T) {
+	cp := stream.NewColumnPair(60_000, 700, 500, 41)
+	sk := knw.NewL0(knw.WithEpsilon(0.1), knw.WithDelta(0.2), knw.WithSeed(42))
+	stream.DrainTurnstile(cp, sk.Update)
+	got := sk.Estimate()
+	if math.Abs(got-1200)/1200 > 0.25 {
+		t.Errorf("column diff %v want ~1200", got)
+	}
+}
+
+// wrap adapts *knw.F0 to the harness interface.
+type wrap struct{ *knw.F0 }
+
+var _ baseline.F0Estimator = wrap{}

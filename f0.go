@@ -1,0 +1,162 @@
+package knw
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// F0 estimates the number of distinct elements in an insertion-only
+// stream with relative error ε and failure probability δ, in
+// O(log(1/δ)·(ε⁻² + log n)) bits with O(1) worst-case update and
+// reporting time per copy — the paper's main result (Theorems 2, 3,
+// 9), amplified by the median over independent copies.
+//
+// An F0 is not safe for concurrent use; shard streams across sketches
+// and Merge them instead (counters are max-mergeable).
+type F0 struct {
+	cfg  settings
+	fast []*core.FastSketch
+	ref  []*core.Sketch
+}
+
+// NewF0 builds a sketch. With no options: ε = 0.05, δ = 0.05, 32-bit
+// universe, time-seeded randomness, Theorem 9 fast implementation.
+func NewF0(opts ...Option) *F0 {
+	cfg := defaultSettings()
+	cfg.resolve(opts)
+	return newF0From(cfg)
+}
+
+// newF0From builds a sketch from resolved settings (shared by NewF0
+// and UnmarshalBinary, which must reproduce the exact hash draws).
+func newF0From(cfg settings) *F0 {
+	f := &F0{cfg: cfg}
+	rng := cfg.rng()
+	cc := core.Config{
+		LogN:          cfg.logN,
+		K:             cfg.k(),
+		StrictRescale: cfg.strict,
+		UseLnTable:    cfg.lnTable,
+	}
+	for i := 0; i < cfg.copies; i++ {
+		if cfg.reference {
+			f.ref = append(f.ref, core.NewSketch(cc, rng))
+		} else {
+			f.fast = append(f.fast, core.NewFastSketch(cc, rng))
+		}
+	}
+	return f
+}
+
+// Add records one stream element.
+func (f *F0) Add(key uint64) {
+	for _, s := range f.fast {
+		s.Add(key)
+	}
+	for _, s := range f.ref {
+		s.Add(key)
+	}
+}
+
+// AddString records a string element (FNV-1a hashed to the key space).
+func (f *F0) AddString(s string) { f.Add(fnv1a([]byte(s))) }
+
+// AddBytes records a byte-slice element.
+func (f *F0) AddBytes(b []byte) { f.Add(fnv1a(b)) }
+
+// Estimate returns the median estimate across copies. It returns NaN
+// if every copy has failed (probability ≤ (1/32)^copies; see
+// EstimateErr to distinguish failure from a zero estimate).
+func (f *F0) Estimate() float64 {
+	v, err := f.EstimateErr()
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// EstimateErr is Estimate with an explicit error for the all-copies-
+// failed case.
+func (f *F0) EstimateErr() (float64, error) {
+	vals := make([]float64, 0, f.cfg.copies)
+	for _, s := range f.fast {
+		if v, err := s.Estimate(); err == nil {
+			vals = append(vals, v)
+		}
+	}
+	for _, s := range f.ref {
+		if v, err := s.Estimate(); err == nil {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, core.ErrAllCopiesFailed
+	}
+	sort.Float64s(vals)
+	m := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[m], nil
+	}
+	return (vals[m-1] + vals[m]) / 2, nil
+}
+
+// Merge folds other into f so that f reflects the union of both
+// streams. Both sketches must have been built with the same options
+// and seed (so their hash functions coincide).
+func (f *F0) Merge(other *F0) error {
+	if f.cfg != other.cfg {
+		return fmt.Errorf("knw: cannot merge sketches with different configurations")
+	}
+	for i := range f.fast {
+		f.fast[i].MergeFrom(other.fast[i])
+	}
+	for i := range f.ref {
+		f.ref[i].MergeFrom(other.ref[i])
+	}
+	return nil
+}
+
+// Copies returns the number of independent copies.
+func (f *F0) Copies() int { return f.cfg.copies }
+
+// K returns the per-copy counter count.
+func (f *F0) K() int { return f.cfg.k() }
+
+// SpaceBits returns the total accounted state across copies.
+func (f *F0) SpaceBits() int {
+	total := 0
+	for _, s := range f.fast {
+		total += s.SpaceBits()
+	}
+	for _, s := range f.ref {
+		total += s.SpaceBits()
+	}
+	return total
+}
+
+// Name labels the sketch in experiment tables.
+func (f *F0) Name() string {
+	if f.cfg.reference {
+		return "KNW-F0(ref)"
+	}
+	return "KNW-F0"
+}
+
+// fnv1a is the 64-bit FNV-1a hash, used only to map caller strings and
+// byte slices into the key universe (the sketch's own hash functions
+// do the probabilistic work).
+func fnv1a(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}

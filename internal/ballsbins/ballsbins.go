@@ -1,0 +1,143 @@
+// Package ballsbins implements the balls-and-bins machinery of
+// Section 2 of the paper, which underlies every estimator in the
+// reproduction:
+//
+//   - Fact 1: throwing A balls into K bins uniformly, the expected
+//     number of occupied bins is E[X] = K(1 − (1 − 1/K)^A).
+//   - Lemma 1: for 100 ≤ A ≤ K/20, Var[X] < 4A²/K.
+//   - Lemmas 2–3: a k-wise independent hash with
+//     k = Θ(log(K/ε)/loglog(K/ε)) preserves E[X] to within (1±ε) and
+//     Var[X] to within an additive ε², so the occupancy count remains
+//     concentrated: Pr[|X′ − E[X]| ≤ 8ε·E[X]] ≥ 4/5 for K = 1/ε².
+//
+// The estimators invert Fact 1: observing T occupied bins, the number
+// of balls is estimated as ln(1 − T/K)/ln(1 − 1/K). This package
+// provides the forward map, the inversion, the variance bound, and a
+// simulation harness used by experiment E10 to verify Lemmas 1–3
+// empirically for every hash family in internal/hashfn.
+package ballsbins
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/hashfn"
+)
+
+// ExpectedOccupied returns E[X] = K(1 − (1 − 1/K)^A) (Fact 1).
+func ExpectedOccupied(a, k float64) float64 {
+	if k <= 0 {
+		panic("ballsbins: K must be positive")
+	}
+	if a < 0 {
+		panic("ballsbins: negative ball count")
+	}
+	// Compute (1-1/K)^A as exp(A·log1p(-1/K)) for numerical stability
+	// when K is large and A is small.
+	return k * -math.Expm1(a*math.Log1p(-1/k))
+}
+
+// Invert returns the balls-and-bins estimate of the number of balls
+// given T occupied bins out of K: ln(1 − T/K)/ln(1 − 1/K). This is the
+// estimator of Figure 3 step 7 (up to the 2^b subsampling factor) and
+// of Figure 4 step 6. T = K (all bins occupied) returns +Inf — the
+// caller treats a saturated sketch as out of range.
+func Invert(t, k int) float64 {
+	if k <= 0 || t < 0 || t > k {
+		panic("ballsbins: bad occupancy")
+	}
+	if t == 0 {
+		return 0
+	}
+	if t == k {
+		return math.Inf(1)
+	}
+	return math.Log1p(-float64(t)/float64(k)) / math.Log1p(-1/float64(k))
+}
+
+// VarianceBound returns Lemma 1's bound 4A²/K, valid for 100 ≤ A ≤ K/20.
+func VarianceBound(a, k float64) float64 { return 4 * a * a / k }
+
+// Lemma1Applies reports whether (A, K) is in the regime of Lemma 1.
+func Lemma1Applies(a, k float64) bool { return a >= 100 && a <= k/20 }
+
+// Throw simulates throwing the balls {base, base+1, …, base+a−1} into
+// k bins using hash family h (which must have Range() == k) and
+// returns the number of occupied bins. Using a drawn hash family
+// rather than rand directly is the point: Lemma 2 is about what
+// happens when h is only k-wise independent.
+func Throw(h hashfn.Family, base uint64, a, k int) int {
+	if int(h.Range()) != k {
+		panic("ballsbins: hash range does not match bin count")
+	}
+	occupied := make([]bool, k)
+	count := 0
+	for i := 0; i < a; i++ {
+		b := h.Hash(base + uint64(i))
+		if !occupied[b] {
+			occupied[b] = true
+			count++
+		}
+	}
+	return count
+}
+
+// ThrowFullyRandom simulates the idealized process with a fresh truly
+// random assignment per ball — the X of Lemmas 1–2 against which
+// limited-independence families are compared.
+func ThrowFullyRandom(rng *rand.Rand, a, k int) int {
+	occupied := make([]bool, k)
+	count := 0
+	for i := 0; i < a; i++ {
+		b := rng.Intn(k)
+		if !occupied[b] {
+			occupied[b] = true
+			count++
+		}
+	}
+	return count
+}
+
+// Moments holds the empirical mean and variance of an occupancy sample.
+type Moments struct {
+	Mean, Var float64
+	N         int
+}
+
+// SampleMoments runs trials independent experiments, each drawing a
+// fresh hash function via newHash and throwing a balls into k bins,
+// and returns the sample mean and (unbiased) variance of the occupancy.
+func SampleMoments(trials, a, k int, newHash func() hashfn.Family) Moments {
+	xs := make([]float64, trials)
+	for t := 0; t < trials; t++ {
+		xs[t] = float64(Throw(newHash(), uint64(t)<<32, a, k))
+	}
+	return momentsOf(xs)
+}
+
+// SampleMomentsFullyRandom is SampleMoments for the idealized process.
+func SampleMomentsFullyRandom(rng *rand.Rand, trials, a, k int) Moments {
+	xs := make([]float64, trials)
+	for t := 0; t < trials; t++ {
+		xs[t] = float64(ThrowFullyRandom(rng, a, k))
+	}
+	return momentsOf(xs)
+}
+
+func momentsOf(xs []float64) Moments {
+	n := len(xs)
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	v := 0.0
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	if n > 1 {
+		v /= float64(n - 1)
+	}
+	return Moments{Mean: mean, Var: v, N: n}
+}

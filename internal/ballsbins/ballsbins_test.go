@@ -1,0 +1,223 @@
+package ballsbins
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hashfn"
+)
+
+func TestExpectedOccupiedBasics(t *testing.T) {
+	if got := ExpectedOccupied(0, 100); got != 0 {
+		t.Errorf("A=0: got %v", got)
+	}
+	// One ball occupies exactly one bin.
+	if got := ExpectedOccupied(1, 100); math.Abs(got-1) > 1e-9 {
+		t.Errorf("A=1: got %v want 1", got)
+	}
+	// Monotone and bounded by K (stop before float saturation at E→K).
+	prev := 0.0
+	for a := 1.0; a < 1e4; a *= 3 {
+		e := ExpectedOccupied(a, 1000)
+		if e <= prev || e > 1000 {
+			t.Fatalf("E[X] not in (prev, K]: a=%v e=%v", a, e)
+		}
+		prev = e
+	}
+	// A=K: E[X] = K(1-(1-1/K)^K) ≈ K(1-1/e).
+	k := 10000.0
+	if got, want := ExpectedOccupied(k, k), k*(1-1/math.E); math.Abs(got-want) > k*0.001 {
+		t.Errorf("A=K: got %v want about %v", got, want)
+	}
+}
+
+func TestInvertIsInverseOfExpectation(t *testing.T) {
+	// Invert(E[X]) should recover A (this is exactly how the paper's
+	// estimator achieves (1±ε): X concentrates about E[X] and the
+	// inverse map has bounded derivative in the operating range).
+	const k = 4096
+	for _, a := range []int{1, 10, 100, 1000, 3000} {
+		e := ExpectedOccupied(float64(a), k)
+		got := Invert(int(math.Round(e)), k)
+		if math.Abs(got-float64(a)) > 0.02*float64(a)+2 {
+			t.Errorf("A=%d: Invert(E)=%v", a, got)
+		}
+	}
+}
+
+func TestInvertEdges(t *testing.T) {
+	if Invert(0, 100) != 0 {
+		t.Error("T=0 should invert to 0")
+	}
+	if !math.IsInf(Invert(100, 100), 1) {
+		t.Error("T=K should invert to +Inf")
+	}
+	if got := Invert(1, 100); math.Abs(got-1) > 0.01 {
+		t.Errorf("T=1: got %v want about 1", got)
+	}
+	for _, f := range []func(){
+		func() { Invert(-1, 100) },
+		func() { Invert(101, 100) },
+		func() { Invert(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestLemma1Variance is part of experiment E10: empirical variance of
+// the fully random process must respect Var[X] < 4A²/K for
+// 100 ≤ A ≤ K/20.
+func TestLemma1Variance(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	const k = 4096
+	for _, a := range []int{100, 150, 204} { // up to K/20 = 204
+		if !Lemma1Applies(float64(a), k) {
+			t.Fatalf("test parameters outside Lemma 1 regime: A=%d", a)
+		}
+		m := SampleMomentsFullyRandom(rng, 3000, a, k)
+		bound := VarianceBound(float64(a), k)
+		if m.Var >= bound {
+			t.Errorf("A=%d K=%d: sample Var=%v >= Lemma 1 bound %v", a, k, m.Var, bound)
+		}
+		// And the sample mean must track Fact 1.
+		want := ExpectedOccupied(float64(a), k)
+		if math.Abs(m.Mean-want) > 0.02*want {
+			t.Errorf("A=%d: mean %v want %v", a, m.Mean, want)
+		}
+	}
+}
+
+// TestLemma2LimitedIndependence (experiment E10): k-wise polynomial
+// hashing with the Lemma 2 independence preserves the occupancy mean
+// within (1±ε)E[X] and keeps the variance within the fully-random
+// variance plus a small additive term.
+func TestLemma2LimitedIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	seed := int64(31)
+	const kBins = 1024 // K = 1/ε² with ε = 1/32
+	eps := 1 / math.Sqrt(float64(kBins))
+	const a = 150 // within [100, K/20]
+	kInd := hashfn.KForEps(uint64(kBins), eps)
+	rng := rand.New(rand.NewSource(seed))
+
+	trials := 4000
+	mPoly := SampleMoments(trials, a, kBins, func() hashfn.Family {
+		return hashfn.NewKWise(rng, 2*(kInd+1), uint64(kBins))
+	})
+	mTab := SampleMoments(trials, a, kBins, func() hashfn.Family {
+		return hashfn.NewMixedTabulation(rng, uint64(kBins))
+	})
+	mIdeal := SampleMomentsFullyRandom(rng, trials, a, kBins)
+
+	want := ExpectedOccupied(a, kBins)
+	for name, m := range map[string]Moments{"poly": mPoly, "mixedtab": mTab, "ideal": mIdeal} {
+		if math.Abs(m.Mean-want) > 3*eps*want {
+			t.Errorf("%s: mean %v deviates from E[X]=%v beyond 3ε", name, m.Mean, want)
+		}
+		// Lemma 2(2): Var[X'] ≤ Var[X] + ε² — allow sampling slack on
+		// both sides by comparing against the Lemma 1 bound instead.
+		if m.Var > VarianceBound(a, kBins) {
+			t.Errorf("%s: Var %v exceeds Lemma 1 bound %v", name, m.Var, VarianceBound(a, kBins))
+		}
+	}
+}
+
+// TestLemma3Concentration (experiment E10): with K = 1/ε² and
+// 100 ≤ A ≤ K/20, a single throw using the prescribed limited
+// independence lands within 8ε·E[X] of E[X] with probability ≥ 4/5.
+func TestLemma3Concentration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const kBins = 1600 // ε = 1/40
+	eps := 1 / math.Sqrt(float64(kBins))
+	const a = 80 // K/20 = 80
+	kInd := hashfn.KForEps(uint64(kBins), eps)
+	rng := rand.New(rand.NewSource(32))
+	want := ExpectedOccupied(a, kBins)
+
+	const trials = 2000
+	good := 0
+	for i := 0; i < trials; i++ {
+		h := hashfn.NewKWise(rng, 2*(kInd+1), uint64(kBins))
+		x := float64(Throw(h, uint64(i)<<32, a, kBins))
+		if math.Abs(x-want) <= 8*eps*want {
+			good++
+		}
+	}
+	if frac := float64(good) / trials; frac < 0.8 {
+		t.Errorf("Lemma 3 concentration: only %.3f of trials within 8ε·E[X], want >= 0.8", frac)
+	}
+}
+
+func TestThrowMatchesHashRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	h := hashfn.NewTwoWise(rng, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("range mismatch should panic")
+		}
+	}()
+	Throw(h, 0, 10, 128)
+}
+
+func TestThrowCountsDistinctBins(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	h := hashfn.NewTabulation(rng, 16)
+	// Throwing many balls into 16 bins must eventually occupy all 16.
+	if got := Throw(h, 0, 10000, 16); got != 16 {
+		t.Errorf("expected all bins occupied, got %d", got)
+	}
+	// Throwing 1 ball occupies exactly 1.
+	if got := Throw(h, 0, 1, 16); got != 1 {
+		t.Errorf("one ball occupies %d bins", got)
+	}
+	if got := Throw(h, 0, 0, 16); got != 0 {
+		t.Errorf("zero balls occupy %d bins", got)
+	}
+}
+
+func TestMomentsOf(t *testing.T) {
+	m := momentsOf([]float64{1, 2, 3, 4, 5})
+	if m.Mean != 3 || math.Abs(m.Var-2.5) > 1e-12 || m.N != 5 {
+		t.Errorf("moments of 1..5: %+v", m)
+	}
+	one := momentsOf([]float64{7})
+	if one.Mean != 7 || one.Var != 0 {
+		t.Errorf("single sample moments: %+v", one)
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { ExpectedOccupied(-1, 10) },
+		func() { ExpectedOccupied(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkThrowPoly(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h := hashfn.NewKWise(rng, 8, 1024)
+	for i := 0; i < b.N; i++ {
+		Throw(h, uint64(i), 100, 1024)
+	}
+}

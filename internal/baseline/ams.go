@@ -1,0 +1,70 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitutil"
+	"repro/internal/hashfn"
+)
+
+// AMS is the Alon–Matias–Szegedy F0 estimator [3] (Figure 1 row 2):
+// O(log n) bits, O(log n) update time as originally stated, and only a
+// constant-factor approximation (the paper proves a c-approximation
+// with c > 2 using pairwise independence — no random oracle needed).
+//
+// Each copy tracks R = max lsb(h(x)) over the stream with a pairwise-
+// independent h and estimates 2^{R + 1/2}; the median of copies is
+// reported. AMS is the baseline KNW's RoughEstimator should be
+// compared to: same space regime, but AMS's guarantee holds per point,
+// not at all points simultaneously.
+type AMS struct {
+	hs   []*hashfn.TwoWise
+	r    []int
+	logN uint
+}
+
+// NewAMS returns an AMS estimator with the given number of independent
+// copies (odd; the median is reported).
+func NewAMS(copies int, logN uint, rng *rand.Rand) *AMS {
+	if copies < 1 {
+		panic("baseline: AMS needs at least one copy")
+	}
+	a := &AMS{hs: make([]*hashfn.TwoWise, copies), r: make([]int, copies), logN: logN}
+	for i := range a.hs {
+		a.hs[i] = hashfn.NewTwoWise(rng, 1)
+		a.r[i] = -1
+	}
+	return a
+}
+
+// Add implements F0Estimator.
+func (a *AMS) Add(key uint64) {
+	mask := bitutil.Mask(a.logN)
+	for i, h := range a.hs {
+		if r := int(bitutil.LSB(h.HashField(key)&mask, a.logN)); r > a.r[i] {
+			a.r[i] = r
+		}
+	}
+}
+
+// Estimate implements F0Estimator.
+func (a *AMS) Estimate() float64 {
+	rs := append([]int(nil), a.r...)
+	sort.Ints(rs)
+	med := rs[len(rs)/2]
+	if med < 0 {
+		return 0
+	}
+	return math.Exp2(float64(med) + 0.5)
+}
+
+// SpaceBits charges each copy's max-rank register and hash seed.
+func (a *AMS) SpaceBits() int {
+	perCopy := int(bitutil.CeilLog2(uint64(a.logN)+2)) + a.hs[0].SeedBits()
+	return perCopy * len(a.hs)
+}
+
+// Name implements F0Estimator.
+func (a *AMS) Name() string { return "AMS" }

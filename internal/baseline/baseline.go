@@ -1,0 +1,64 @@
+// Package baseline implements the prior distinct-elements algorithms
+// the paper compares against in Figure 1, plus an exact counter and a
+// Ganguly-style L0 comparator (Section 4's prior art). These are the
+// comparators for experiment E1: each implements the same F0Estimator
+// interface as the KNW sketches so the harness can sweep them
+// uniformly over workloads and report measured space and update time.
+//
+// Figure 1 rows and where they live here:
+//
+//	[20] Flajolet–Martin (PCSA)            → FM85        (random oracle)
+//	[3]  Alon–Matias–Szegedy               → AMS         (constant ε)
+//	[24] Gibbons–Tirthapura                → GT          (O(ε⁻² log n))
+//	[4]  Bar-Yossef et al. Algorithm I     → KMV         (k minimum values)
+//	[4]  Bar-Yossef et al. Algorithm II    → BJKST       (fingerprints + level)
+//	[16] Durand–Flajolet LogLog            → LogLog      (random oracle)
+//	[17] Estan–Varghese–Fisk bitmaps       → LinearCounting (random oracle)
+//	[19] HyperLogLog                       → HyperLogLog (random oracle)
+//	[22] Ganguly (L0, deletions)           → GangulyL0
+//
+// The "random oracle" rows are implemented with a seeded 64-bit
+// avalanche mixer, exactly as those papers' authors did in practice
+// (DESIGN.md §5(5)). Rows we cannot faithfully reproduce at all are
+// not faked: [5] and [6] describe algorithms whose behaviour is
+// dominated by the same ε⁻²·log n storage as KMV/GT and are covered by
+// those rows in the space table.
+package baseline
+
+// F0Estimator is the uniform interface the experiment harness drives.
+type F0Estimator interface {
+	// Add processes one stream element.
+	Add(key uint64)
+	// Estimate returns the current F̃0.
+	Estimate() float64
+	// SpaceBits returns the accounted size of the structure's state.
+	SpaceBits() int
+	// Name identifies the algorithm in tables.
+	Name() string
+}
+
+// Exact counts distinct elements exactly with a hash set — the ground
+// truth for small streams and the "linear space" row every sketch is
+// compared against ([3] proves Ω(n) bits are necessary for exactness).
+type Exact struct {
+	seen map[uint64]struct{}
+}
+
+// NewExact returns an exact counter.
+func NewExact() *Exact { return &Exact{seen: make(map[uint64]struct{})} }
+
+// Add inserts the key.
+func (e *Exact) Add(key uint64) { e.seen[key] = struct{}{} }
+
+// Estimate returns the exact count.
+func (e *Exact) Estimate() float64 { return float64(len(e.seen)) }
+
+// SpaceBits charges 64 bits per stored key (ignoring map overhead,
+// which only helps the sketches by comparison).
+func (e *Exact) SpaceBits() int { return 64 * len(e.seen) }
+
+// Name implements F0Estimator.
+func (e *Exact) Name() string { return "Exact" }
+
+// Count returns the exact count as an int.
+func (e *Exact) Count() int { return len(e.seen) }

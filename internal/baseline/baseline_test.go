@@ -1,0 +1,227 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExact(t *testing.T) {
+	e := NewExact()
+	for i := 0; i < 1000; i++ {
+		e.Add(uint64(i % 100))
+	}
+	if e.Estimate() != 100 || e.Count() != 100 {
+		t.Errorf("exact: %v", e.Estimate())
+	}
+	if e.SpaceBits() != 6400 {
+		t.Errorf("SpaceBits=%d", e.SpaceBits())
+	}
+	if e.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+// estimators returns every baseline configured for roughly ε = 0.1
+// accuracy at F0 up to ~1e6, keyed by name.
+func estimators(rng *rand.Rand) []F0Estimator {
+	return []F0Estimator{
+		NewFM85(64, rng.Uint64()),
+		NewAMS(9, 32, rng),
+		NewKMV(TForEpsilon(0.1)/8, rng), // /8: the paper constant is very loose
+		NewBJKST(2048, 32, rng),
+		NewGT(2048, 32, rng),
+		NewLogLog(1024, rng.Uint64()),
+		NewHyperLogLog(MForEpsilon(0.1), rng.Uint64()),
+		NewGangulyL0(4096, 32, rng),
+	}
+}
+
+// TestAllBaselinesReasonable drives every baseline over the same
+// stream and requires each to land within its documented error class:
+// constant-factor for AMS/FM85, (1±~0.15) for the ε-parameterized ones.
+func TestAllBaselinesReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	ests := estimators(rng)
+	const f0 = 200000
+	data := rand.New(rand.NewSource(701))
+	keys := make([]uint64, f0)
+	for i := range keys {
+		keys[i] = data.Uint64()
+	}
+	for rep := 0; rep < 2; rep++ { // duplicates must not matter
+		for _, k := range keys {
+			for _, e := range ests {
+				e.Add(k)
+			}
+		}
+	}
+	for _, e := range ests {
+		got := e.Estimate()
+		rel := math.Abs(got-f0) / f0
+		limit := 0.2
+		switch e.Name() {
+		case "AMS", "FM85-PCSA":
+			limit = 2.0 // constant-factor algorithms
+		case "Ganguly-L0":
+			limit = 0.5
+		}
+		if rel > limit {
+			t.Errorf("%s: estimate %v for F0=%d (rel %.3f > %.2f)", e.Name(), got, f0, rel, limit)
+		}
+		if e.SpaceBits() <= 0 {
+			t.Errorf("%s: non-positive SpaceBits", e.Name())
+		}
+	}
+}
+
+func TestSmallStreamsExactPaths(t *testing.T) {
+	// KMV, BJKST, GT answer exactly while below capacity.
+	rng := rand.New(rand.NewSource(702))
+	kmv := NewKMV(1000, rng)
+	bj := NewBJKST(1000, 32, rng)
+	gt := NewGT(1000, 32, rng)
+	for i := 0; i < 500; i++ {
+		k := rng.Uint64()
+		kmv.Add(k)
+		bj.Add(k)
+		gt.Add(k)
+	}
+	if kmv.Estimate() != 500 {
+		t.Errorf("KMV below capacity: %v", kmv.Estimate())
+	}
+	if bj.Estimate() != 500 {
+		t.Errorf("BJKST below capacity: %v", bj.Estimate())
+	}
+	if gt.Estimate() != 500 {
+		t.Errorf("GT below capacity: %v", gt.Estimate())
+	}
+}
+
+func TestLinearCountingAccuracyAndSaturation(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	lc := NewLinearCounting(1<<16, rng.Uint64())
+	const f0 = 10000
+	for i := 0; i < f0; i++ {
+		lc.Add(rng.Uint64())
+	}
+	if rel := math.Abs(lc.Estimate()-f0) / f0; rel > 0.05 {
+		t.Errorf("LinearCounting rel error %.3f", rel)
+	}
+	// Saturate.
+	for i := 0; i < 3_000_000; i++ {
+		lc.Add(rng.Uint64())
+	}
+	if !math.IsInf(lc.Estimate(), 1) && lc.Estimate() < 1e5 {
+		t.Errorf("saturated bitmap should blow up, got %v", lc.Estimate())
+	}
+}
+
+func TestBJKSTLevelsAdvance(t *testing.T) {
+	rng := rand.New(rand.NewSource(704))
+	b := NewBJKST(64, 32, rng)
+	for i := 0; i < 100000; i++ {
+		b.Add(rng.Uint64())
+	}
+	if b.z == 0 {
+		t.Error("BJKST never raised its level despite overflow")
+	}
+	if len(b.s) > 64 {
+		t.Errorf("BJKST capacity violated: %d", len(b.s))
+	}
+}
+
+func TestGTSampleBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(705))
+	g := NewGT(128, 32, rng)
+	for i := 0; i < 100000; i++ {
+		g.Add(rng.Uint64())
+	}
+	if len(g.s) > 128 {
+		t.Errorf("GT sample bound violated: %d", len(g.s))
+	}
+}
+
+func TestGangulyDeletions(t *testing.T) {
+	rng := rand.New(rand.NewSource(706))
+	g := NewGangulyL0(4096, 32, rng)
+	keys := make([]uint64, 50000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		g.Update(keys[i], 3)
+	}
+	for i := 0; i < 40000; i++ {
+		g.Update(keys[i], -3)
+	}
+	const live = 10000
+	if rel := math.Abs(g.Estimate()-live) / live; rel > 0.5 {
+		t.Errorf("Ganguly after deletions: %v (rel %.3f)", g.Estimate(), rel)
+	}
+}
+
+func TestGangulySingletonDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	g := NewGangulyL0(4096, 32, rng)
+	key := rng.Uint64() | 1
+	g.Update(key, 5)
+	cell := int(g.h2.Hash(key))
+	if !g.IsSingleton(0, cell) {
+		t.Error("single item not detected as singleton")
+	}
+	// A second item in the same cell should (almost surely) break the test.
+	var other uint64
+	for {
+		other = rng.Uint64()
+		if other != key && int(g.h2.Hash(other)) == cell {
+			break
+		}
+	}
+	g.Update(other, 2)
+	if g.IsSingleton(0, cell) {
+		t.Error("two-item cell passed the singleton test")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(708))
+	for _, f := range []func(){
+		func() { NewFM85(63, 1) },
+		func() { NewAMS(0, 32, rng) },
+		func() { NewKMV(1, rng) },
+		func() { NewBJKST(1, 32, rng) },
+		func() { NewGT(1, 32, rng) },
+		func() { NewLogLog(32, 1) },
+		func() { NewHyperLogLog(64, 1) },
+		func() { NewLinearCounting(1, 1) },
+		func() { NewGangulyL0(33, 32, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMForEpsilonAndTForEpsilon(t *testing.T) {
+	if m := MForEpsilon(0.05); m < 128 || m&(m-1) != 0 || float64(m) < (1.04/0.05)*(1.04/0.05) {
+		t.Errorf("MForEpsilon(0.05)=%d", m)
+	}
+	if got := TForEpsilon(0.1); got < 9600 || got > 9601 { // 96/ε² ± float rounding
+		t.Errorf("TForEpsilon(0.1)=%d", got)
+	}
+}
+
+func BenchmarkAdds(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, e := range estimators(rng) {
+		b.Run(e.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Add(uint64(i) * 2654435761)
+			}
+		})
+	}
+}

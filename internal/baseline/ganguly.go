@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"repro/internal/ballsbins"
+	"repro/internal/bitutil"
+	"repro/internal/hashfn"
+)
+
+// GangulyL0 is a faithful-in-spirit implementation of Ganguly's
+// distinct-items-over-update-streams estimator [22], the prior art the
+// paper's L0 algorithm improves on (Section 1: his algorithm needed
+// O(ε⁻²·log n·log mM) bits and O(log 1/ε) update time, and required
+// nonnegative frequencies; see DESIGN.md §5(4) for the substitution
+// rationale).
+//
+// Structure: geometric sampling levels 0..log n; an item of level
+// lsb(h(x)) = ℓ is recorded at every level ≤ ℓ (cumulative sampling,
+// expected 2 cells touched per update). Each level holds s cells;
+// a cell tracks the full (unreduced) aggregates
+//
+//	cnt = Σ v,   sum = Σ v·key,   sum2 = Σ v·key² (mod 2^64)
+//
+// whose widths are the log(mM)-factor in his space bound. The estimate
+// inverts cell occupancy at the deepest level whose occupancy is in
+// the reliable band — Ganguly's singleton tests (sum² = cnt·sum2
+// recovers isolated items) are implemented and exposed, but occupancy
+// inversion is what the E7 comparison exercises.
+type GangulyL0 struct {
+	h1   *hashfn.TwoWise
+	h2   *hashfn.TwoWise
+	s    int
+	logN uint
+	// cells[level][cell]{cnt,sum,sum2}; nz[level] is the occupancy.
+	cnt  [][]int64
+	sum  [][]uint64
+	sum2 [][]uint64
+	nz   []int
+}
+
+// NewGangulyL0 returns an estimator with s cells per level.
+func NewGangulyL0(s int, logN uint, rng *rand.Rand) *GangulyL0 {
+	if s < 32 || !bitutil.IsPow2(uint64(s)) {
+		panic("baseline: GangulyL0 needs a power-of-two s >= 32")
+	}
+	levels := int(logN) + 1
+	g := &GangulyL0{
+		h1:   hashfn.NewTwoWise(rng, 1),
+		h2:   hashfn.NewTwoWise(rng, uint64(s)),
+		s:    s,
+		logN: logN,
+		cnt:  make([][]int64, levels),
+		sum:  make([][]uint64, levels),
+		sum2: make([][]uint64, levels),
+		nz:   make([]int, levels),
+	}
+	for l := range g.cnt {
+		g.cnt[l] = make([]int64, s)
+		g.sum[l] = make([]uint64, s)
+		g.sum2[l] = make([]uint64, s)
+	}
+	return g
+}
+
+// Update processes the turnstile update x_key ← x_key + v.
+func (g *GangulyL0) Update(key uint64, v int64) {
+	if v == 0 {
+		return
+	}
+	lvl := int(bitutil.LSB(g.h1.HashField(key)&bitutil.Mask(g.logN), g.logN))
+	c := int(g.h2.Hash(key))
+	uv := uint64(v)
+	for l := 0; l <= lvl && l < len(g.cnt); l++ {
+		wasZero := g.cnt[l][c] == 0 && g.sum[l][c] == 0 && g.sum2[l][c] == 0
+		g.cnt[l][c] += v
+		g.sum[l][c] += uv * key
+		g.sum2[l][c] += uv * key * key
+		isZero := g.cnt[l][c] == 0 && g.sum[l][c] == 0 && g.sum2[l][c] == 0
+		switch {
+		case wasZero && !isZero:
+			g.nz[l]++
+		case !wasZero && isZero:
+			g.nz[l]--
+		}
+	}
+}
+
+// Add implements insert-only streams (F0 semantics) so GangulyL0 can
+// ride the common harness.
+func (g *GangulyL0) Add(key uint64) { g.Update(key, 1) }
+
+// IsSingleton reports Ganguly's cell test at (level, cell): a cell
+// holding exactly one item with frequency f satisfies
+// sum² = cnt·sum2 (both equal f²·key²·… in exact arithmetic; we use
+// wrapping 64-bit arithmetic, giving a false positive probability
+// ~2⁻⁶⁴ per cell).
+func (g *GangulyL0) IsSingleton(level, cell int) bool {
+	c := g.cnt[level][cell]
+	if c == 0 {
+		return false
+	}
+	return g.sum[level][cell]*g.sum[level][cell] == uint64(c)*g.sum2[level][cell]
+}
+
+// Estimate inverts cell occupancy at the deepest level whose occupancy
+// is within the reliable band [s/64, s/2], scaled by the level's
+// cumulative sampling rate 2^ℓ.
+func (g *GangulyL0) Estimate() float64 {
+	for l := len(g.nz) - 1; l >= 0; l-- {
+		if g.nz[l] >= g.s/64 && g.nz[l] <= g.s/2 {
+			return ballsbins.Invert(g.nz[l], g.s) * float64(uint64(1)<<uint(l))
+		}
+	}
+	// Sparse stream: level 0 sees everything; occupancy inversion is
+	// exact enough even below the band.
+	if g.nz[0] < g.s {
+		return ballsbins.Invert(g.nz[0], g.s)
+	}
+	return float64(g.s) // saturated everywhere (cannot happen with the band check)
+}
+
+// SpaceBits charges each cell its three 64-bit aggregates — the
+// log(mM)-wide counters of [22] — plus seeds.
+func (g *GangulyL0) SpaceBits() int {
+	return len(g.cnt)*g.s*3*64 + g.h1.SeedBits() + g.h2.SeedBits()
+}
+
+// Name implements F0Estimator.
+func (g *GangulyL0) Name() string { return "Ganguly-L0" }

@@ -1,0 +1,69 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/bitutil"
+	"repro/internal/hashfn"
+)
+
+// GT is Gibbons–Tirthapura coordinated sampling [24] (Figure 1 row:
+// O(ε⁻² log n) space, O(ε⁻²) update as stated there): keep the full
+// identifiers of items whose level lsb(h(x)) ≥ z, halving the sample
+// (z++) whenever it exceeds t; estimate |S|·2^z. Unlike BJKST it
+// stores whole log n-bit identifiers, which is exactly the ε⁻²·log n
+// space product Figure 1 charges it.
+type GT struct {
+	h    *hashfn.TwoWise
+	t    int
+	z    int
+	s    map[uint64]int // key → level
+	logN uint
+}
+
+// NewGT returns a Gibbons–Tirthapura estimator with sample bound t
+// (≈ 36/ε² in their analysis).
+func NewGT(t int, logN uint, rng *rand.Rand) *GT {
+	if t < 2 {
+		panic("baseline: GT needs t >= 2")
+	}
+	return &GT{
+		h:    hashfn.NewTwoWise(rng, 1),
+		t:    t,
+		s:    make(map[uint64]int, t+1),
+		logN: logN,
+	}
+}
+
+// Add implements F0Estimator.
+func (g *GT) Add(key uint64) {
+	lvl := int(bitutil.LSB(g.h.HashField(key)&bitutil.Mask(g.logN), g.logN))
+	if lvl < g.z {
+		return
+	}
+	g.s[key] = lvl
+	for len(g.s) > g.t {
+		g.z++
+		for k, l := range g.s {
+			if l < g.z {
+				delete(g.s, k)
+			}
+		}
+	}
+}
+
+// Estimate implements F0Estimator.
+func (g *GT) Estimate() float64 {
+	return float64(len(g.s)) * math.Exp2(float64(g.z))
+}
+
+// SpaceBits charges log n bits per stored identifier plus its level
+// and the seed.
+func (g *GT) SpaceBits() int {
+	perItem := int(g.logN) + int(bitutil.CeilLog2(uint64(g.logN)+2))
+	return perItem*len(g.s) + g.h.SeedBits()
+}
+
+// Name implements F0Estimator.
+func (g *GT) Name() string { return "Gibbons-Tirthapura" }

@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/hashfn"
+)
+
+// HyperLogLog is Flajolet–Fusy–Gandouet–Meunier [19] (Figure 1 row:
+// "Assumes random oracle, additive error") — the estimator deployed
+// everywhere in practice. Registers are as in LogLog; the combiner is
+// the bias-corrected harmonic mean
+//
+//	Ẽ = α_m · m² / Σ_j 2^{−M_j}
+//
+// with the standard small-range correction (linear counting on empty
+// registers when Ẽ ≤ 5m/2). Its standard error is 1.04/√m — the
+// constant-factor yardstick every F0 sketch is measured against in
+// experiment E1.
+type HyperLogLog struct {
+	seed      uint64
+	registers []uint8
+	logM      uint
+}
+
+// NewHyperLogLog returns an HLL with m registers (a power of two ≥ 128
+// so the closed-form α_m applies).
+func NewHyperLogLog(m int, seed uint64) *HyperLogLog {
+	if m < 128 || m&(m-1) != 0 {
+		panic("baseline: HyperLogLog m must be a power of two >= 128")
+	}
+	return &HyperLogLog{
+		seed:      seed,
+		registers: make([]uint8, m),
+		logM:      uint(bits.TrailingZeros64(uint64(m))),
+	}
+}
+
+// Add implements F0Estimator.
+func (h *HyperLogLog) Add(key uint64) {
+	v := hashfn.Mix64(key, h.seed)
+	idx := v & (uint64(len(h.registers)) - 1)
+	rank := uint8(bits.TrailingZeros64(v>>h.logM|1<<60) + 1)
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// Estimate implements F0Estimator.
+func (h *HyperLogLog) Estimate() float64 {
+	m := float64(len(h.registers))
+	alpha := 0.7213 / (1 + 1.079/m)
+	sum := 0.0
+	zeros := 0
+	for _, r := range h.registers {
+		sum += math.Exp2(-float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := alpha * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		// Small-range correction: linear counting on empty registers.
+		return m * math.Log(m/float64(zeros))
+	}
+	return e
+}
+
+// SpaceBits charges 6 bits per register plus the seed.
+func (h *HyperLogLog) SpaceBits() int { return 6*len(h.registers) + 64 }
+
+// Name implements F0Estimator.
+func (h *HyperLogLog) Name() string { return "HyperLogLog" }
+
+// MForEpsilon returns the register count giving standard error ε
+// (1.04/√m = ε), rounded up to a power of two and floored at 128.
+func MForEpsilon(eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		eps = 0.05
+	}
+	m := 1
+	for float64(m) < (1.04/eps)*(1.04/eps) {
+		m <<= 1
+	}
+	if m < 128 {
+		m = 128
+	}
+	return m
+}

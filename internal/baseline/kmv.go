@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"repro/internal/hashfn"
+)
+
+// KMV is the k-minimum-values estimator in the style of Bar-Yossef et
+// al.'s Algorithm I [4] and Beyer et al. [6] (Figure 1 rows with
+// O(ε⁻² log n) space and O(log 1/ε) update): keep the t smallest
+// pairwise-independent hash values seen; if the t-th smallest is v
+// (as a fraction of the hash range), estimate F̃0 = (t − 1)/v.
+//
+// Space is t·log n bits — the ε⁻²·log n product KNW's bit-packed
+// offsets eliminate — making KMV the clearest foil for experiment E1's
+// space table. Update is O(log t) via a max-heap (a treap or lazy
+// buffer reaches O(log 1/ε) amortized as in [4]; the heap's constant
+// is irrelevant to the space comparison).
+type KMV struct {
+	h    *hashfn.TwoWise
+	t    int
+	heap maxHeap // the t smallest values seen, max at the root
+	seen map[uint64]struct{}
+}
+
+// NewKMV returns a KMV estimator keeping t minimum values
+// (t ≈ 96/ε² gives (1±ε) with constant probability, [4] Theorem 2).
+func NewKMV(t int, rng *rand.Rand) *KMV {
+	if t < 2 {
+		panic("baseline: KMV needs t >= 2")
+	}
+	return &KMV{
+		h:    hashfn.NewTwoWise(rng, 1),
+		t:    t,
+		seen: make(map[uint64]struct{}, t),
+	}
+}
+
+// TForEpsilon returns the [4]-prescribed t = ⌈96/ε²⌉.
+func TForEpsilon(eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		eps = 0.05
+	}
+	return int(96/(eps*eps)) + 1
+}
+
+// Add implements F0Estimator.
+func (k *KMV) Add(key uint64) {
+	v := k.h.HashField(key)
+	if len(k.heap) >= k.t && v >= k.heap[0] {
+		return
+	}
+	if _, dup := k.seen[v]; dup {
+		return
+	}
+	k.seen[v] = struct{}{}
+	heap.Push(&k.heap, v)
+	if len(k.heap) > k.t {
+		old := heap.Pop(&k.heap).(uint64)
+		delete(k.seen, old)
+	}
+}
+
+// Estimate implements F0Estimator.
+func (k *KMV) Estimate() float64 {
+	if len(k.heap) < k.t {
+		return float64(len(k.heap)) // fewer than t distinct: exact
+	}
+	vt := float64(k.heap[0]) / float64(uint64(1)<<61-1)
+	return float64(k.t-1) / vt
+}
+
+// SpaceBits charges log n = 61 bits per stored value plus the seed.
+func (k *KMV) SpaceBits() int { return 61*len(k.heap) + k.h.SeedBits() }
+
+// Name implements F0Estimator.
+func (k *KMV) Name() string { return "KMV(BJKST-I)" }
+
+// maxHeap is a max-heap of uint64 hash values.
+type maxHeap []uint64
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i] > h[j] }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/bitutil"
+	"repro/internal/hashfn"
+)
+
+// LinearCounting is the bitmap scheme of Estan–Varghese–Fisk [17]
+// (Figure 1 row: O(ε⁻² log n) space, random oracle): hash each key to
+// one of m bits, set it, and invert the occupancy:
+//
+//	Ẽ = m · ln(m / empty)
+//
+// It is the same balls-and-bins inversion KNW's estimator uses
+// (Figure 3 step 7 with b = 0), which is why it is extremely accurate
+// while F0 = O(m) and useless beyond — the regime KNW escapes by
+// subsampling. Estan et al. scale the bitmap (their "multiscale
+// bitmap") to cover larger ranges; the plain bitmap here is the
+// building block whose behaviour E1 contrasts.
+type LinearCounting struct {
+	seed uint64
+	bv   *bitutil.BitVector
+}
+
+// NewLinearCounting returns a bitmap of m bits.
+func NewLinearCounting(m int, seed uint64) *LinearCounting {
+	if m < 2 {
+		panic("baseline: LinearCounting needs at least 2 bits")
+	}
+	return &LinearCounting{seed: seed, bv: bitutil.NewBitVector(m)}
+}
+
+// Add implements F0Estimator.
+func (l *LinearCounting) Add(key uint64) {
+	h := hashfn.Mix64(key, l.seed)
+	hi, _ := bits.Mul64(h, uint64(l.bv.Len()))
+	l.bv.Set(int(hi))
+}
+
+// Estimate implements F0Estimator. A saturated bitmap returns +Inf.
+func (l *LinearCounting) Estimate() float64 {
+	m := l.bv.Len()
+	empty := m - l.bv.Count()
+	if empty == 0 {
+		return math.Inf(1)
+	}
+	return float64(m) * math.Log(float64(m)/float64(empty))
+}
+
+// SpaceBits charges the bitmap plus the seed.
+func (l *LinearCounting) SpaceBits() int { return l.bv.SpaceBits() + 64 }
+
+// Name implements F0Estimator.
+func (l *LinearCounting) Name() string { return "LinearCounting" }

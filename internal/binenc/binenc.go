@@ -1,0 +1,156 @@
+// Package binenc provides the minimal varint-based encoder/decoder the
+// sketch serialization uses (MarshalBinary/UnmarshalBinary on the
+// public types). Hash functions are never serialized: sketches are
+// reconstructed deterministically from their seed and configuration,
+// so the payload is only the dynamic counter state.
+package binenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is returned when a payload is truncated or malformed.
+var ErrCorrupt = errors.New("binenc: corrupt or truncated payload")
+
+// Writer appends primitive values to a byte buffer.
+type Writer struct {
+	Buf []byte
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.Buf = binary.AppendUvarint(w.Buf, v) }
+
+// Varint appends a signed varint (zig-zag).
+func (w *Writer) Varint(v int64) { w.Buf = binary.AppendVarint(w.Buf, v) }
+
+// Bool appends a single byte 0/1.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.Buf = append(w.Buf, 1)
+	} else {
+		w.Buf = append(w.Buf, 0)
+	}
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.Buf = append(w.Buf, b...)
+}
+
+// Uints appends a length-prefixed slice of uvarints.
+func (w *Writer) Uints(vs []uint64) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.Uvarint(v)
+	}
+}
+
+// Reader consumes primitive values from a byte buffer. The first
+// decoding error sticks; check Err (or use the returned zero values
+// knowingly) after a batch of reads.
+type Reader struct {
+	Buf []byte
+	err error
+}
+
+// Err returns the sticky error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrCorrupt
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.Buf)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.Buf = r.Buf[n:]
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.Buf)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.Buf = r.Buf[n:]
+	return v
+}
+
+// Bool reads a 0/1 byte.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.Buf) < 1 {
+		r.fail()
+		return false
+	}
+	b := r.Buf[0]
+	r.Buf = r.Buf[1:]
+	if b > 1 {
+		r.fail()
+		return false
+	}
+	return b == 1
+}
+
+// Bytes reads a length-prefixed byte slice (copied).
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.Buf)) < n {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.Buf[:n])
+	r.Buf = r.Buf[n:]
+	return out
+}
+
+// Uints reads a length-prefixed uvarint slice. maxLen guards against
+// corrupt headers allocating unbounded memory.
+func (r *Reader) Uints(maxLen int) []uint64 {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(maxLen) {
+		r.fail()
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uvarint()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Expect checks a magic/version marker.
+func (r *Reader) Expect(want uint64, what string) {
+	if got := r.Uvarint(); r.err == nil && got != want {
+		r.err = fmt.Errorf("binenc: bad %s: got %d want %d", what, got, want)
+	}
+}

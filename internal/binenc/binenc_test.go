@@ -1,0 +1,118 @@
+package binenc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var w Writer
+	w.Uvarint(0)
+	w.Uvarint(math.MaxUint64)
+	w.Varint(-12345)
+	w.Varint(12345)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes([]byte("hello"))
+	w.Bytes(nil)
+	w.Uints([]uint64{1, 2, 3, 1 << 60})
+
+	r := Reader{Buf: w.Buf}
+	if r.Uvarint() != 0 || r.Uvarint() != math.MaxUint64 {
+		t.Fatal("uvarint roundtrip")
+	}
+	if r.Varint() != -12345 || r.Varint() != 12345 {
+		t.Fatal("varint roundtrip")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool roundtrip")
+	}
+	if string(r.Bytes()) != "hello" || len(r.Bytes()) != 0 {
+		t.Fatal("bytes roundtrip")
+	}
+	got := r.Uints(10)
+	if len(got) != 4 || got[3] != 1<<60 {
+		t.Fatalf("uints roundtrip: %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if len(r.Buf) != 0 {
+		t.Fatalf("%d bytes left over", len(r.Buf))
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(u uint64, v int64, b bool, bs []byte) bool {
+		var w Writer
+		w.Uvarint(u)
+		w.Varint(v)
+		w.Bool(b)
+		w.Bytes(bs)
+		r := Reader{Buf: w.Buf}
+		gu, gv, gb, gbs := r.Uvarint(), r.Varint(), r.Bool(), r.Bytes()
+		return r.Err() == nil && gu == u && gv == v && gb == b && string(gbs) == string(bs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	var w Writer
+	w.Uvarint(300)
+	w.Bytes([]byte("abcdef"))
+	for cut := 0; cut < len(w.Buf); cut++ {
+		r := Reader{Buf: w.Buf[:cut]}
+		r.Uvarint()
+		r.Bytes()
+		if r.Err() == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := Reader{Buf: nil}
+	r.Uvarint() // fails
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	// Subsequent reads return zero values, error unchanged.
+	if r.Uvarint() != 0 || r.Varint() != 0 || r.Bool() || r.Bytes() != nil {
+		t.Fatal("reads after error should be inert")
+	}
+}
+
+func TestUintsBound(t *testing.T) {
+	var w Writer
+	w.Uvarint(1 << 40) // absurd length header
+	r := Reader{Buf: w.Buf}
+	if r.Uints(1000) != nil || r.Err() == nil {
+		t.Fatal("oversized length must be rejected")
+	}
+}
+
+func TestBadBoolByte(t *testing.T) {
+	r := Reader{Buf: []byte{7}}
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("byte 7 is not a bool")
+	}
+}
+
+func TestExpect(t *testing.T) {
+	var w Writer
+	w.Uvarint(42)
+	r := Reader{Buf: w.Buf}
+	r.Expect(42, "magic")
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	r2 := Reader{Buf: w.Buf}
+	r2.Expect(43, "magic")
+	if r2.Err() == nil {
+		t.Fatal("wrong magic must error")
+	}
+}

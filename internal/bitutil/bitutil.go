@@ -1,0 +1,82 @@
+// Package bitutil provides constant-time bit-level primitives used
+// throughout the KNW distinct-elements algorithms.
+//
+// The paper (Section 1.2 and Theorem 5) assumes a word RAM in which the
+// least- and most-significant set bits of a machine word can be computed
+// in O(1) time, citing Brodnik and Fredman–Willard. On modern hardware
+// these are single instructions, exposed in Go through math/bits; this
+// package wraps them with the paper's exact conventions (in particular
+// lsb(0) = log n, Section 1.2).
+package bitutil
+
+import "math/bits"
+
+// LSB returns the 0-based index of the least significant set bit of x.
+// Following the paper's convention (Section 1.2), LSB(0, logN) = logN:
+// an all-zero hash value is treated as having "depth" log n, the deepest
+// possible subsampling level.
+func LSB(x uint64, logN uint) uint {
+	if x == 0 {
+		return logN
+	}
+	return uint(bits.TrailingZeros64(x))
+}
+
+// MSB returns the 0-based index of the most significant set bit of x.
+// MSB(0) is defined as 0 so that callers computing ceil(log2) of
+// non-negative quantities never index out of range.
+func MSB(x uint64) uint {
+	if x == 0 {
+		return 0
+	}
+	return uint(63 - bits.LeadingZeros64(x))
+}
+
+// CeilLog2 returns ceil(log2(x)) for x >= 1, and 0 for x == 0 or 1.
+// The Figure 3 update rule charges each counter ceil(log(C+2)) bits of
+// storage; this is the constant-time "most significant bit computation"
+// the paper refers to in the proof of Theorem 9.
+func CeilLog2(x uint64) uint {
+	if x <= 1 {
+		return 0
+	}
+	return uint(64 - bits.LeadingZeros64(x-1))
+}
+
+// FloorLog2 returns floor(log2(x)) for x >= 1, and 0 for x == 0.
+func FloorLog2(x uint64) uint {
+	return MSB(x)
+}
+
+// IsPow2 reports whether x is a power of two (x > 0 and a single bit set).
+func IsPow2(x uint64) bool {
+	return x != 0 && x&(x-1) == 0
+}
+
+// NextPow2 returns the smallest power of two >= x (and 1 for x <= 1).
+// It panics if x > 1<<63, since the result would not fit in a uint64.
+func NextPow2(x uint64) uint64 {
+	if x <= 1 {
+		return 1
+	}
+	if x > 1<<63 {
+		panic("bitutil: NextPow2 overflow")
+	}
+	return 1 << CeilLog2(x)
+}
+
+// Pow2 returns 1 << k as a uint64. It panics for k >= 64.
+func Pow2(k uint) uint64 {
+	if k >= 64 {
+		panic("bitutil: Pow2 exponent out of range")
+	}
+	return 1 << k
+}
+
+// Mask returns a mask with the low k bits set. Mask(64) is all ones.
+func Mask(k uint) uint64 {
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << k) - 1
+}

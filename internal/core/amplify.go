@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrAllCopiesFailed is returned by Amplified.Estimate when every
+// underlying copy has FAILed — probability ≤ (1/32)^copies by
+// Theorem 3, so seeing it indicates misuse (e.g. adversarial keys
+// correlated with the hash seeds).
+var ErrAllCopiesFailed = errors.New("core: all sketch copies failed")
+
+// F0Sketch is the interface shared by Sketch and FastSketch, and by
+// Amplified itself, so amplification composes with either variant.
+type F0Sketch interface {
+	Add(key uint64)
+	Estimate() (float64, error)
+	SpaceBits() int
+	Failed() bool
+}
+
+// CopiesForDelta returns how many independent copies are needed to
+// boost the per-copy success probability to 1 − δ via the median
+// (standard Chernoff argument: the median of c copies fails only if
+// ≥ c/2 copies fail). The paper's proven per-copy rate is 11/20, whose
+// razor-thin margin would demand ~600·ln(1/δ) copies; the measured
+// per-copy rate of staying within the ε band is ≥ 0.85 (experiment
+// E3, EXPERIMENTS.md), giving exp(−2c(0.85−1/2)²) ≤ δ at
+// c ≈ 4.1·ln(1/δ). The result is floored at 3 and kept odd so the
+// median is a single copy's output.
+func CopiesForDelta(delta float64) int {
+	if delta <= 0 || delta >= 1 {
+		panic("core: delta must be in (0,1)")
+	}
+	c := int(math.Ceil(math.Log(1/delta) / (2 * 0.35 * 0.35)))
+	if c < 3 {
+		c = 3
+	}
+	if c%2 == 0 {
+		c++
+	}
+	return c
+}
+
+// Amplified runs several independent sketch copies and reports the
+// median estimate (Section 1: "This probability can be amplified by
+// independent repetition", and Section 3.2: "the 5/8 can be boosted to
+// 1 − δ … by running O(log(1/δ)) instantiations … and returning the
+// median estimate").
+type Amplified struct {
+	copies []F0Sketch
+}
+
+// NewAmplified builds c independent copies using the constructor mk,
+// which is called with a distinct rng for each copy.
+func NewAmplified(c int, rng *rand.Rand, mk func(*rand.Rand) F0Sketch) *Amplified {
+	if c < 1 {
+		panic("core: need at least one copy")
+	}
+	a := &Amplified{copies: make([]F0Sketch, c)}
+	for i := range a.copies {
+		a.copies[i] = mk(rand.New(rand.NewSource(rng.Int63())))
+	}
+	return a
+}
+
+// Add feeds the key to every copy.
+func (a *Amplified) Add(key uint64) {
+	for _, s := range a.copies {
+		s.Add(key)
+	}
+}
+
+// Estimate returns the median of the copies' estimates. FAILed or
+// saturated copies are excluded; if every copy is excluded,
+// ErrAllCopiesFailed is returned.
+func (a *Amplified) Estimate() (float64, error) {
+	vals := make([]float64, 0, len(a.copies))
+	for _, s := range a.copies {
+		if v, err := s.Estimate(); err == nil {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, ErrAllCopiesFailed
+	}
+	sort.Float64s(vals)
+	m := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[m], nil
+	}
+	return (vals[m-1] + vals[m]) / 2, nil
+}
+
+// Failed reports whether every copy has failed.
+func (a *Amplified) Failed() bool {
+	for _, s := range a.copies {
+		if !s.Failed() {
+			return false
+		}
+	}
+	return true
+}
+
+// Copies returns the number of underlying sketches.
+func (a *Amplified) Copies() int { return len(a.copies) }
+
+// SpaceBits is the sum over copies.
+func (a *Amplified) SpaceBits() int {
+	total := 0
+	for _, s := range a.copies {
+		total += s.SpaceBits()
+	}
+	return total
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/bitutil"
+)
+
+// ErrFailed is returned by Estimate when the sketch has output FAIL
+// (Figure 3: the bit-packed counters would exceed 3K bits). Theorem 3
+// bounds the probability of this event by 1/32 per sketch; Amplified
+// absorbs failed copies into its median.
+var ErrFailed = errors.New("core: sketch failed (packed counters exceeded 3K bits)")
+
+// ErrSaturated is returned when every counter is occupied (T = K), so
+// the balls-and-bins inversion is undefined. This only happens when the
+// rough estimator has under-estimated F0 by a large factor — an event
+// inside Theorem 1's o(1) failure probability.
+var ErrSaturated = errors.New("core: sketch saturated (all counters occupied)")
+
+// ExactCap is the number of distinct items tracked exactly before the
+// sketch transitions to its estimators (Section 3.3: "The case
+// F0 < 100 can be dealt with simply by keeping the first 100 distinct
+// indices seen in the stream in memory").
+const ExactCap = 100
+
+// Config parameterizes a Sketch or FastSketch.
+type Config struct {
+	// LogN is log2 of the universe size; keys are treated as elements
+	// of [2^LogN]. Defaults to 32. Must be in [4, 62].
+	LogN uint
+
+	// K is the number of counters (the paper's K = 1/ε²). It must be a
+	// power of two ≥ 32 (Figure 3 divides K by 32 to set the
+	// subsampling offset). Zero selects KForEpsilon(0.05).
+	K int
+
+	// RoughKRE overrides the RoughEstimator's K_RE; zero uses
+	// rough.DefaultKRE. Tests use small values to exercise failure paths.
+	RoughKRE int
+
+	// StrictRescale, when true, reproduces the paper's Theorem 9
+	// behaviour exactly: if the offset b needs to change again while a
+	// deamortized copy phase is still running (possible only when the
+	// rough estimate jumped by more than the 8x Theorem 1 allows), the
+	// sketch FAILs. When false (the default), the sketch drains the
+	// copy phase synchronously — an O(K) hiccup in a case the paper
+	// assigns probability o(1) — and keeps going. Only FastSketch
+	// consults this.
+	StrictRescale bool
+
+	// UseLnTable, when true, routes FastSketch reporting through the
+	// Appendix A.2 lookup table (Lemma 7) as the paper's Theorem 9
+	// prescribes for O(1) reporting on a word RAM without floating
+	// point. The default uses the hardware log1p, which is O(1) on any
+	// real machine and avoids the table's Θ(√K·log K)-bit footprint
+	// (whose constants exceed the counters themselves at practical K —
+	// see DESIGN.md §5 and experiment E11). Only FastSketch consults
+	// this.
+	UseLnTable bool
+}
+
+// KForEpsilon converts a target standard-error ε into the counter count
+// K, applying the paper's "run with ε′ = ε/C" rule (Theorem 3 gives
+// (1 ± O(ε′)) with the constant determined by the subsampling window
+// E[B] ∈ [K/256, K/16]; experiment E3 measured the end-to-end RMS
+// error at ≈ 8·K^{-1/2}, dominated by the binomial noise of
+// subsampling ~√(64/K), so C = 9 delivers RMS ≤ ε with margin).
+// The result is rounded up to a power of two and floored at 32.
+func KForEpsilon(eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		eps = 0.05
+	}
+	const c = 9.0
+	k := c * c / (eps * eps)
+	kk := int(bitutil.NextPow2(uint64(math.Ceil(k))))
+	if kk < 32 {
+		kk = 32
+	}
+	return kk
+}
+
+func (cfg *Config) normalize() {
+	if cfg.LogN == 0 {
+		cfg.LogN = 32
+	}
+	if cfg.LogN < 4 || cfg.LogN > 62 {
+		panic("core: LogN must be in [4, 62]")
+	}
+	if cfg.K == 0 {
+		cfg.K = KForEpsilon(0.05)
+	}
+	if cfg.K < 32 || !bitutil.IsPow2(uint64(cfg.K)) {
+		panic("core: K must be a power of two >= 32")
+	}
+}

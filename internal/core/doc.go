@@ -1,0 +1,36 @@
+// Package core implements the paper's primary contribution: the
+// space-optimal F0 (distinct elements) sketch of Section 3, in two
+// interchangeable implementations plus a median-amplification wrapper.
+//
+//   - Sketch is the reference implementation: Figure 3 exactly as
+//     printed, with the Section 3.3 small-F0 companion (exact set of
+//     the first 100 distinct items plus a 2K-bit balls-and-bins
+//     array), plain int8 counters, the Carter–Wegman polynomial h3,
+//     and an O(K) rescan when the subsampling offset b changes. It is
+//     the implementation the correctness proofs (Theorems 2–4) talk
+//     about; its update time is O(1) amortized.
+//
+//   - FastSketch is the Theorem 9 implementation with O(1) *worst-case*
+//     update and reporting time: counters live in a Blandford–Blelloch
+//     variable-bit-length array (Theorem 8), h3 is an O(1)-evaluation
+//     tabulation family (Theorem 6/7 substitution, DESIGN.md §5),
+//     reporting uses the maintained occupancy count T and the
+//     Appendix A.2 logarithm table (Lemma 7), and offset rescales are
+//     deamortized through a primary/secondary copy phase that moves
+//     3·256 counters per update, exactly as in the proof of Theorem 9.
+//
+// Both variants expose the same behaviour:
+//
+//   - Add(key) processes a stream item (O(1) time).
+//   - Estimate() returns F̃0 with the guarantees of Theorem 3/4: for
+//     F0 below 100 the answer is exact; for F0 up to Θ(K) it comes
+//     from the 2K-bit array; beyond that from the Figure 3 estimator
+//     2^b · ln(1−T/K)/ln(1−1/K). A single sketch succeeds with
+//     constant probability; Amplified runs O(log 1/δ) copies and
+//     returns the median, as the paper prescribes.
+//   - The FAIL event of Figure 3 (packed counters exceeding 3K bits,
+//     probability ≤ 1/32 by Theorem 3) is surfaced as ErrFailed.
+//
+// Space is O(ε⁻² + log n) bits (Theorem 2); SpaceBits reports the
+// exact accounted footprint used by the Figure 1 experiments.
+package core

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/bitutil"
+	"repro/internal/hashfn"
+	"repro/internal/lntable"
+	"repro/internal/rough"
+	"repro/internal/vla"
+)
+
+// copyChunk is the number of counters migrated per stream update during
+// a deamortized offset rescale — the paper's 3·256 (proof of
+// Theorem 9: est can rise by at most 3 within K/256 updates when
+// RoughEstimator is correct, so copying 3·256 counters per update
+// finishes each phase in time).
+const copyChunk = 3 * 256
+
+// FastSketch is the Theorem 9 implementation of Figure 3, with O(1)
+// worst-case update and reporting times:
+//
+//   - counters live in a variable-bit-length array (Theorem 8) as
+//     v = C_j + 1, so an empty counter (−1) stores zero payload bits;
+//   - h3 is an O(1)-evaluation tabulation family (Theorems 6–7
+//     substitution; DESIGN.md §5);
+//   - reporting uses the maintained occupancy T and the Appendix A.2
+//     logarithm table (Lemma 7);
+//   - when the offset b must change, a copy phase migrates copyChunk
+//     counters per update from the primary array into a secondary one
+//     at the new offset, while updates are applied to both and
+//     estimates are answered from the primary (proof of Theorem 9).
+//
+// A FastSketch is not safe for concurrent use.
+type FastSketch struct {
+	cfg     Config
+	keyMask uint64
+
+	h1 *hashfn.TwoWise
+	h2 *hashfn.TwoWise
+	h3 *hashfn.Tabulation32 // [K³] → [2K], O(1) evaluation
+
+	re    *rough.Estimator
+	small smallF0
+	ln    *lntable.Table // non-nil only when Config.UseLnTable
+	lnK   float64        // ln(1 − 1/K), the estimator's fixed denominator
+
+	arr  [2]*vla.Array // counter arrays; arr[cur] is primary
+	cur  int
+	aPri int // A of the primary (Figure 3's packed-bits accounting)
+	tPri int // occupancy T of the primary
+	b    int // primary's offset
+	est  int
+
+	// Copy-phase state (Theorem 9's primary/secondary scheme).
+	copyPos int // next slot to migrate; −1 when no phase is active
+	bPend   int // the offset the secondary is being built at
+	aSec    int
+	tSec    int
+
+	// Lazy reset of the retired array after a swap.
+	resetPos int
+
+	failed bool
+
+	// Statistics for experiment E6.
+	rescales int // offset changes
+	drains   int // synchronous drains (rough-estimate jumps mid-phase)
+}
+
+// NewFastSketch draws a fresh Theorem 9 sketch using randomness from rng.
+func NewFastSketch(cfg Config, rng *rand.Rand) *FastSketch {
+	cfg.normalize()
+	k := cfg.K
+	s := &FastSketch{
+		cfg:     cfg,
+		keyMask: bitutil.Mask(cfg.LogN),
+		h1:      hashfn.NewTwoWise(rng, 1),
+		h2:      hashfn.NewTwoWise(rng, uint64(k)*uint64(k)*uint64(k)),
+		h3:      hashfn.NewTabulation32(rng, uint64(2*k)),
+		re:      rough.New(rough.Config{LogN: cfg.LogN, KRE: cfg.RoughKRE, Fast: true}, rng),
+		small:   newSmallF0(k),
+		lnK:     math.Log1p(-1 / float64(k)),
+		copyPos: -1,
+	}
+	if cfg.UseLnTable {
+		s.ln = lntable.New(k)
+	}
+	s.arr[0] = vla.New(k)
+	s.arr[1] = vla.New(k)
+	s.resetPos = k // the off array starts clean
+	return s
+}
+
+// K returns the counter count.
+func (s *FastSketch) K() int { return s.cfg.K }
+
+// Add processes stream item key in O(1) worst-case word operations.
+func (s *FastSketch) Add(key uint64) {
+	lvl := int(bitutil.LSB(s.h1.HashField(key)&s.keyMask, s.cfg.LogN))
+	bit := int(s.h3.Hash(s.h2.Hash(key)))
+	s.small.observe(key, bit)
+
+	j := bit & (s.cfg.K - 1)
+	s.writeMax(s.arr[s.cur], &s.aPri, &s.tPri, j, lvl-s.b)
+	if s.aPri > 3*s.cfg.K {
+		s.failed = true
+	}
+
+	if s.copyPos >= 0 {
+		// During a phase the secondary also receives the update, but
+		// only for already-migrated slots: un-migrated slots will be
+		// overwritten by the (update-inclusive) primary value anyway.
+		if j < s.copyPos {
+			s.writeMax(s.arr[1-s.cur], &s.aSec, &s.tSec, j, lvl-s.bPend)
+		}
+		s.advanceCopy(copyChunk)
+	} else if s.resetPos < s.cfg.K {
+		s.advanceReset(copyChunk)
+	}
+
+	s.re.Update(key)
+	if r := s.re.Estimate(); r > 0 && r > uint64(1)<<uint(s.est) {
+		s.onRoughChange(r)
+	}
+}
+
+// writeMax performs C_j ← max(C_j, x) on the given array (stored as
+// C+1) while maintaining its A and T accumulators.
+func (s *FastSketch) writeMax(a *vla.Array, accA, accT *int, j, x int) {
+	cur := int(a.Read(j)) - 1
+	if x <= cur {
+		return
+	}
+	*accA += int(bitutil.CeilLog2(uint64(x+2))) - int(bitutil.CeilLog2(uint64(cur+2)))
+	if cur < 0 { // x > cur ≥ −1 implies x ≥ 0: the counter becomes occupied
+		*accT++
+	}
+	a.Write(j, uint64(x+1))
+}
+
+// onRoughChange recomputes est and the target offset, starting (or, if
+// the rough estimate jumped while a phase was still running, draining)
+// a deamortized copy phase.
+func (s *FastSketch) onRoughChange(r uint64) {
+	s.est = int(bitutil.FloorLog2(r))
+	bnew := s.est - (int(bitutil.FloorLog2(uint64(s.cfg.K))) - 5)
+	if bnew < 0 {
+		bnew = 0
+	}
+	if s.copyPos >= 0 {
+		if bnew == s.bPend {
+			return
+		}
+		// est moved again mid-phase: per the paper this means
+		// RoughEstimator jumped by more than its 8x guarantee within
+		// K/256 updates. Theorem 9's proof outputs FAIL; by default we
+		// instead drain the phase synchronously (an O(K) hiccup with
+		// probability o(1)) and start over.
+		if s.cfg.StrictRescale {
+			s.failed = true
+			return
+		}
+		s.drains++
+		s.advanceCopy(s.cfg.K)
+	}
+	if bnew == s.b {
+		return
+	}
+	if s.resetPos < s.cfg.K {
+		// The retired array is not yet clean (possible only when two
+		// rescales land within ~K/256 updates of each other).
+		s.drains++
+		s.advanceReset(s.cfg.K)
+	}
+	s.rescales++
+	s.bPend = bnew
+	s.aSec, s.tSec = 0, 0
+	s.copyPos = 0
+	s.advanceCopy(copyChunk)
+}
+
+// advanceCopy migrates up to n counters from the primary to the
+// secondary at the pending offset, swapping the arrays when done.
+func (s *FastSketch) advanceCopy(n int) {
+	pri, sec := s.arr[s.cur], s.arr[1-s.cur]
+	end := s.copyPos + n
+	if end > s.cfg.K {
+		end = s.cfg.K
+	}
+	delta := s.b - s.bPend
+	for ; s.copyPos < end; s.copyPos++ {
+		nc := int(pri.Read(s.copyPos)) - 1
+		if nc >= 0 {
+			nc += delta
+			if nc < -1 {
+				nc = -1
+			}
+		}
+		if nc >= 0 {
+			sec.Write(s.copyPos, uint64(nc+1))
+			s.tSec++
+		} else if sec.Read(s.copyPos) != 0 {
+			sec.Write(s.copyPos, 0)
+		}
+		s.aSec += int(bitutil.CeilLog2(uint64(nc + 2)))
+	}
+	if s.copyPos == s.cfg.K {
+		// Phase complete: the secondary becomes primary.
+		s.cur = 1 - s.cur
+		s.aPri, s.tPri = s.aSec, s.tSec
+		s.b = s.bPend
+		s.copyPos = -1
+		s.resetPos = 0 // retired array is now dirty; reset it lazily
+		if s.aPri > 3*s.cfg.K {
+			s.failed = true
+		}
+	}
+}
+
+// advanceReset lazily zeroes up to n slots of the retired array.
+func (s *FastSketch) advanceReset(n int) {
+	off := s.arr[1-s.cur]
+	end := s.resetPos + n
+	if end > s.cfg.K {
+		end = s.cfg.K
+	}
+	for ; s.resetPos < end; s.resetPos++ {
+		if off.Read(s.resetPos) != 0 {
+			off.Write(s.resetPos, 0)
+		}
+	}
+}
+
+// Estimate returns F̃0 with the same contract as Sketch.Estimate, in
+// O(1) worst-case time (maintained T, table-based logarithm).
+func (s *FastSketch) Estimate() (float64, error) {
+	if v, ok := s.small.estimate(s.cfg.K); ok {
+		return v, nil
+	}
+	if s.failed {
+		return 0, ErrFailed
+	}
+	k := s.cfg.K
+	if s.tPri == k {
+		return 0, ErrSaturated
+	}
+	num := math.Log1p(-float64(s.tPri) / float64(k))
+	if s.ln != nil {
+		num = s.ln.Ln1MinusCOverK(s.tPri)
+	}
+	return exp2(s.b) * num / s.lnK, nil
+}
+
+// Failed reports whether the FAIL event has occurred.
+func (s *FastSketch) Failed() bool { return s.failed }
+
+// Rescales returns how many offset changes have happened (E6).
+func (s *FastSketch) Rescales() int { return s.rescales }
+
+// Drains returns how many synchronous drains were forced by mid-phase
+// rough-estimate jumps (0 in healthy runs; E6 failure injection).
+func (s *FastSketch) Drains() int { return s.drains }
+
+// B returns the current subsampling offset.
+func (s *FastSketch) B() int { return s.b }
+
+// Occupied returns the primary's occupancy T.
+func (s *FastSketch) Occupied() int { return s.tPri }
+
+// InPhase reports whether a deamortized copy phase is running.
+func (s *FastSketch) InPhase() bool { return s.copyPos >= 0 }
+
+// MergeFrom merges another FastSketch built from the same Config and
+// rng seed. Any active copy phases are drained first (merging is not a
+// hot-path operation).
+func (s *FastSketch) MergeFrom(o *FastSketch) {
+	if s.cfg.K != o.cfg.K || s.cfg.LogN != o.cfg.LogN {
+		panic("core: merge of incompatible sketches")
+	}
+	if s.copyPos >= 0 {
+		s.advanceCopy(s.cfg.K)
+	}
+	if o.copyPos >= 0 {
+		o.advanceCopy(o.cfg.K)
+	}
+	if o.est > s.est {
+		s.est = o.est
+	}
+	if o.b > s.b {
+		s.shiftTo(o.b)
+	}
+	pri, opri := s.arr[s.cur], o.arr[o.cur]
+	s.aPri, s.tPri = 0, 0
+	for j := 0; j < s.cfg.K; j++ {
+		cv := int(pri.Read(j)) - 1
+		ov := int(opri.Read(j)) - 1
+		if ov >= 0 {
+			ov += o.b - s.b
+			if ov < -1 {
+				ov = -1
+			}
+		}
+		if ov > cv {
+			cv = ov
+			pri.Write(j, uint64(cv+1))
+		}
+		s.aPri += int(bitutil.CeilLog2(uint64(cv + 2)))
+		if cv >= 0 {
+			s.tPri++
+		}
+	}
+	if s.aPri > 3*s.cfg.K {
+		s.failed = true
+	}
+	s.failed = s.failed || o.failed
+	s.re.MergeFrom(o.re)
+	s.small.mergeFrom(&o.small)
+}
+
+// shiftTo rebases the primary to offset bnew ≥ s.b (merge support).
+func (s *FastSketch) shiftTo(bnew int) {
+	if bnew == s.b {
+		return
+	}
+	pri := s.arr[s.cur]
+	delta := s.b - bnew
+	for j := 0; j < s.cfg.K; j++ {
+		cv := int(pri.Read(j)) - 1
+		if cv < 0 {
+			continue
+		}
+		cv += delta
+		if cv < -1 {
+			cv = -1
+		}
+		pri.Write(j, uint64(cv+1))
+	}
+	s.b = bnew
+}
+
+// SpaceBits reports the accounted footprint: both counter arrays (the
+// secondary exists throughout, as in the paper's primary/secondary
+// scheme), hash seeds, the rough estimator, the small-F0 structure,
+// the logarithm table, and O(1) words of bookkeeping.
+func (s *FastSketch) SpaceBits() int {
+	total := s.arr[0].SpaceBits() + s.arr[1].SpaceBits()
+	total += s.h1.SeedBits() + s.h2.SeedBits() + s.h3.SeedBits()
+	total += s.re.SpaceBits()
+	total += s.small.spaceBits(s.cfg.LogN)
+	if s.ln != nil {
+		total += s.ln.SpaceBits()
+	}
+	total += 10 * 64 // scalar bookkeeping
+	return total
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"repro/internal/binenc"
+	"repro/internal/bitutil"
+)
+
+// Sketch serialization: the dynamic state only. Hash functions are
+// reconstructed from the seed by the caller (the public knw package
+// serializes its settings — including the seed — alongside each
+// copy's state), so payloads stay proportional to the counter state.
+
+// AppendState serializes the reference sketch's dynamic state.
+func (s *Sketch) AppendState(w *binenc.Writer) {
+	w.Uvarint(uint64(s.cfg.K))
+	cs := make([]uint64, len(s.c))
+	for i, c := range s.c {
+		cs[i] = uint64(int(c) + 1)
+	}
+	w.Uints(cs)
+	w.Varint(int64(s.b))
+	w.Varint(int64(s.est))
+	w.Bool(s.failed)
+	w.Uvarint(uint64(s.rescales))
+	s.small.appendState(w)
+	s.re.AppendState(w)
+}
+
+// RestoreState loads state produced by AppendState into a sketch built
+// from the same Config and seed. Derived quantities (A, T) are
+// recomputed from the counters.
+func (s *Sketch) RestoreState(r *binenc.Reader) error {
+	if k := r.Uvarint(); r.Err() == nil && int(k) != s.cfg.K {
+		return binenc.ErrCorrupt
+	}
+	cs := r.Uints(s.cfg.K)
+	b := r.Varint()
+	est := r.Varint()
+	failed := r.Bool()
+	rescales := r.Uvarint()
+	if err := s.small.restoreState(r, s.cfg.K); err != nil {
+		return err
+	}
+	if err := s.re.RestoreState(r); err != nil {
+		return err
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if len(cs) != s.cfg.K || b < 0 || est < 0 {
+		return binenc.ErrCorrupt
+	}
+	s.a, s.tOcc = 0, 0
+	for i, v := range cs {
+		c := int(v) - 1
+		if c > 127 {
+			return binenc.ErrCorrupt
+		}
+		s.c[i] = int8(c)
+		s.a += int(bitutil.CeilLog2(uint64(c + 2)))
+		if c >= 0 {
+			s.tOcc++
+		}
+	}
+	s.b, s.est = int(b), int(est)
+	s.failed = failed
+	s.rescales = int(rescales)
+	return nil
+}
+
+// AppendState serializes the fast sketch's dynamic state. Any
+// in-progress deamortized copy phase is drained first so only the
+// primary array needs encoding (an O(K) step — serialization is not a
+// hot path).
+func (s *FastSketch) AppendState(w *binenc.Writer) {
+	if s.copyPos >= 0 {
+		s.advanceCopy(s.cfg.K)
+	}
+	if s.resetPos < s.cfg.K {
+		s.advanceReset(s.cfg.K)
+	}
+	w.Uvarint(uint64(s.cfg.K))
+	pri := s.arr[s.cur]
+	cs := make([]uint64, s.cfg.K)
+	for i := range cs {
+		cs[i] = pri.Read(i)
+	}
+	w.Uints(cs)
+	w.Varint(int64(s.b))
+	w.Varint(int64(s.est))
+	w.Bool(s.failed)
+	w.Uvarint(uint64(s.rescales))
+	w.Uvarint(uint64(s.drains))
+	s.small.appendState(w)
+	s.re.AppendState(w)
+}
+
+// RestoreState loads state produced by AppendState into a sketch built
+// from the same Config and seed.
+func (s *FastSketch) RestoreState(r *binenc.Reader) error {
+	if k := r.Uvarint(); r.Err() == nil && int(k) != s.cfg.K {
+		return binenc.ErrCorrupt
+	}
+	cs := r.Uints(s.cfg.K)
+	b := r.Varint()
+	est := r.Varint()
+	failed := r.Bool()
+	rescales := r.Uvarint()
+	drains := r.Uvarint()
+	if err := s.small.restoreState(r, s.cfg.K); err != nil {
+		return err
+	}
+	if err := s.re.RestoreState(r); err != nil {
+		return err
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if len(cs) != s.cfg.K || b < 0 || est < 0 {
+		return binenc.ErrCorrupt
+	}
+	pri := s.arr[s.cur]
+	s.aPri, s.tPri = 0, 0
+	for i, v := range cs {
+		if v > 0 {
+			pri.Write(i, v)
+			s.tPri++
+		} else if pri.Read(i) != 0 {
+			pri.Write(i, 0)
+		}
+		s.aPri += int(bitutil.CeilLog2(v + 1))
+	}
+	s.b, s.est = int(b), int(est)
+	s.failed = failed
+	s.rescales = int(rescales)
+	s.drains = int(drains)
+	return nil
+}
+
+// appendState serializes the small-F0 companion.
+func (s *smallF0) appendState(w *binenc.Writer) {
+	keys := make([]uint64, 0, len(s.exact))
+	for k := range s.exact {
+		keys = append(keys, k)
+	}
+	w.Uints(keys)
+	w.Bool(s.overflow)
+	w.Uints(s.bv.Words())
+}
+
+// restoreState loads the small-F0 companion.
+func (s *smallF0) restoreState(r *binenc.Reader, k int) error {
+	keys := r.Uints(ExactCap + 1)
+	overflow := r.Bool()
+	words := r.Uints((2*k + 63) / 64)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if len(words) != len(s.bv.Words()) {
+		return binenc.ErrCorrupt
+	}
+	s.exact = make(map[uint64]struct{}, len(keys))
+	for _, key := range keys {
+		s.exact[key] = struct{}{}
+	}
+	s.overflow = overflow
+	s.bv.Reset()
+	for i := 0; i < s.bv.Len(); i++ {
+		if words[i>>6]&(1<<(uint(i)&63)) != 0 {
+			s.bv.Set(i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,519 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mkBoth returns constructors for both implementations so every test
+// runs against the reference and the Theorem 9 variant.
+func mkBoth(cfg Config) map[string]func(*rand.Rand) F0Sketch {
+	return map[string]func(*rand.Rand) F0Sketch{
+		"reference": func(rng *rand.Rand) F0Sketch { return NewSketch(cfg, rng) },
+		"fast":      func(rng *rand.Rand) F0Sketch { return NewFastSketch(cfg, rng) },
+	}
+}
+
+func TestKForEpsilon(t *testing.T) {
+	for _, eps := range []float64{0.3, 0.1, 0.05, 0.01} {
+		k := KForEpsilon(eps)
+		if k < 32 || k&(k-1) != 0 {
+			t.Errorf("KForEpsilon(%v)=%d: not a power of two >= 32", eps, k)
+		}
+		if float64(k) < 81/(eps*eps) {
+			t.Errorf("KForEpsilon(%v)=%d below 81/ε²", eps, k)
+		}
+	}
+	if KForEpsilon(0) != KForEpsilon(0.05) {
+		t.Error("invalid eps should default to 0.05")
+	}
+	if KForEpsilon(0.3) >= KForEpsilon(0.03) {
+		t.Error("K must grow as eps shrinks")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []Config{
+		{LogN: 3},
+		{LogN: 63},
+		{K: 31},
+		{K: 100}, // not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			NewSketch(cfg, rng)
+		}()
+	}
+}
+
+// TestExactSmallF0 is experiment E5's first half: below ExactCap
+// distinct items the answer is exact (Section 3.3), including under
+// heavy duplication.
+func TestExactSmallF0(t *testing.T) {
+	for name, mk := range mkBoth(Config{K: 1024}) {
+		for _, f0 := range []int{0, 1, 2, 10, 50, 99, 100} {
+			rng := rand.New(rand.NewSource(60 + int64(f0)))
+			s := mk(rng)
+			keys := make([]uint64, f0)
+			for i := range keys {
+				keys[i] = rng.Uint64()
+			}
+			for rep := 0; rep < 5; rep++ {
+				for _, k := range keys {
+					s.Add(k)
+				}
+			}
+			got, err := s.Estimate()
+			if err != nil {
+				t.Fatalf("%s F0=%d: %v", name, f0, err)
+			}
+			if got != float64(f0) {
+				t.Errorf("%s F0=%d: got %v, want exact", name, f0, got)
+			}
+		}
+	}
+}
+
+// TestSmallF0Estimator is E5's second half: between ExactCap and the
+// Theorem 4 switch at K/16, the 2K-bit array answers within a few
+// percent (its error is ~2/√(2K), far below the Figure 3 band).
+func TestSmallF0Estimator(t *testing.T) {
+	const k = 4096
+	for name, mk := range mkBoth(Config{K: k}) {
+		for _, f0 := range []int{150, 200, k / 32} {
+			var worst float64
+			for trial := 0; trial < 10; trial++ {
+				rng := rand.New(rand.NewSource(70 + int64(trial)))
+				s := mk(rng)
+				for i := 0; i < f0; i++ {
+					s.Add(rng.Uint64())
+				}
+				got, err := s.Estimate()
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				rel := math.Abs(got-float64(f0)) / float64(f0)
+				if rel > worst {
+					worst = rel
+				}
+			}
+			if worst > 0.10 {
+				t.Errorf("%s F0=%d: worst relative error %.3f > 0.10", name, f0, worst)
+			}
+		}
+	}
+}
+
+// TestTheorem3Accuracy is experiment E3: across the Figure 3 regime the
+// per-copy estimate is within the paper's O(ε) band. We require RMS
+// relative error ≤ 10/√K and ≥ 80% of copies within 16/√K (the paper
+// promises 11/20 within O(ε); our measured distribution is much
+// tighter, see EXPERIMENTS.md).
+func TestTheorem3Accuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const k = 4096
+	epsPrime := 1 / math.Sqrt(float64(k))
+	for name, mk := range mkBoth(Config{K: k}) {
+		for _, f0 := range []int{k, 10 * k, 30 * k} {
+			const trials = 20
+			sum2 := 0.0
+			within := 0
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(1000*int64(f0) + int64(trial)))
+				s := mk(rng)
+				for i := 0; i < f0; i++ {
+					s.Add(rng.Uint64())
+				}
+				got, err := s.Estimate()
+				if err != nil {
+					t.Fatalf("%s F0=%d trial %d: %v", name, f0, trial, err)
+				}
+				rel := math.Abs(got-float64(f0)) / float64(f0)
+				sum2 += rel * rel
+				if rel <= 16*epsPrime {
+					within++
+				}
+			}
+			rms := math.Sqrt(sum2 / trials)
+			if rms > 10*epsPrime {
+				t.Errorf("%s F0=%d: RMS %.4f > %.4f", name, f0, rms, 10*epsPrime)
+			}
+			if float64(within)/trials < 0.8 {
+				t.Errorf("%s F0=%d: only %d/%d within 16ε′", name, f0, within, trials)
+			}
+		}
+	}
+}
+
+func TestDuplicatesDoNotChangeEstimate(t *testing.T) {
+	for name, mk := range mkBoth(Config{K: 1024}) {
+		rng := rand.New(rand.NewSource(80))
+		s := mk(rng)
+		keys := make([]uint64, 50000)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+			s.Add(keys[i])
+		}
+		before, err := s.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			for _, k := range keys {
+				s.Add(k)
+			}
+		}
+		after, err := s.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before != after {
+			t.Errorf("%s: duplicates moved estimate %v -> %v", name, before, after)
+		}
+	}
+}
+
+func TestEstimateMidStreamAnytime(t *testing.T) {
+	// The paper's reporting guarantee is "at any point midstream". Check
+	// estimates stay within a generous band at every power-of-two
+	// checkpoint of a growing stream.
+	for name, mk := range mkBoth(Config{K: 4096}) {
+		rng := rand.New(rand.NewSource(81))
+		s := mk(rng)
+		n := 0
+		for _, target := range []int{100, 1000, 10000, 100000, 1000000} {
+			for n < target {
+				n++
+				s.Add(rng.Uint64())
+			}
+			got, err := s.Estimate()
+			if err != nil {
+				t.Fatalf("%s at n=%d: %v", name, n, err)
+			}
+			if rel := math.Abs(got-float64(n)) / float64(n); rel > 0.5 {
+				t.Errorf("%s at n=%d: estimate %v (rel %.3f)", name, n, got, rel)
+			}
+		}
+	}
+}
+
+// TestTheorem2SpaceScaling is experiment E4: total accounted space must
+// scale like c1·K + c2·log n — i.e., roughly linearly in K at fixed n,
+// and grow only additively when LogN grows.
+func TestTheorem2SpaceScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	load := func(s F0Sketch) int {
+		for i := 0; i < 200000; i++ {
+			s.Add(rng.Uint64())
+		}
+		return s.SpaceBits()
+	}
+	s1 := load(NewFastSketch(Config{K: 1 << 10}, rng))
+	s2 := load(NewFastSketch(Config{K: 1 << 12}, rng))
+	s3 := load(NewFastSketch(Config{K: 1 << 14}, rng))
+	// Fixed overheads (tabulation tables, rough estimator) dominate at
+	// small K; between K=2^12 and 2^14 the K-linear part must show.
+	growth := float64(s3-s2) / float64(s2-s1)
+	if growth < 2 || growth > 8 {
+		t.Errorf("space growth ratio %.2f, want ~4 (linear in K): %d %d %d", growth, s1, s2, s3)
+	}
+	// Per-counter cost of the VLA-packed counters must be O(1) bits on
+	// average (the 3K FAIL bound): check payload via A proxy — total
+	// space minus the K-independent overheads stays below ~40 bits/counter.
+	overhead := NewFastSketch(Config{K: 1 << 10}, rng).SpaceBits() // fresh, unloaded small-K sketch
+	perCounter := float64(s3-overhead) / float64(1<<14)
+	if perCounter > 40 {
+		t.Errorf("per-counter cost %.1f bits too high", perCounter)
+	}
+}
+
+// TestLnTableMode exercises the paper-exact reporting path (Theorem 9
+// via Lemma 7's table) and checks it agrees with the hardware-log path
+// to within the table's guaranteed relative error.
+func TestLnTableMode(t *testing.T) {
+	rngA := rand.New(rand.NewSource(95))
+	rngB := rand.New(rand.NewSource(95))
+	tab := NewFastSketch(Config{K: 4096, UseLnTable: true}, rngA)
+	hw := NewFastSketch(Config{K: 4096}, rngB)
+	data := rand.New(rand.NewSource(96))
+	for i := 0; i < 300000; i++ {
+		key := data.Uint64()
+		tab.Add(key)
+		hw.Add(key)
+	}
+	a, err1 := tab.Estimate()
+	b, err2 := hw.Estimate()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%v %v", err1, err2)
+	}
+	eta := 1 / math.Sqrt(4096.0)
+	if math.Abs(a-b)/b > eta {
+		t.Errorf("table path %v vs hw path %v differ beyond η=%v", a, b, eta)
+	}
+	if tab.SpaceBits() <= hw.SpaceBits() {
+		t.Error("UseLnTable should account the table's bits")
+	}
+}
+
+// TestFailureInjectionA3K forces the FAIL path (Figure 3's A > 3K) by
+// building a sketch whose rough estimator is crippled (tiny K_RE makes
+// it under-estimate with decent probability at small scale — but to be
+// deterministic we instead drive counters directly with a hostile
+// level pattern via a huge LogN and tiny K).
+func TestFailureInjectionA3K(t *testing.T) {
+	// With K=32 the FAIL bound is A > 96. Feed enough distinct keys
+	// before the rough estimator can raise b... in practice the easiest
+	// deterministic trigger is a sketch with RoughKRE large enough that
+	// R stays 0 (threshold never met) while counters fill with deep
+	// levels: use a short stream of many distinct keys against K=32.
+	rng := rand.New(rand.NewSource(83))
+	s := NewSketch(Config{K: 32, LogN: 62, RoughKRE: 1 << 16}, rng)
+	for i := 0; i < (1 << 16); i++ {
+		s.Add(rng.Uint64())
+	}
+	if !s.Failed() {
+		t.Skip("FAIL not triggered at this seed; probabilistic path")
+	}
+	if _, err := s.Estimate(); err != ErrFailed {
+		t.Errorf("failed sketch must return ErrFailed, got %v", err)
+	}
+}
+
+func TestMergeEqualsUnionReference(t *testing.T) {
+	mk := func() *Sketch {
+		return NewSketch(Config{K: 4096}, rand.New(rand.NewSource(84)))
+	}
+	testMergeUnion(t, "reference",
+		func() (F0Sketch, F0Sketch, F0Sketch) { return mk(), mk(), mk() },
+		func(a, b F0Sketch) { a.(*Sketch).MergeFrom(b.(*Sketch)) })
+}
+
+func TestMergeEqualsUnionFast(t *testing.T) {
+	mk := func() *FastSketch {
+		return NewFastSketch(Config{K: 4096}, rand.New(rand.NewSource(85)))
+	}
+	testMergeUnion(t, "fast",
+		func() (F0Sketch, F0Sketch, F0Sketch) { return mk(), mk(), mk() },
+		func(a, b F0Sketch) { a.(*FastSketch).MergeFrom(b.(*FastSketch)) })
+}
+
+func testMergeUnion(t *testing.T, name string,
+	mk3 func() (F0Sketch, F0Sketch, F0Sketch), merge func(a, b F0Sketch)) {
+	t.Helper()
+	a, b, whole := mk3()
+	rng := rand.New(rand.NewSource(86))
+	for i := 0; i < 60000; i++ {
+		key := rng.Uint64()
+		whole.Add(key)
+		if i%2 == 0 {
+			a.Add(key)
+		} else {
+			b.Add(key)
+		}
+	}
+	// Overlap: both halves also share some keys.
+	for i := 0; i < 10000; i++ {
+		key := rng.Uint64()
+		whole.Add(key)
+		a.Add(key)
+		b.Add(key)
+	}
+	merge(a, b)
+	got, err1 := a.Estimate()
+	want, err2 := whole.Estimate()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%s: %v %v", name, err1, err2)
+	}
+	// Merged sketch must agree with the whole-stream sketch. The two
+	// can differ in the offset b (their rough estimators saw different
+	// prefixes), which re-rolls the subsampling noise — so we allow the
+	// combined two-copy noise band rather than exact equality, and also
+	// require both to be near the truth.
+	const truth = 70000.0
+	if math.Abs(got-want)/want > 0.25 {
+		t.Errorf("%s: merged %v vs whole %v", name, got, want)
+	}
+	if math.Abs(got-truth)/truth > 0.3 {
+		t.Errorf("%s: merged %v far from truth %v", name, got, truth)
+	}
+}
+
+func TestMergeIncompatiblePanics(t *testing.T) {
+	a := NewSketch(Config{K: 1024}, rand.New(rand.NewSource(1)))
+	b := NewSketch(Config{K: 2048}, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.MergeFrom(b)
+}
+
+func TestRescalesHappen(t *testing.T) {
+	// Over a long growing stream the offset b must advance (E6 sanity):
+	// each rough-estimate doubling beyond K/32 shifts b.
+	rng := rand.New(rand.NewSource(87))
+	s := NewFastSketch(Config{K: 1024}, rng)
+	for i := 0; i < 2_000_000; i++ {
+		s.Add(rng.Uint64())
+	}
+	if s.Rescales() < 3 {
+		t.Errorf("expected several rescales over 2M distinct, got %d", s.Rescales())
+	}
+	if s.B() == 0 {
+		t.Error("offset b never advanced")
+	}
+	if s.Failed() {
+		t.Error("sketch failed on a benign stream")
+	}
+	if s.Drains() > 2 {
+		t.Errorf("too many synchronous drains on benign stream: %d", s.Drains())
+	}
+}
+
+func TestFastMatchesReferenceOnB(t *testing.T) {
+	// The two implementations follow the same est/b schedule when fed
+	// the same rough estimates; check b lands in the same ballpark on
+	// identically sized streams.
+	rngA := rand.New(rand.NewSource(88))
+	rngB := rand.New(rand.NewSource(88))
+	ref := NewSketch(Config{K: 1024}, rngA)
+	fast := NewFastSketch(Config{K: 1024}, rngB)
+	data := rand.New(rand.NewSource(89))
+	for i := 0; i < 500000; i++ {
+		key := data.Uint64()
+		ref.Add(key)
+		fast.Add(key)
+	}
+	if d := ref.B() - fast.B(); d < -2 || d > 2 {
+		t.Errorf("offset divergence: reference b=%d fast b=%d", ref.B(), fast.B())
+	}
+}
+
+func TestAmplifiedMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	a := NewAmplified(5, rng, func(r *rand.Rand) F0Sketch {
+		return NewFastSketch(Config{K: 1024}, r)
+	})
+	const f0 = 200000
+	for i := 0; i < f0; i++ {
+		a.Add(rng.Uint64())
+	}
+	got, err := a.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-f0) / f0; rel > 0.35 {
+		t.Errorf("amplified estimate %v (rel %.3f)", got, rel)
+	}
+	if a.Copies() != 5 {
+		t.Errorf("Copies()=%d", a.Copies())
+	}
+	if a.SpaceBits() <= 5*1024 {
+		t.Error("SpaceBits should sum the copies")
+	}
+}
+
+func TestAmplifiedBeatsSingleCopyTails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// Median-of-7 must shrink the tail: count trials with rel error
+	// beyond 12ε′ for single vs amplified at the same K.
+	const k = 1024
+	const f0 = 100000
+	band := 12 / math.Sqrt(float64(k))
+	singleBad, ampBad := 0, 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(2000 + int64(trial)))
+		single := NewFastSketch(Config{K: k}, rng)
+		amp := NewAmplified(7, rng, func(r *rand.Rand) F0Sketch {
+			return NewFastSketch(Config{K: k}, r)
+		})
+		data := rand.New(rand.NewSource(3000 + int64(trial)))
+		for i := 0; i < f0; i++ {
+			key := data.Uint64()
+			single.Add(key)
+			amp.Add(key)
+		}
+		if v, err := single.Estimate(); err != nil || math.Abs(v-f0)/f0 > band {
+			singleBad++
+		}
+		if v, err := amp.Estimate(); err != nil || math.Abs(v-f0)/f0 > band {
+			ampBad++
+		}
+	}
+	if ampBad > singleBad {
+		t.Errorf("amplified tails (%d) worse than single (%d)", ampBad, singleBad)
+	}
+	if ampBad > trials/4 {
+		t.Errorf("amplified bad in %d/%d trials", ampBad, trials)
+	}
+}
+
+func TestCopiesForDelta(t *testing.T) {
+	if c := CopiesForDelta(0.5); c < 3 || c%2 == 0 {
+		t.Errorf("CopiesForDelta(0.5)=%d", c)
+	}
+	if CopiesForDelta(0.001) <= CopiesForDelta(0.1) {
+		t.Error("copies must grow as delta shrinks")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delta=0 should panic")
+		}
+	}()
+	CopiesForDelta(0)
+}
+
+func TestStrictRescaleFailPath(t *testing.T) {
+	// With StrictRescale and a deliberately unstable rough estimator
+	// (tiny K_RE), mid-phase est jumps may trigger the paper's FAIL.
+	// This is probabilistic; we only require that IF it fails, the
+	// error surface is ErrFailed, and the flag agrees.
+	rng := rand.New(rand.NewSource(91))
+	s := NewFastSketch(Config{K: 8192, RoughKRE: 8, StrictRescale: true}, rng)
+	for i := 0; i < 1_000_000 && !s.Failed(); i++ {
+		s.Add(rng.Uint64())
+	}
+	if s.Failed() {
+		if _, err := s.Estimate(); err == nil {
+			t.Error("failed sketch returned an estimate")
+		}
+	}
+}
+
+func BenchmarkReferenceAdd(b *testing.B) {
+	s := NewSketch(Config{K: 4096}, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i) * 2654435761)
+	}
+}
+
+func BenchmarkFastAdd(b *testing.B) {
+	s := NewFastSketch(Config{K: 4096}, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i) * 2654435761)
+	}
+}
+
+func BenchmarkFastEstimate(b *testing.B) {
+	s := NewFastSketch(Config{K: 4096}, rand.New(rand.NewSource(1)))
+	for i := 0; i < 1<<20; i++ {
+		s.Add(uint64(i) * 2654435761)
+	}
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v, _ = s.Estimate()
+	}
+	_ = v
+}

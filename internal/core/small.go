@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/ballsbins"
+	"repro/internal/bitutil"
+)
+
+// smallF0 is the Section 3.3 companion structure shared by both sketch
+// implementations. It answers exactly while F0 < ExactCap and via a
+// 2K-bit balls-and-bins array while F0 = O(K), and decides when the
+// Figure 3 estimator takes over (Theorem 4's switch at F̃B ≥ K/16).
+type smallF0 struct {
+	exact    map[uint64]struct{}
+	overflow bool
+	bv       *bitutil.BitVector // K′ = 2K bits, indexed by h3's full range
+}
+
+func newSmallF0(k int) smallF0 {
+	return smallF0{
+		exact: make(map[uint64]struct{}, ExactCap+1),
+		bv:    bitutil.NewBitVector(2 * k),
+	}
+}
+
+// observe records the item. bit is h3(h2(i)) in [0, 2K) — the paper has
+// h3 range over K′ = 2K here and reduces it mod K for the counter index.
+func (s *smallF0) observe(key uint64, bit int) {
+	s.bv.Set(bit)
+	if s.overflow {
+		return
+	}
+	if _, seen := s.exact[key]; seen {
+		return
+	}
+	if len(s.exact) < ExactCap {
+		s.exact[key] = struct{}{}
+		return
+	}
+	// The (ExactCap+1)-th distinct item: the exact phase is over.
+	s.overflow = true
+}
+
+// estimate returns (value, true) when the small-F0 machinery should
+// answer — exactly (F0 < ExactCap) or via the bit array (F̃B < K/16) —
+// and (0, false) when the Figure 3 estimator governs.
+func (s *smallF0) estimate(k int) (float64, bool) {
+	if !s.overflow {
+		return float64(len(s.exact)), true
+	}
+	k2 := 2 * k
+	tb := s.bv.Count()
+	if tb == k2 {
+		return 0, false // saturated: defer to the main estimator
+	}
+	fb := ballsbins.Invert(tb, k2)
+	if fb < float64(k)/16 {
+		return fb, true
+	}
+	return 0, false
+}
+
+// mergeFrom merges another small-F0 structure built with the same
+// hashes (bit arrays OR; exact sets union with overflow propagation).
+func (s *smallF0) mergeFrom(o *smallF0) {
+	s.bv.Or(o.bv)
+	if s.overflow || o.overflow {
+		s.overflow = true
+		return
+	}
+	for key := range o.exact {
+		if _, seen := s.exact[key]; seen {
+			continue
+		}
+		if len(s.exact) < ExactCap {
+			s.exact[key] = struct{}{}
+		} else {
+			s.overflow = true
+			return
+		}
+	}
+}
+
+// spaceBits charges the bit array plus the ≤100 stored indices at
+// log n bits each (Section 3.3: O(log n) space total, with the paper's
+// constant 100).
+func (s *smallF0) spaceBits(logN uint) int {
+	return s.bv.SpaceBits() + ExactCap*int(logN)
+}
+
+// exp2 is a tiny helper for 2^b as float64.
+func exp2(b int) float64 { return math.Exp2(float64(b)) }

@@ -1,0 +1,13 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/rough"
+)
+
+// newRoughForTest builds a fast-mode RoughEstimator with an explicit
+// K_RE for the ablation sweeps.
+func newRoughForTest(kre int, rng *rand.Rand) *rough.Estimator {
+	return rough.New(rough.Config{LogN: 32, KRE: kre, Fast: true}, rng)
+}

@@ -1,0 +1,166 @@
+// Package hashfn implements the hash families the KNW algorithms draw
+// from (Section 1.2 of the paper uses H_k(U, V) for a k-wise
+// independent family mapping U into V):
+//
+//   - TwoWise: pairwise-independent h(x) = (a·x + b) mod p — the h1, h2
+//     (and h4 in Lemma 6) functions.
+//   - Poly: k-wise independent degree-(k−1) Carter–Wegman polynomials
+//     [11] over F_{2^61−1}, evaluated by Horner's rule in O(k) time —
+//     the h3 functions of Figures 2 and 3, with
+//     k = Θ(log(1/ε)/loglog(1/ε)).
+//   - Tabulation / MixedTabulation: O(1)-evaluation families standing
+//     in for the Pagh–Pagh [31] and Siegel [35] constructions used by
+//     the paper's O(1)-worst-case-time variants (Lemma 5, Theorem 9).
+//     See DESIGN.md §5(1) for why this substitution preserves the
+//     behaviour the proofs consume.
+//
+// All families map uint64 keys to a caller-chosen range [0, R). Field
+// values in [0, 2^61−1) are mapped to [0, R) by fixed-point scaling
+// floor(v·R / 2^61), which introduces bias at most R/2^61 per point —
+// negligible against every error term in the paper (R ≤ 2^36 in all
+// uses). Every family reports its seed size in bits so experiments can
+// account total sketch space exactly.
+package hashfn
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/prime"
+)
+
+// Family is a randomly drawn hash function h: [2^64] → [0, Range()).
+type Family interface {
+	// Hash returns h(x) ∈ [0, Range()).
+	Hash(x uint64) uint64
+	// Range returns the size of the codomain.
+	Range() uint64
+	// SeedBits returns the number of random bits defining h, for space
+	// accounting (the paper charges hash seeds against the space bound:
+	// h1, h2 cost O(log n) bits, h3 costs O(k·log K) bits).
+	SeedBits() int
+}
+
+// scaleToRange maps a field element v ∈ [0, 2^61−1) to [0, r) by
+// fixed-point multiplication: floor(v · r / 2^61).
+func scaleToRange(v, r uint64) uint64 {
+	hi, _ := bits.Mul64(v<<3, r) // v < 2^61 so v<<3 < 2^64; hi = floor(v·r/2^61)
+	return hi
+}
+
+// TwoWise is a pairwise-independent function h(x) = (a·x + b) mod p
+// scaled to [0, R), with p = 2^61−1. Storage is two field elements —
+// the O(log n) bits the paper charges for h1 and h2.
+type TwoWise struct {
+	a, b uint64
+	r    uint64
+}
+
+// NewTwoWise draws a random pairwise-independent function with range r.
+func NewTwoWise(rng *rand.Rand, r uint64) *TwoWise {
+	if r == 0 {
+		panic("hashfn: zero range")
+	}
+	return &TwoWise{
+		a: rng.Uint64()%(prime.Mersenne61-1) + 1, // a ≠ 0 keeps the map non-degenerate
+		b: rng.Uint64() % prime.Mersenne61,
+		r: r,
+	}
+}
+
+// Hash returns h(x).
+func (h *TwoWise) Hash(x uint64) uint64 {
+	v := prime.AddM61(prime.MulM61(h.a, prime.ReduceM61(x)), h.b)
+	return scaleToRange(v, h.r)
+}
+
+// HashField returns the un-scaled field element (a·x+b) mod p, giving a
+// full 61 bits of pairwise-independent output. The F0/L0 algorithms use
+// this for h1, whose output feeds lsb(·): level s is then hit with
+// probability 2^{−(s+1)} exactly as the paper's [0, n−1] convention.
+func (h *TwoWise) HashField(x uint64) uint64 {
+	return prime.AddM61(prime.MulM61(h.a, prime.ReduceM61(x)), h.b)
+}
+
+// Range returns the codomain size.
+func (h *TwoWise) Range() uint64 { return h.r }
+
+// SeedBits returns 2·61 bits (a and b).
+func (h *TwoWise) SeedBits() int { return 2 * 61 }
+
+// Poly is a k-wise independent degree-(k−1) polynomial over F_{2^61−1}
+// [Carter–Wegman]. Evaluation is O(k) word operations; the paper's
+// reference algorithm accepts this because k = O(log(1/ε)/loglog(1/ε))
+// is tiny, and the O(1)-time variants replace Poly with tabulation.
+type Poly struct {
+	coeffs []uint64 // degree k−1; coeffs[0] is the constant term
+	r      uint64
+}
+
+// NewKWise draws a random k-wise independent polynomial with range r.
+func NewKWise(rng *rand.Rand, k int, r uint64) *Poly {
+	if k < 1 {
+		panic("hashfn: independence k must be >= 1")
+	}
+	if r == 0 {
+		panic("hashfn: zero range")
+	}
+	coeffs := make([]uint64, k)
+	for i := range coeffs {
+		coeffs[i] = rng.Uint64() % prime.Mersenne61
+	}
+	// A nonzero leading coefficient keeps the polynomial's degree exactly
+	// k−1; uniformity over the family is unaffected for k-wise claims.
+	if k > 1 && coeffs[k-1] == 0 {
+		coeffs[k-1] = 1
+	}
+	return &Poly{coeffs: coeffs, r: r}
+}
+
+// Hash evaluates the polynomial at x by Horner's rule and scales.
+func (h *Poly) Hash(x uint64) uint64 {
+	return scaleToRange(h.EvalField(x), h.r)
+}
+
+// EvalField returns the raw field element h(x) ∈ [0, 2^61−1).
+func (h *Poly) EvalField(x uint64) uint64 {
+	xr := prime.ReduceM61(x)
+	acc := uint64(0)
+	for i := len(h.coeffs) - 1; i >= 0; i-- {
+		acc = prime.AddM61(prime.MulM61(acc, xr), h.coeffs[i])
+	}
+	return acc
+}
+
+// Range returns the codomain size.
+func (h *Poly) Range() uint64 { return h.r }
+
+// Independence returns k.
+func (h *Poly) Independence() int { return len(h.coeffs) }
+
+// SeedBits returns 61 bits per coefficient.
+func (h *Poly) SeedBits() int { return 61 * len(h.coeffs) }
+
+// KForEps returns the independence parameter
+// k = ceil(c · log(K/ε) / loglog(K/ε)) prescribed by Lemma 2 for the
+// balls-and-bins hash h3 (with K = 1/ε² bins the argument simplifies to
+// Θ(log(1/ε)/loglog(1/ε)) as in Figure 3). The constant c is modest in
+// practice; c = 1 already reproduces the paper's accuracy in all our
+// experiments (Lemma 2's c is an artifact of the union-bound proof).
+func KForEps(k uint64, eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		panic("hashfn: eps out of range")
+	}
+	x := float64(k) / eps
+	lg := math.Log2(x)
+	llg := math.Log2(lg)
+	if llg < 1 {
+		llg = 1
+	}
+	kk := int(lg/llg) + 1
+	if kk < 2 {
+		kk = 2
+	}
+	return kk
+}

@@ -1,0 +1,319 @@
+package hashfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/prime"
+)
+
+// families under test, constructed fresh per trial.
+func allFamilies(rng *rand.Rand, r uint64) map[string]Family {
+	fams := map[string]Family{
+		"TwoWise":         NewTwoWise(rng, r),
+		"Poly(k=8)":       NewKWise(rng, 8, r),
+		"Tabulation":      NewTabulation(rng, r),
+		"MixedTabulation": NewMixedTabulation(rng, r),
+	}
+	if r <= 1<<31 {
+		fams["Tabulation32"] = NewTabulation32(rng, r)
+	}
+	return fams
+}
+
+func TestRangeRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, r := range []uint64{1, 2, 7, 64, 1000, 1 << 20, 1 << 36} {
+		for name, h := range allFamilies(rng, r) {
+			if h.Range() != r {
+				t.Errorf("%s: Range()=%d want %d", name, h.Range(), r)
+			}
+			for i := 0; i < 2000; i++ {
+				if v := h.Hash(rng.Uint64()); v >= r {
+					t.Fatalf("%s: Hash out of range: %d >= %d", name, v, r)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for name, h := range allFamilies(rng, 1<<20) {
+		for i := uint64(0); i < 100; i++ {
+			if h.Hash(i) != h.Hash(i) {
+				t.Errorf("%s: Hash not deterministic", name)
+			}
+		}
+	}
+}
+
+func TestUniformityChiSquare(t *testing.T) {
+	// Each family should spread sequential keys near-uniformly over
+	// 64 buckets. Chi-square with 63 dof: reject above ~120 (p<1e-5).
+	const buckets = 64
+	const n = 64000
+	rng := rand.New(rand.NewSource(12))
+	for name, h := range allFamilies(rng, buckets) {
+		counts := make([]float64, buckets)
+		for i := 0; i < n; i++ {
+			counts[h.Hash(uint64(i))]++
+		}
+		want := float64(n) / buckets
+		chi2 := 0.0
+		for _, c := range counts {
+			d := c - want
+			chi2 += d * d / want
+		}
+		if chi2 > 130 {
+			t.Errorf("%s: chi-square %v too large for uniformity", name, chi2)
+		}
+	}
+}
+
+func TestTwoWisePairwiseIndependence(t *testing.T) {
+	// Empirical check of pairwise independence: over random draws of h,
+	// Pr[h(x)=a and h(y)=b] should be close to 1/r² for fixed x≠y,a,b.
+	const r = 8
+	const draws = 200000
+	rng := rand.New(rand.NewSource(13))
+	hits := 0
+	for i := 0; i < draws; i++ {
+		h := NewTwoWise(rng, r)
+		if h.Hash(42) == 3 && h.Hash(1337) == 5 {
+			hits++
+		}
+	}
+	want := float64(draws) / (r * r)
+	if got := float64(hits); math.Abs(got-want) > 5*math.Sqrt(want) {
+		t.Errorf("pairwise probability off: got %v hits want about %v", got, want)
+	}
+}
+
+func TestPolyKWiseOnSmallField(t *testing.T) {
+	// A degree-(k-1) polynomial over F_p restricted to k fixed points is
+	// a bijection between coefficient vectors and value vectors, so the
+	// joint distribution of (h(x1)..h(xk)) raw field values is uniform.
+	// We verify the marginal pair-uniformity empirically for k=4.
+	const draws = 120000
+	rng := rand.New(rand.NewSource(14))
+	hits := 0
+	for i := 0; i < draws; i++ {
+		h := NewKWise(rng, 4, 4)
+		if h.Hash(7) == 1 && h.Hash(8) == 2 && h.Hash(9) == 3 {
+			hits++
+		}
+	}
+	want := float64(draws) / 64
+	if got := float64(hits); math.Abs(got-want) > 6*math.Sqrt(want) {
+		t.Errorf("3-point probability off: got %v want about %v", got, want)
+	}
+}
+
+func TestPolyEvalFieldMatchesManualHorner(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	h := NewKWise(rng, 5, 1<<16)
+	for trial := 0; trial < 200; trial++ {
+		x := rng.Uint64()
+		xr := prime.ReduceM61(x)
+		want := uint64(0)
+		pow := uint64(1)
+		for _, c := range h.coeffs {
+			want = prime.AddM61(want, prime.MulM61(c, pow))
+			pow = prime.MulM61(pow, xr)
+		}
+		if got := h.EvalField(x); got != want {
+			t.Fatalf("EvalField(%d)=%d want %d", x, got, want)
+		}
+	}
+}
+
+func TestSeedBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	if got := NewTwoWise(rng, 8).SeedBits(); got != 122 {
+		t.Errorf("TwoWise.SeedBits=%d want 122", got)
+	}
+	if got := NewKWise(rng, 6, 8).SeedBits(); got != 6*61 {
+		t.Errorf("Poly.SeedBits=%d want %d", got, 6*61)
+	}
+	if got := NewTabulation(rng, 8).SeedBits(); got != 8*256*64 {
+		t.Errorf("Tabulation.SeedBits=%d", got)
+	}
+	if got := NewMixedTabulation(rng, 8).SeedBits(); got != 12*256*64 {
+		t.Errorf("MixedTabulation.SeedBits=%d", got)
+	}
+	if got := NewTabulation32(rng, 8).SeedBits(); got != 12*256*32 {
+		t.Errorf("Tabulation32.SeedBits=%d", got)
+	}
+}
+
+func TestTabulation32RangeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, bad := range []uint64{0, 1<<31 + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %d should panic", bad)
+				}
+			}()
+			NewTabulation32(rng, bad)
+		}()
+	}
+}
+
+func TestKForEps(t *testing.T) {
+	// Sanity: k grows slowly as eps shrinks and is always >= 2.
+	prev := 0
+	for _, eps := range []float64{0.5, 0.1, 0.01, 0.001} {
+		k := KForEps(uint64(1/(eps*eps)), eps)
+		if k < 2 {
+			t.Errorf("KForEps(%v) = %d < 2", eps, k)
+		}
+		if k < prev {
+			t.Errorf("KForEps not monotone at eps=%v", eps)
+		}
+		prev = k
+	}
+	// Figure 3's regime: eps=0.05, K=400 -> k should be modest (< 16).
+	if k := KForEps(400, 0.05); k > 16 {
+		t.Errorf("KForEps(400, 0.05) = %d unreasonably large", k)
+	}
+	for _, bad := range []float64{0, -0.5, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KForEps should panic for eps=%v", bad)
+				}
+			}()
+			KForEps(100, bad)
+		}()
+	}
+}
+
+func TestHashFieldFullRange(t *testing.T) {
+	// HashField must return values < 2^61-1 and its low bits must be
+	// usable for lsb subsampling: level s hit with prob ~2^-(s+1).
+	rng := rand.New(rand.NewSource(17))
+	h := NewTwoWise(rng, 1)
+	counts := make([]int, 6)
+	const n = 1 << 18
+	for i := 0; i < n; i++ {
+		v := h.HashField(uint64(i))
+		if v >= prime.Mersenne61 {
+			t.Fatalf("HashField out of field: %d", v)
+		}
+		s := 0
+		for v&1 == 0 && s < 5 {
+			v >>= 1
+			s++
+		}
+		counts[s]++
+	}
+	for s := 0; s < 5; s++ {
+		want := float64(n) / float64(uint64(2)<<uint(s))
+		if got := float64(counts[s]); got < 0.9*want || got > 1.1*want {
+			t.Errorf("lsb level %d: got %v want about %v", s, got, want)
+		}
+	}
+}
+
+func TestMix64(t *testing.T) {
+	// Bijectivity on a sample: no collisions among 1e6 sequential keys.
+	seen := make(map[uint64]struct{}, 1<<20)
+	for i := uint64(0); i < 1<<20; i++ {
+		v := Mix64(i, 99)
+		if _, dup := seen[v]; dup {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[v] = struct{}{}
+	}
+	// Different seeds give different streams.
+	if Mix64(1, 2) == Mix64(1, 3) {
+		t.Error("Mix64 ignores seed")
+	}
+	// Avalanche: flipping one input bit flips ~32 output bits on average.
+	flips := 0
+	const trials = 4096
+	for i := 0; i < trials; i++ {
+		a := Mix64(uint64(i), 7)
+		b := Mix64(uint64(i)^(1<<uint(i%64)), 7)
+		flips += popcount(a ^ b)
+	}
+	avg := float64(flips) / trials
+	if avg < 28 || avg > 36 {
+		t.Errorf("Mix64 avalanche %.1f bits, want about 32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestZeroRangePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for _, f := range []func(){
+		func() { NewTwoWise(rng, 0) },
+		func() { NewKWise(rng, 4, 0) },
+		func() { NewTabulation(rng, 0) },
+		func() { NewMixedTabulation(rng, 0) },
+		func() { NewKWise(rng, 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkTwoWise(b *testing.B) {
+	h := NewTwoWise(rand.New(rand.NewSource(1)), 1<<20)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += h.Hash(uint64(i))
+	}
+	_ = s
+}
+
+func BenchmarkPolyK8(b *testing.B) {
+	h := NewKWise(rand.New(rand.NewSource(1)), 8, 1<<20)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += h.Hash(uint64(i))
+	}
+	_ = s
+}
+
+func BenchmarkTabulation(b *testing.B) {
+	h := NewTabulation(rand.New(rand.NewSource(1)), 1<<20)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += h.Hash(uint64(i))
+	}
+	_ = s
+}
+
+func BenchmarkMixedTabulation(b *testing.B) {
+	h := NewMixedTabulation(rand.New(rand.NewSource(1)), 1<<20)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += h.Hash(uint64(i))
+	}
+	_ = s
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += Mix64(uint64(i), 42)
+	}
+	_ = s
+}

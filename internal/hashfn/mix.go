@@ -1,0 +1,15 @@
+package hashfn
+
+// Mix64 is a seeded bijective 64-bit finalizer (the SplitMix64 / Murmur3
+// avalanche construction). The Figure 1 baselines that assume a "random
+// oracle" ([20] FM, [16] LogLog, [17] Estan bitmaps, [19] HyperLogLog)
+// are implemented with this mixer, exactly as those papers' authors did
+// in practice; see DESIGN.md §5(5). Because the map is a bijection of
+// the seeded input, distinct keys never collide — the idealization is
+// only about the uniformity of the output bits.
+func Mix64(x, seed uint64) uint64 {
+	x += seed + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

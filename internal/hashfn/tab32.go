@@ -1,0 +1,67 @@
+package hashfn
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// Tabulation32 is mixed tabulation hashing with 32-bit table entries,
+// for codomains up to 2^31: the balls-and-bins stages of the sketches
+// hash into at most 2K ≤ 2^22 bins, so 32 output bits leave the
+// per-bin probability bias below 2^-9 relative — negligible against
+// every ε in use — while halving the dominant constant in the fast
+// sketches' space (the tables are the largest single component of a
+// FastSketch copy; see EXPERIMENTS.md §E1).
+//
+// Construction mirrors MixedTabulation: 8 input characters plus 4
+// derived characters from the first-pass value.
+type Tabulation32 struct {
+	tables  [8][256]uint32
+	derived [4][256]uint32
+	r       uint64
+}
+
+// NewTabulation32 draws a random compact mixed-tabulation function
+// with range r (which must be ≤ 2^31).
+func NewTabulation32(rng *rand.Rand, r uint64) *Tabulation32 {
+	if r == 0 || r > 1<<31 {
+		panic("hashfn: Tabulation32 range must be in [1, 2^31]")
+	}
+	t := &Tabulation32{r: r}
+	for i := range t.tables {
+		for j := range t.tables[i] {
+			t.tables[i][j] = rng.Uint32()
+		}
+	}
+	for i := range t.derived {
+		for j := range t.derived[i] {
+			t.derived[i][j] = rng.Uint32()
+		}
+	}
+	return t
+}
+
+// Hash returns h(x) ∈ [0, Range()).
+func (t *Tabulation32) Hash(x uint64) uint64 {
+	v := t.tables[0][byte(x)] ^
+		t.tables[1][byte(x>>8)] ^
+		t.tables[2][byte(x>>16)] ^
+		t.tables[3][byte(x>>24)] ^
+		t.tables[4][byte(x>>32)] ^
+		t.tables[5][byte(x>>40)] ^
+		t.tables[6][byte(x>>48)] ^
+		t.tables[7][byte(x>>56)]
+	d := v
+	v ^= t.derived[0][byte(d)] ^
+		t.derived[1][byte(d>>8)] ^
+		t.derived[2][byte(d>>16)] ^
+		t.derived[3][byte(d>>24)]
+	hi, _ := bits.Mul64(uint64(v)<<32, t.r)
+	return hi
+}
+
+// Range returns the codomain size.
+func (t *Tabulation32) Range() uint64 { return t.r }
+
+// SeedBits returns the table payload: 12 tables × 256 × 32 bits.
+func (t *Tabulation32) SeedBits() int { return 12 * 256 * 32 }

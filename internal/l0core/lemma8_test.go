@@ -1,0 +1,196 @@
+package l0core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLemma8Trials(t *testing.T) {
+	if Lemma8Trials(0.5) != 2 {
+		t.Errorf("Lemma8Trials(0.5)=%d want 2", Lemma8Trials(0.5))
+	}
+	if Lemma8Trials(1.0/16) != 5 {
+		t.Errorf("Lemma8Trials(1/16)=%d want 5", Lemma8Trials(1.0/16))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delta=0 should panic")
+		}
+	}()
+	Lemma8Trials(0)
+}
+
+// TestLemma8ExactSmallL0 is experiment E8: with the promise L0 ≤ c the
+// structure reports L0 exactly, under insert-only, mixed, and
+// delete-heavy turnstile streams.
+func TestLemma8ExactSmallL0(t *testing.T) {
+	for _, l0 := range []int{0, 1, 5, 17, 64, 100, 141} {
+		rng := rand.New(rand.NewSource(200 + int64(l0)))
+		e := NewExactSmallL0(141, 1.0/64, 32, rng)
+		keys := make([]uint64, l0)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+			e.Update(keys[i], int64(rng.Intn(100)+1))
+		}
+		if got := e.Estimate(); got != l0 {
+			t.Errorf("L0=%d (inserts): estimate %d", l0, got)
+		}
+	}
+}
+
+func TestLemma8Deletions(t *testing.T) {
+	rng := rand.New(rand.NewSource(210))
+	e := NewExactSmallL0(100, 1.0/64, 32, rng)
+	// 50 items at +v, then fully delete 20 of them.
+	keys := make([]uint64, 50)
+	vals := make([]int64, 50)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		vals[i] = int64(rng.Intn(1000) + 1)
+		e.Update(keys[i], vals[i])
+	}
+	for i := 0; i < 20; i++ {
+		e.Update(keys[i], -vals[i])
+	}
+	if got := e.Estimate(); got != 30 {
+		t.Errorf("after deletions: estimate %d want 30", got)
+	}
+	// Partial deletion keeps the item alive.
+	e.Update(keys[20], -vals[20]+1) // frequency becomes 1
+	if got := e.Estimate(); got != 30 {
+		t.Errorf("partial deletion changed count: %d", got)
+	}
+	// Negative frequencies count as nonzero (x_i ≠ 0 is the criterion).
+	e.Update(keys[21], -3*vals[21])
+	if got := e.Estimate(); got != 30 {
+		t.Errorf("negative frequency dropped: %d", got)
+	}
+}
+
+func TestLemma8InterleavedChurn(t *testing.T) {
+	// Random walk of a small live set, verified against an exact model.
+	rng := rand.New(rand.NewSource(211))
+	e := NewExactSmallL0(64, 1.0/256, 32, rng)
+	model := make(map[uint64]int64)
+	keys := make([]uint64, 40)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	for step := 0; step < 5000; step++ {
+		k := keys[rng.Intn(len(keys))]
+		v := int64(rng.Intn(11) - 5)
+		if v == 0 {
+			v = 1
+		}
+		e.Update(k, v)
+		model[k] += v
+		if model[k] == 0 {
+			delete(model, k)
+		}
+		if step%500 == 0 {
+			if got := e.Estimate(); got != len(model) {
+				t.Fatalf("step %d: estimate %d model %d", step, got, len(model))
+			}
+		}
+	}
+	if got := e.Estimate(); got != len(model) {
+		t.Fatalf("final: estimate %d model %d", got, len(model))
+	}
+}
+
+func TestLemma8ZeroUpdateIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	e := NewExactSmallL0(16, 0.1, 32, rng)
+	e.Update(42, 0)
+	if e.Estimate() != 0 {
+		t.Error("zero-delta update created a live item")
+	}
+}
+
+func TestLemma8BeyondPromiseIsLowerBound(t *testing.T) {
+	// Beyond the promise the estimate may undercount (collisions) but
+	// must remain positive and bounded by the bucket count.
+	rng := rand.New(rand.NewSource(213))
+	e := NewExactSmallL0(16, 0.1, 32, rng) // 256 buckets
+	for i := 0; i < 10000; i++ {
+		e.Update(rng.Uint64(), 1)
+	}
+	got := e.Estimate()
+	if got <= 16 || got > 256 {
+		t.Errorf("estimate %d outside (16, 256]", got)
+	}
+}
+
+func TestLemma8Merge(t *testing.T) {
+	mk := func() *ExactSmallL0 {
+		return NewExactSmallL0(100, 1.0/64, 32, rand.New(rand.NewSource(214)))
+	}
+	a, b, whole := mk(), mk(), mk()
+	rng := rand.New(rand.NewSource(215))
+	for i := 0; i < 60; i++ {
+		k, v := rng.Uint64(), int64(rng.Intn(50)+1)
+		whole.Update(k, v)
+		if i%2 == 0 {
+			a.Update(k, v)
+		} else {
+			b.Update(k, v)
+		}
+	}
+	// One key fully cancels across the two halves.
+	k := rng.Uint64()
+	whole.Update(k, 7)
+	whole.Update(k, -7)
+	a.Update(k, 7)
+	b.Update(k, -7)
+	a.MergeFrom(b)
+	if a.Estimate() != whole.Estimate() {
+		t.Errorf("merged %d != whole %d", a.Estimate(), whole.Estimate())
+	}
+	if a.Estimate() != 60 {
+		t.Errorf("estimate %d want 60 (cancelled key must not count)", a.Estimate())
+	}
+}
+
+func TestLemma8MergeIncompatiblePanics(t *testing.T) {
+	a := NewExactSmallL0(10, 0.1, 32, rand.New(rand.NewSource(1)))
+	b := NewExactSmallL0(11, 0.1, 32, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.MergeFrom(b)
+}
+
+func TestLemma8SpaceBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(216))
+	small := NewExactSmallL0(10, 0.25, 32, rng).SpaceBits()
+	big := NewExactSmallL0(100, 0.25, 32, rng).SpaceBits()
+	if big < 50*small {
+		t.Errorf("space should grow ~c²: c=10 %d bits, c=100 %d bits", small, big)
+	}
+}
+
+func TestLemma8BadArgsPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(217))
+	for _, f := range []func(){
+		func() { NewExactSmallL0(0, 0.1, 32, rng) },
+		func() { NewExactSmallL0(10, 1.5, 32, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkLemma8Update(b *testing.B) {
+	e := NewExactSmallL0(141, 1.0/16, 32, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		e.Update(uint64(i)&1023, 1)
+	}
+}

@@ -1,0 +1,179 @@
+package l0core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRoughL0Estimator is experiment E9: Theorem 11's constant-factor
+// band. We check (a) the paper-literal coarse output sits in
+// (L0/220, L0/2] and (b) the refined Estimate gives L0 ≤ R ≤ 64·L0,
+// each in at least 80% of trials (Theorem 11 promises 9/16; the
+// defaults do much better).
+func TestRoughL0Estimator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	for _, l0 := range []int{64, 1024, 16384, 262144} {
+		const trials = 15
+		okCoarse, okRefined := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(300*int64(l0) + int64(trial)))
+			e := NewRoughL0(RoughL0Config{LogN: 32}, rng)
+			for i := 0; i < l0; i++ {
+				e.Update(rng.Uint64(), int64(rng.Intn(9)+1))
+			}
+			if c := float64(e.EstimateCoarse()); c > float64(l0)/220 && c <= float64(l0)/2 {
+				okCoarse++
+			}
+			if r := float64(e.Estimate()); r >= float64(l0) && r <= 64*float64(l0) {
+				okRefined++
+			}
+		}
+		if okCoarse < trials*8/10 {
+			t.Errorf("L0=%d: coarse band held %d/%d", l0, okCoarse, trials)
+		}
+		if okRefined < trials*8/10 {
+			t.Errorf("L0=%d: refined band held %d/%d", l0, okRefined, trials)
+		}
+	}
+}
+
+func TestRoughL0WithDeletions(t *testing.T) {
+	// Insert 100k items, delete 90k of them: the estimator must track
+	// the live count (10k), not the update volume.
+	rng := rand.New(rand.NewSource(310))
+	e := NewRoughL0(RoughL0Config{LogN: 32}, rng)
+	keys := make([]uint64, 100000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		e.Update(keys[i], 5)
+	}
+	for i := 0; i < 90000; i++ {
+		e.Update(keys[i], -5)
+	}
+	const live = 10000
+	r := float64(e.Estimate())
+	if r < live || r > 64*live {
+		t.Errorf("after deletions: R=%v want within [%d, %d]", r, live, 64*live)
+	}
+}
+
+func TestRoughL0EmptyAndTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	e := NewRoughL0(RoughL0Config{LogN: 32}, rng)
+	if e.Estimate() != 0 {
+		t.Error("empty structure should estimate 0")
+	}
+	if e.EstimateCoarse() != 1 {
+		t.Error("paper-literal coarse output for empty is 1")
+	}
+	// A handful of items: no level reports > 8 (whp), so Estimate
+	// remains 0 and the caller's small-L0 regime governs.
+	for i := 0; i < 5; i++ {
+		e.Update(rng.Uint64(), 1)
+	}
+	if got := e.Estimate(); got != 0 {
+		t.Errorf("5 items should stay below the report threshold, got %d", got)
+	}
+}
+
+func TestRoughL0FullCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(312))
+	e := NewRoughL0(RoughL0Config{LogN: 32}, rng)
+	keys := make([]uint64, 50000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		e.Update(keys[i], 3)
+	}
+	for _, k := range keys {
+		e.Update(k, -3)
+	}
+	if got := e.Estimate(); got != 0 {
+		t.Errorf("fully cancelled stream: estimate %d want 0", got)
+	}
+	if e.z != 0 {
+		t.Errorf("report word should be clear, got %b", e.z)
+	}
+}
+
+func TestRoughL0PaperConstants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large constant-factor configuration")
+	}
+	// The paper's C=141, δ=1/16 must satisfy the same bands.
+	rng := rand.New(rand.NewSource(313))
+	e := NewRoughL0(RoughL0Config{LogN: 32, C: 141, Delta: 1.0 / 16}, rng)
+	const l0 = 20000
+	for i := 0; i < l0; i++ {
+		e.Update(rng.Uint64(), 1)
+	}
+	c := float64(e.EstimateCoarse())
+	if c <= l0/220.0 || c > l0/2.0 {
+		t.Errorf("paper constants: coarse %v outside (L0/220, L0/2]", c)
+	}
+}
+
+func TestRoughL0LevelEstimateExact(t *testing.T) {
+	// Items are split by lsb(h(x)); each level's Lemma 8 count must
+	// equal that substream's live count while ≤ C. Verify totals.
+	rng := rand.New(rand.NewSource(314))
+	e := NewRoughL0(RoughL0Config{LogN: 16, C: 64}, rng)
+	const n = 60 // small enough that every level is within its promise
+	for i := 0; i < n; i++ {
+		e.Update(rng.Uint64(), 1)
+	}
+	total := 0
+	for j := 0; j <= 16; j++ {
+		total += e.LevelEstimate(j)
+	}
+	if total != n {
+		t.Errorf("level counts sum to %d want %d", total, n)
+	}
+}
+
+func TestRoughL0ConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(315))
+	for _, cfg := range []RoughL0Config{
+		{LogN: 0},
+		{LogN: 63},
+		{LogN: 32, C: 5}, // below the >8 threshold
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			NewRoughL0(cfg, rng)
+		}()
+	}
+}
+
+func TestRoughL0SpaceGrowsWithLogN(t *testing.T) {
+	rng := rand.New(rand.NewSource(316))
+	s16 := NewRoughL0(RoughL0Config{LogN: 16}, rng).SpaceBits()
+	s32 := NewRoughL0(RoughL0Config{LogN: 32}, rng).SpaceBits()
+	if s32 <= s16 || s32 > 3*s16 {
+		t.Errorf("space should grow ~linearly in log n: %d -> %d", s16, s32)
+	}
+}
+
+func BenchmarkRoughL0Update(b *testing.B) {
+	e := NewRoughL0(RoughL0Config{LogN: 32}, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		e.Update(uint64(i)*2654435761, 1)
+	}
+}
+
+func BenchmarkRoughL0Estimate(b *testing.B) {
+	e := NewRoughL0(RoughL0Config{LogN: 32}, rand.New(rand.NewSource(1)))
+	for i := 0; i < 100000; i++ {
+		e.Update(uint64(i)*2654435761, 1)
+	}
+	var r uint64
+	for i := 0; i < b.N; i++ {
+		r += e.Estimate()
+	}
+	_ = r
+}

@@ -1,0 +1,79 @@
+package l0core
+
+// MergeFromNegated merges −1 times another sketch's frequency vector
+// into s: every Lemma 6 counter is linear over F_p, so cell-wise
+// c ← c + (p − o.c) yields exactly the sketch of x_s − x_o. The
+// estimate afterwards is therefore L0(x_s − x_o) — the number of
+// coordinates where the two streams' frequency vectors differ, the
+// paper's data-cleaning statistic (Section 1: "L0-estimation can be
+// applied to a pair of streams to measure the number of unequal item
+// counts").
+//
+// Both sketches must have been built with identical randomness (same
+// Config and rng seed). The receiver is modified; the argument is not.
+func (s *Sketch) MergeFromNegated(o *Sketch) {
+	if s.cfg.K != o.cfg.K || s.cfg.LogN != o.cfg.LogN || s.fp.P != o.fp.P {
+		panic("l0core: negated merge of incompatible sketches")
+	}
+	neg := func(v uint64) uint64 {
+		if v == 0 {
+			return 0
+		}
+		return s.fp.P - v
+	}
+	for r := range s.rows {
+		nz := 0
+		for j := range s.rows[r] {
+			s.rows[r][j] = s.fp.Add(s.rows[r][j], neg(o.rows[r][j]))
+			if s.rows[r][j] != 0 {
+				nz++
+			}
+		}
+		s.rowNZ[r] = nz
+	}
+	nz := 0
+	for j := range s.smallC {
+		s.smallC[j] = s.fp.Add(s.smallC[j], neg(o.smallC[j]))
+		if s.smallC[j] != 0 {
+			nz++
+		}
+	}
+	s.smallNZ = nz
+	// Exact structure: counters are sums mod its own prime; negate
+	// likewise.
+	for t := range s.exact.cnt {
+		enz := 0
+		for b := range s.exact.cnt[t] {
+			ov := o.exact.cnt[t][b]
+			if ov != 0 {
+				ov = s.exact.fp.P - ov
+			}
+			s.exact.cnt[t][b] = s.exact.fp.Add(s.exact.cnt[t][b], ov)
+			if s.exact.cnt[t][b] != 0 {
+				enz++
+			}
+		}
+		s.exact.nonzero[t] = enz
+	}
+	// Rough estimator buckets.
+	if len(s.rough.cnt) != len(o.rough.cnt) || s.rough.fp.p != o.rough.fp.p {
+		panic("l0core: negated merge of incompatible rough estimators")
+	}
+	for j := range s.rough.cnt {
+		for t := range s.rough.cnt[j] {
+			rnz := 0
+			for b := range s.rough.cnt[j][t] {
+				ov := o.rough.cnt[j][t][b]
+				if ov != 0 {
+					ov = s.rough.fp.p - ov
+				}
+				s.rough.cnt[j][t][b] = s.rough.fp.add(s.rough.cnt[j][t][b], ov)
+				if s.rough.cnt[j][t][b] != 0 {
+					rnz++
+				}
+			}
+			s.rough.nonzero[j][t] = rnz
+		}
+		s.rough.refreshZ(j)
+	}
+}

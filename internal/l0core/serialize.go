@@ -1,0 +1,158 @@
+package l0core
+
+import "repro/internal/binenc"
+
+// AppendState serializes the L0 sketch's dynamic counter state (matrix
+// rows, unsubsampled row, Lemma 8 buckets, RoughL0 buckets). Hash
+// functions, the prime p, and the vector u are all reconstructed from
+// the seed by the caller; derived counts are recomputed on restore.
+func (s *Sketch) AppendState(w *binenc.Writer) {
+	w.Uvarint(uint64(s.cfg.K))
+	w.Uvarint(uint64(s.cfg.LogN))
+	w.Uvarint(s.fp.P) // sanity only: p must reproduce from the seed
+	for _, row := range s.rows {
+		w.Uints(row)
+	}
+	w.Uints(s.smallC)
+	appendExact(w, s.exact)
+	appendRough(w, s.rough)
+}
+
+// RestoreState loads state produced by AppendState into a sketch built
+// from the same Config and seed.
+func (s *Sketch) RestoreState(r *binenc.Reader) error {
+	if k := r.Uvarint(); r.Err() == nil && int(k) != s.cfg.K {
+		return binenc.ErrCorrupt
+	}
+	if ln := r.Uvarint(); r.Err() == nil && uint(ln) != s.cfg.LogN {
+		return binenc.ErrCorrupt
+	}
+	if p := r.Uvarint(); r.Err() == nil && p != s.fp.P {
+		// Different p means the seed or config differs: restoring
+		// counters would silently corrupt every estimate.
+		return binenc.ErrCorrupt
+	}
+	for ri := range s.rows {
+		row := r.Uints(s.cfg.K)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if len(row) != s.cfg.K {
+			return binenc.ErrCorrupt
+		}
+		nz := 0
+		for j, v := range row {
+			if v >= s.fp.P {
+				return binenc.ErrCorrupt
+			}
+			s.rows[ri][j] = v
+			if v != 0 {
+				nz++
+			}
+		}
+		s.rowNZ[ri] = nz
+	}
+	small := r.Uints(2 * s.cfg.K)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if len(small) != 2*s.cfg.K {
+		return binenc.ErrCorrupt
+	}
+	s.smallNZ = 0
+	for j, v := range small {
+		if v >= s.fp.P {
+			return binenc.ErrCorrupt
+		}
+		s.smallC[j] = v
+		if v != 0 {
+			s.smallNZ++
+		}
+	}
+	if err := restoreExact(r, s.exact); err != nil {
+		return err
+	}
+	return restoreRough(r, s.rough)
+}
+
+func appendExact(w *binenc.Writer, e *ExactSmallL0) {
+	w.Uvarint(uint64(len(e.cnt)))
+	for _, trial := range e.cnt {
+		w.Uints(trial)
+	}
+}
+
+func restoreExact(r *binenc.Reader, e *ExactSmallL0) error {
+	if n := r.Uvarint(); r.Err() != nil || int(n) != len(e.cnt) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return binenc.ErrCorrupt
+	}
+	for t := range e.cnt {
+		trial := r.Uints(e.buckets)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if len(trial) != e.buckets {
+			return binenc.ErrCorrupt
+		}
+		nz := 0
+		for b, v := range trial {
+			if v >= e.fp.P {
+				return binenc.ErrCorrupt
+			}
+			e.cnt[t][b] = v
+			if v != 0 {
+				nz++
+			}
+		}
+		e.nonzero[t] = nz
+	}
+	return nil
+}
+
+func appendRough(w *binenc.Writer, e *RoughL0Estimator) {
+	w.Uvarint(uint64(len(e.cnt)))
+	w.Uvarint(uint64(len(e.bucketH)))
+	for _, lvl := range e.cnt {
+		for _, trial := range lvl {
+			w.Uints(trial)
+		}
+	}
+}
+
+func restoreRough(r *binenc.Reader, e *RoughL0Estimator) error {
+	levels := r.Uvarint()
+	trials := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if int(levels) != len(e.cnt) || int(trials) != len(e.bucketH) {
+		return binenc.ErrCorrupt
+	}
+	for j := range e.cnt {
+		for t := range e.cnt[j] {
+			trial := r.Uints(e.buckets)
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if len(trial) != e.buckets {
+				return binenc.ErrCorrupt
+			}
+			nz := 0
+			for b, v := range trial {
+				if v >= e.fp.p {
+					return binenc.ErrCorrupt
+				}
+				e.cnt[j][t][b] = v
+				if v != 0 {
+					nz++
+				}
+			}
+			e.nonzero[j][t] = nz
+		}
+		e.refreshZ(j)
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package l0core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []Config{
+		{LogN: 3},
+		{LogN: 63},
+		{K: 31},
+		{K: 100},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			NewSketch(cfg, rng)
+		}()
+	}
+}
+
+// TestExactSmallL0Regime: below 100 live items the sketch answers
+// exactly (whp).
+func TestExactSmallL0Regime(t *testing.T) {
+	for _, l0 := range []int{0, 1, 10, 50, 99} {
+		rng := rand.New(rand.NewSource(400 + int64(l0)))
+		s := NewSketch(Config{K: 1024}, rng)
+		for i := 0; i < l0; i++ {
+			s.Update(rng.Uint64(), int64(rng.Intn(100)+1))
+		}
+		got, err := s.Estimate()
+		if err != nil {
+			t.Fatalf("L0=%d: %v", l0, err)
+		}
+		if got != float64(l0) {
+			t.Errorf("L0=%d: got %v", l0, got)
+		}
+	}
+}
+
+func TestExactRegimeWithDeletions(t *testing.T) {
+	rng := rand.New(rand.NewSource(410))
+	s := NewSketch(Config{K: 1024}, rng)
+	type kv struct {
+		k uint64
+		v int64
+	}
+	items := make([]kv, 90)
+	for i := range items {
+		items[i] = kv{rng.Uint64(), int64(rng.Intn(100) + 1)}
+		s.Update(items[i].k, items[i].v)
+	}
+	for i := 0; i < 40; i++ {
+		s.Update(items[i].k, -items[i].v)
+	}
+	got, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 50 {
+		t.Errorf("got %v want exactly 50", got)
+	}
+}
+
+// TestTheorem10L0Accuracy is experiment E7: (1±O(ε))·L0 across
+// magnitudes, with a turnstile stream whose final live set is known.
+func TestTheorem10L0Accuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const k = 4096
+	epsPrime := 1 / math.Sqrt(float64(k))
+	for _, l0 := range []int{500, 5000, 50000, 500000} {
+		const trials = 12
+		sum2 := 0.0
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(500*int64(l0) + int64(trial)))
+			s := NewSketch(Config{K: k}, rng)
+			// Live items...
+			for i := 0; i < l0; i++ {
+				s.Update(rng.Uint64(), int64(rng.Intn(20)+1))
+			}
+			// ...plus churn: items inserted then fully deleted.
+			for i := 0; i < l0/2; i++ {
+				key := rng.Uint64()
+				v := int64(rng.Intn(20) + 1)
+				s.Update(key, v)
+				s.Update(key, -v)
+			}
+			got, err := s.Estimate()
+			if err != nil {
+				t.Fatalf("L0=%d trial %d: %v", l0, trial, err)
+			}
+			rel := (got - float64(l0)) / float64(l0)
+			sum2 += rel * rel
+		}
+		rms := math.Sqrt(sum2 / trials)
+		if rms > 16*epsPrime {
+			t.Errorf("L0=%d: RMS relative error %.4f > %.4f", l0, rms, 16*epsPrime)
+		}
+	}
+}
+
+func TestMixedSignFrequencies(t *testing.T) {
+	// Items driven to negative net frequencies still count toward L0
+	// (the paper: unlike Ganguly's algorithm, x_i ≥ 0 is not required).
+	rng := rand.New(rand.NewSource(420))
+	s := NewSketch(Config{K: 1024}, rng)
+	for i := 0; i < 60; i++ {
+		s.Update(rng.Uint64(), -int64(rng.Intn(500)+1))
+	}
+	got, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 60 {
+		t.Errorf("negative frequencies: got %v want 60", got)
+	}
+}
+
+func TestAdversarialCancellation(t *testing.T) {
+	// Many co-located updates that sum to zero per key: the classic
+	// false-negative trap for bit-based structures, defused by Lemma 6.
+	rng := rand.New(rand.NewSource(421))
+	s := NewSketch(Config{K: 1024}, rng)
+	live := 0
+	for i := 0; i < 3000; i++ {
+		key := rng.Uint64()
+		// +a, +b, −(a+b) in three updates: net zero.
+		a, b := int64(rng.Intn(1000)+1), int64(rng.Intn(1000)+1)
+		s.Update(key, a)
+		s.Update(key, b)
+		s.Update(key, -(a + b))
+	}
+	for i := 0; i < 2000; i++ { // plus a live population
+		s.Update(rng.Uint64(), 1)
+		live++
+	}
+	got, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-float64(live)) / float64(live); rel > 0.35 {
+		t.Errorf("cancellation stream: got %v want ~%d (rel %.3f)", got, live, rel)
+	}
+}
+
+func TestUpdateZeroIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(422))
+	s := NewSketch(Config{K: 1024}, rng)
+	s.Update(7, 0)
+	got, err := s.Estimate()
+	if err != nil || got != 0 {
+		t.Errorf("zero update changed state: %v %v", got, err)
+	}
+}
+
+func TestL0Merge(t *testing.T) {
+	mk := func() *Sketch {
+		return NewSketch(Config{K: 1024}, rand.New(rand.NewSource(423)))
+	}
+	a, b, whole := mk(), mk(), mk()
+	rng := rand.New(rand.NewSource(424))
+	for i := 0; i < 40000; i++ {
+		k, v := rng.Uint64(), int64(rng.Intn(9)+1)
+		whole.Update(k, v)
+		if i%2 == 0 {
+			a.Update(k, v)
+		} else {
+			b.Update(k, v)
+		}
+	}
+	// Cross-half cancellation: +v into a, −v into b.
+	for i := 0; i < 5000; i++ {
+		k, v := rng.Uint64(), int64(rng.Intn(9)+1)
+		whole.Update(k, v)
+		whole.Update(k, -v)
+		a.Update(k, v)
+		b.Update(k, -v)
+	}
+	a.MergeFrom(b)
+	got, err1 := a.Estimate()
+	want, err2 := whole.Estimate()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%v %v", err1, err2)
+	}
+	// Identical hashes and linear counters: states are equal, so the
+	// estimates must agree exactly.
+	if got != want {
+		t.Errorf("merged %v != whole %v", got, want)
+	}
+	if rel := math.Abs(got-40000) / 40000; rel > 0.3 {
+		t.Errorf("merged estimate %v far from truth 40000", got)
+	}
+}
+
+func TestL0MergeIncompatiblePanics(t *testing.T) {
+	a := NewSketch(Config{K: 1024}, rand.New(rand.NewSource(1)))
+	b := NewSketch(Config{K: 2048}, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.MergeFrom(b)
+}
+
+func TestL0SpaceScaling(t *testing.T) {
+	// Theorem 10: the matrix is Θ(K·log n·log p) bits — linear in K
+	// once the K-independent constants (RoughL0Estimator's and
+	// Lemma 8's bucket arrays) are subtracted. The per-column slope
+	// must be ≈ (log n + 1) rows × ⌈log2 p⌉ ≈ 33·22 bits, and log n
+	// must enter multiplicatively in the matrix term.
+	rng := rand.New(rand.NewSource(425))
+	k1 := NewSketch(Config{K: 1024, LogN: 32}, rng).SpaceBits()
+	k2 := NewSketch(Config{K: 4096, LogN: 32}, rng).SpaceBits()
+	slope := float64(k2-k1) / (4096 - 1024)
+	if slope < 300 || slope > 1500 {
+		t.Errorf("per-column slope %.0f bits, want ~800 (33 rows × ~22 bits + small row + u)", slope)
+	}
+	n1 := NewSketch(Config{K: 1024, LogN: 16}, rng).SpaceBits()
+	if n1 >= k1 {
+		t.Errorf("halving log n should shrink space: %d -> %d", k1, n1)
+	}
+}
+
+func TestL0Amplified(t *testing.T) {
+	rng := rand.New(rand.NewSource(426))
+	a := NewAmplified(5, Config{K: 1024}, rng)
+	const l0 = 30000
+	keys := make([]uint64, l0+10000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		a.Update(keys[i], 2)
+	}
+	for i := l0; i < len(keys); i++ { // delete the extras
+		a.Update(keys[i], -2)
+	}
+	got, err := a.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-l0) / l0; rel > 0.3 {
+		t.Errorf("amplified L0 %v (rel %.3f)", got, rel)
+	}
+	if a.SpaceBits() <= 5*1024 {
+		t.Error("SpaceBits should sum copies")
+	}
+}
+
+func TestReferenceModeWorks(t *testing.T) {
+	rng := rand.New(rand.NewSource(427))
+	s := NewSketch(Config{K: 1024, Reference: true}, rng)
+	for i := 0; i < 20000; i++ {
+		s.Update(rng.Uint64(), 1)
+	}
+	got, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-20000) / 20000; rel > 0.35 {
+		t.Errorf("reference mode estimate %v (rel %.3f)", got, rel)
+	}
+}
+
+func BenchmarkL0Update(b *testing.B) {
+	s := NewSketch(Config{K: 4096}, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		s.Update(uint64(i)*2654435761, 1)
+	}
+}
+
+func BenchmarkL0Estimate(b *testing.B) {
+	s := NewSketch(Config{K: 4096}, rand.New(rand.NewSource(1)))
+	for i := 0; i < 200000; i++ {
+		s.Update(uint64(i)*2654435761, 1)
+	}
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v, _ = s.Estimate()
+	}
+	_ = v
+}

@@ -1,0 +1,124 @@
+// Package lntable implements the compact natural-logarithm lookup table
+// of Appendix A.2 of the paper (Lemma 7): a structure of
+// O(η⁻¹·log(1/η)) bits, η = 1/√K, from which ln(1 − c/K) can be
+// computed in O(1) time with relative error at most η for every integer
+// c ∈ [0, 4K/5].
+//
+// The F0 estimator (Figure 3, step 7) reports
+// 2^b · ln(1 − T/K)/ln(1 − 1/K); a direct math-library logarithm would
+// be fine in practice, but the paper's O(1) reporting-time claim
+// (Theorem 9) is explicitly routed through this table, so we build it.
+//
+// Construction, exactly as in the paper's proof: set η' = η/15 and
+// discretize [1, 4K/5] geometrically by powers of (1+η'), precomputing
+// ln(1 − ρ/K) at each discretization point ρ into table A. A query for
+// c is answered by the entry at index ⌈log_{1+η'}(c)⌉, located in O(1)
+// time by writing c = d·2^k (k = msb(c), computable in O(1)), reading
+// an additive approximation of log₂(d) from a second evenly-spaced
+// table B over [1, 2), and combining: log_{1+η'}(c) = (k + log₂ d)/
+// log₂(1+η').
+package lntable
+
+import (
+	"math"
+
+	"repro/internal/bitutil"
+)
+
+// Table answers ln(1 − c/K) queries in O(1) with relative error ≤ 1/√K.
+type Table struct {
+	k       int       // the K of the sketch
+	maxC    int       // 4K/5, the proven query range
+	etaP    float64   // η' = η/15
+	invLogB float64   // 1 / log₂(1+η')
+	logA    []float64 // A: ln(1 − ρ_j/K) at geometric points ρ_j = (1+η')^j
+	logD    []float64 // B: log₂(d) for d ∈ [1,2) evenly discretized
+	logDInv float64   // buckets per unit for indexing B
+}
+
+// New builds the lookup table for a given K (number of balls-and-bins
+// counters; K ≥ 5 so that the range [1, 4K/5] is nonempty).
+func New(k int) *Table {
+	if k < 5 {
+		panic("lntable: K must be at least 5")
+	}
+	eta := 1 / math.Sqrt(float64(k))
+	etaP := eta / 15
+	maxC := 4 * k / 5
+	t := &Table{
+		k:       k,
+		maxC:    maxC,
+		etaP:    etaP,
+		invLogB: 1 / math.Log2(1+etaP),
+	}
+	// Table A: geometric discretization of [1, maxC].
+	numA := int(math.Ceil(math.Log(float64(maxC))/math.Log(1+etaP))) + 2
+	t.logA = make([]float64, numA)
+	rho := 1.0
+	for j := range t.logA {
+		r := rho
+		if r > float64(maxC) {
+			r = float64(maxC)
+		}
+		t.logA[j] = math.Log(1 - r/float64(k))
+		rho *= 1 + etaP
+	}
+	// Table B: log₂ over [1,2), evenly discretized into O(1/η') buckets.
+	// Bucket width η'/4 makes the additive index error well below 1/3
+	// (the proof's tolerance) after multiplying by 1/log₂(1+η') — the
+	// derivative of log₂ on [1,2) is in [1/(2 ln 2), 1/ln 2].
+	numB := int(math.Ceil(4/etaP)) + 1
+	t.logD = make([]float64, numB)
+	for i := range t.logD {
+		d := 1 + (float64(i)+0.5)/float64(numB)
+		t.logD[i] = math.Log2(d)
+	}
+	t.logDInv = float64(numB)
+	return t
+}
+
+// K returns the table's K parameter.
+func (t *Table) K() int { return t.k }
+
+// MaxC returns the largest c the table answers from its precomputed
+// entries (4K/5, the range Lemma 7 proves).
+func (t *Table) MaxC() int { return t.maxC }
+
+// Ln1MinusCOverK returns an approximation of ln(1 − c/K) with relative
+// error at most 1/√K, in O(1) time, for 0 ≤ c ≤ 4K/5. For c = 0 it
+// returns exactly 0. Queries beyond 4K/5 (the estimator only issues
+// them when the sketch is nearly saturated, outside the paper's
+// operating regime) fall back to the math library and remain O(1);
+// c ≥ K yields −Inf just like the exact expression.
+func (t *Table) Ln1MinusCOverK(c int) float64 {
+	switch {
+	case c == 0:
+		return 0
+	case c < 0:
+		panic("lntable: negative c")
+	case c > t.maxC:
+		return math.Log(1 - float64(c)/float64(t.k))
+	}
+	// Index: ⌈log_{1+η'}(c)⌉ via c = d·2^k.
+	msb := bitutil.MSB(uint64(c))
+	d := float64(c) / float64(uint64(1)<<msb) // ∈ [1, 2)
+	bIdx := int((d - 1) * t.logDInv)
+	if bIdx >= len(t.logD) {
+		bIdx = len(t.logD) - 1
+	}
+	idx := int(math.Round((float64(msb) + t.logD[bIdx]) * t.invLogB))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(t.logA) {
+		idx = len(t.logA) - 1
+	}
+	return t.logA[idx]
+}
+
+// SpaceBits returns the table footprint: both tables at 64 bits per
+// entry — Θ(√K · log K) bits, matching Lemma 7's O(η⁻¹ log(1/η))
+// up to the word size of the stored values.
+func (t *Table) SpaceBits() int {
+	return 64 * (len(t.logA) + len(t.logD))
+}

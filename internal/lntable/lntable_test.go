@@ -1,0 +1,123 @@
+package lntable
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroAndExactEdge(t *testing.T) {
+	tab := New(1024)
+	if got := tab.Ln1MinusCOverK(0); got != 0 {
+		t.Errorf("c=0: got %v want 0", got)
+	}
+}
+
+// TestAccuracyEveryC is experiment E11: Lemma 7 promises relative error
+// at most η = 1/√K for every integer c ∈ [1, 4K/5]. We check every c
+// exhaustively for several K.
+func TestAccuracyEveryC(t *testing.T) {
+	for _, k := range []int{64, 256, 1024, 4096, 16384} {
+		tab := New(k)
+		eta := 1 / math.Sqrt(float64(k))
+		worst := 0.0
+		for c := 1; c <= tab.MaxC(); c++ {
+			exact := math.Log(1 - float64(c)/float64(k))
+			got := tab.Ln1MinusCOverK(c)
+			rel := math.Abs(got-exact) / math.Abs(exact)
+			if rel > worst {
+				worst = rel
+			}
+		}
+		if worst > eta {
+			t.Errorf("K=%d: worst relative error %.3g exceeds η=%.3g", k, worst, eta)
+		}
+	}
+}
+
+func TestFallbackBeyondRange(t *testing.T) {
+	tab := New(100)
+	// Beyond 4K/5 the table falls back to the exact expression.
+	for _, c := range []int{81, 90, 99} {
+		want := math.Log(1 - float64(c)/100)
+		if got := tab.Ln1MinusCOverK(c); math.Abs(got-want) > 1e-12 {
+			t.Errorf("c=%d: got %v want %v", c, got, want)
+		}
+	}
+	if got := tab.Ln1MinusCOverK(100); !math.IsInf(got, -1) {
+		t.Errorf("c=K should be -Inf, got %v", got)
+	}
+}
+
+func TestNegativeCPanics(t *testing.T) {
+	tab := New(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative c should panic")
+		}
+	}()
+	tab.Ln1MinusCOverK(-1)
+}
+
+func TestTinyKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("K<5 should panic")
+		}
+	}()
+	New(4)
+}
+
+func TestSpaceGrowsLikeSqrtK(t *testing.T) {
+	// Lemma 7: O(η⁻¹ log 1/η) = Õ(√K) — table size must grow far
+	// slower than K. Quadrupling K should roughly double the size.
+	s1 := New(1 << 10).SpaceBits()
+	s2 := New(1 << 12).SpaceBits()
+	s3 := New(1 << 14).SpaceBits()
+	r12 := float64(s2) / float64(s1)
+	r23 := float64(s3) / float64(s2)
+	for _, r := range []float64{r12, r23} {
+		if r < 1.5 || r > 3.2 {
+			t.Errorf("space ratio per 4x K: %v, want about 2 (sqrt growth)", r)
+		}
+	}
+	// The constant factors (η' = η/15, bucketed log₂ table) mean the
+	// crossover versus a naive 64-bit-per-c table happens at larger K;
+	// at K = 2^20 the compact table must win clearly.
+	big := New(1 << 20).SpaceBits()
+	naive := 64 * (4 * (1 << 20) / 5)
+	if big >= naive/2 {
+		t.Errorf("K=2^20: compact table %d bits vs naive %d bits; expected < half", big, naive)
+	}
+}
+
+func TestMonotoneInC(t *testing.T) {
+	// ln(1 - c/K) is decreasing in c; the table is built from geometric
+	// points of the same function so its answers must be non-increasing.
+	tab := New(2048)
+	prev := tab.Ln1MinusCOverK(0)
+	for c := 1; c <= tab.MaxC(); c++ {
+		got := tab.Ln1MinusCOverK(c)
+		if got > prev+1e-15 {
+			t.Fatalf("not monotone at c=%d: %v > %v", c, got, prev)
+		}
+		prev = got
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tab := New(1 << 14)
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += tab.Ln1MinusCOverK(i%tab.MaxC() + 1)
+	}
+	_ = s
+}
+
+func BenchmarkMathLogBaseline(b *testing.B) {
+	k := float64(1 << 14)
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += math.Log(1 - float64(i%13106+1)/k)
+	}
+	_ = s
+}

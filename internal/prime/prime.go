@@ -1,0 +1,289 @@
+// Package prime provides the finite-field arithmetic the KNW algorithms
+// are built on: fast arithmetic modulo the Mersenne prime 2^61−1 (the
+// field underlying our Carter–Wegman polynomial hash families), a
+// deterministic Miller–Rabin primality test for 64-bit integers, and
+// random-prime sampling.
+//
+// Random primes appear in two places in the paper:
+//
+//   - Lemma 6 (L0 sketch): a prime p is drawn from [D, D^3] with
+//     D = 100·K·log(mM) so that every nonzero frequency |x_i| ≤ mM,
+//     having at most log(mM) prime factors, stays nonzero mod p with
+//     probability 1 − O(1/K²).
+//   - Lemma 8 (exact small-L0): a prime p = Θ(log(mM)·loglog(mM)) plays
+//     the same role for the constant-size structure.
+package prime
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// Mersenne61 is the Mersenne prime 2^61 − 1, the modulus of the field
+// used by all polynomial hash families in this repository. Products of
+// two residues fit in 122 bits, so Horner evaluation needs only one
+// 64×64→128 multiply and a cheap Mersenne reduction per coefficient.
+const Mersenne61 uint64 = 1<<61 - 1
+
+// AddM61 returns (a + b) mod 2^61−1 for a, b < 2^61−1.
+func AddM61(a, b uint64) uint64 {
+	s := a + b // < 2^62, no overflow
+	if s >= Mersenne61 {
+		s -= Mersenne61
+	}
+	return s
+}
+
+// SubM61 returns (a − b) mod 2^61−1 for a, b < 2^61−1.
+func SubM61(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + Mersenne61 - b
+}
+
+// MulM61 returns (a · b) mod 2^61−1 for a, b < 2^61−1, using the
+// classic Mersenne folding: if a·b = hi·2^64 + lo, then
+// a·b ≡ (a·b mod 2^61) + (a·b div 2^61) (mod 2^61−1).
+func MulM61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a·b = hi·2^64 + lo = (hi·8 + lo>>61)·2^61 + (lo & mask61)
+	sum := (lo & Mersenne61) + (hi<<3 | lo>>61)
+	if sum >= Mersenne61 {
+		sum -= Mersenne61
+	}
+	return sum
+}
+
+// ReduceM61 reduces an arbitrary uint64 modulo 2^61−1.
+func ReduceM61(x uint64) uint64 {
+	x = (x & Mersenne61) + (x >> 61)
+	if x >= Mersenne61 {
+		x -= Mersenne61
+	}
+	return x
+}
+
+// PowM61 returns a^e mod 2^61−1 by square-and-multiply.
+func PowM61(a, e uint64) uint64 {
+	a = ReduceM61(a)
+	result := uint64(1)
+	for e > 0 {
+		if e&1 == 1 {
+			result = MulM61(result, a)
+		}
+		a = MulM61(a, a)
+		e >>= 1
+	}
+	return result
+}
+
+// InvM61 returns the multiplicative inverse of a modulo 2^61−1 for
+// a ≢ 0, via Fermat's little theorem (p is prime, so a^(p−2) = a^{-1}).
+func InvM61(a uint64) uint64 {
+	if ReduceM61(a) == 0 {
+		panic("prime: inverse of zero")
+	}
+	return PowM61(a, Mersenne61-2)
+}
+
+// mulMod returns (a · b) mod m for any m > 0, using 128-bit
+// intermediate arithmetic. Used by Miller–Rabin and by the L0
+// counters, whose modulus is a freshly sampled prime rather than 2^61−1.
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a%m, b%m)
+	// bits.Div64 requires hi < m, which holds since both operands < m.
+	_, rem := bits.Div64(hi, lo, m)
+	return rem
+}
+
+// powMod returns a^e mod m.
+func powMod(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	a %= m
+	result := uint64(1)
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulMod(result, a, m)
+		}
+		a = mulMod(a, a, m)
+		e >>= 1
+	}
+	return result
+}
+
+// millerRabinWitnesses is a witness set that makes Miller–Rabin
+// deterministic for all 64-bit integers (Sinclair/Jaeschke bound).
+var millerRabinWitnesses = [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// IsPrime reports whether n is prime, deterministically for all uint64.
+func IsPrime(n uint64) bool {
+	switch {
+	case n < 2:
+		return false
+	case n < 4:
+		return true
+	case n%2 == 0:
+		return false
+	}
+	// Write n−1 = d · 2^s with d odd.
+	d, s := n-1, 0
+	for d%2 == 0 {
+		d /= 2
+		s++
+	}
+	for _, a := range millerRabinWitnesses {
+		if a%n == 0 {
+			continue
+		}
+		x := powMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for r := 1; r < s; r++ {
+			x = mulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime >= n. It panics if no prime
+// exists below 2^64 (unreachable for the magnitudes used here).
+func NextPrime(n uint64) uint64 {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for ; ; n += 2 {
+		if IsPrime(n) {
+			return n
+		}
+		if n > n+2 {
+			panic("prime: NextPrime overflow")
+		}
+	}
+}
+
+// RandPrimeIn returns a uniformly-ish random prime in [lo, hi), sampled
+// by rejection: draw a random odd candidate and Miller–Rabin test it.
+// By the prime number theorem the expected number of draws is
+// O(log hi); we cap attempts defensively and fall back to a linear
+// scan, so the function always terminates with a prime when one exists
+// in the interval. It panics if [lo, hi) contains no prime.
+//
+// Lemma 6 draws p from [D, D^3]; Lemma 8 from Θ(log mM · loglog mM).
+// Callers pass the interval appropriate to their space budget.
+func RandPrimeIn(rng *rand.Rand, lo, hi uint64) uint64 {
+	if hi <= lo {
+		panic("prime: empty interval")
+	}
+	if hi <= 3 {
+		if lo <= 2 {
+			return 2
+		}
+		panic("prime: no prime in interval")
+	}
+	span := hi - lo
+	for attempt := 0; attempt < 64*64; attempt++ {
+		c := lo + uint64(rng.Int63n(int64(min64(span, 1<<62))))
+		if c < 3 {
+			c = 3
+		}
+		c |= 1 // odd
+		if c >= hi {
+			continue
+		}
+		if IsPrime(c) {
+			return c
+		}
+	}
+	// Fallback: deterministic scan (only reachable for tiny intervals).
+	for c := lo; c < hi; c++ {
+		if IsPrime(c) {
+			return c
+		}
+	}
+	panic("prime: no prime in interval")
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Field is arithmetic modulo an arbitrary prime p < 2^63, used for the
+// L0 counters B_{i,j} of Lemma 6, which maintain dot products of the
+// frequency vector with a random vector over F_p.
+type Field struct {
+	P uint64
+}
+
+// NewField returns a Field with modulus p. It panics if p is not prime
+// (all call sites obtain p from RandPrimeIn or NextPrime, so a failure
+// here indicates a programming error, not bad input).
+func NewField(p uint64) Field {
+	if !IsPrime(p) {
+		panic("prime: NewField modulus is not prime")
+	}
+	return Field{P: p}
+}
+
+// Add returns (a+b) mod p for a, b < p.
+func (f Field) Add(a, b uint64) uint64 {
+	s := a + b
+	if s >= f.P || s < a { // s < a detects wraparound when p > 2^63
+		s -= f.P
+	}
+	return s
+}
+
+// Sub returns (a−b) mod p for a, b < p.
+func (f Field) Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + (f.P - b)
+}
+
+// Mul returns (a·b) mod p.
+func (f Field) Mul(a, b uint64) uint64 { return mulMod(a, b, f.P) }
+
+// Reduce maps an arbitrary uint64 into [0, p).
+func (f Field) Reduce(x uint64) uint64 { return x % f.P }
+
+// ReduceInt maps a signed update value v (possibly negative, as in the
+// turnstile model's (i, v) updates with v ∈ {−M..M}) into [0, p).
+func (f Field) ReduceInt(v int64) uint64 {
+	m := v % int64(f.P)
+	if m < 0 {
+		m += int64(f.P)
+	}
+	return uint64(m)
+}
+
+// Rand returns a uniformly random field element.
+func (f Field) Rand(rng *rand.Rand) uint64 {
+	// Rejection sampling over the smallest power-of-two range >= p
+	// keeps the distribution exactly uniform.
+	bitsNeeded := 64 - bits.LeadingZeros64(f.P-1)
+	mask := uint64(1)<<uint(bitsNeeded) - 1
+	for {
+		if x := rng.Uint64() & mask; x < f.P {
+			return x
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package prime
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMersenne61IsPrime(t *testing.T) {
+	if !IsPrime(Mersenne61) {
+		t.Fatal("2^61-1 must be prime")
+	}
+}
+
+func TestAddSubM61(t *testing.T) {
+	cases := []struct{ a, b, sum uint64 }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{Mersenne61 - 1, 1, 0},
+		{Mersenne61 - 1, Mersenne61 - 1, Mersenne61 - 2},
+	}
+	for _, c := range cases {
+		if got := AddM61(c.a, c.b); got != c.sum {
+			t.Errorf("AddM61(%d,%d)=%d want %d", c.a, c.b, got, c.sum)
+		}
+		if got := SubM61(c.sum, c.b); got != c.a {
+			t.Errorf("SubM61(%d,%d)=%d want %d", c.sum, c.b, got, c.a)
+		}
+	}
+}
+
+func TestMulM61AgainstBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := new(big.Int).SetUint64(Mersenne61)
+	for i := 0; i < 5000; i++ {
+		a := rng.Uint64() % Mersenne61
+		b := rng.Uint64() % Mersenne61
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, p)
+		if got := MulM61(a, b); got != want.Uint64() {
+			t.Fatalf("MulM61(%d,%d)=%d want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestReduceM61(t *testing.T) {
+	f := func(x uint64) bool {
+		return ReduceM61(x) == x%Mersenne61
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	if ReduceM61(Mersenne61) != 0 {
+		t.Error("ReduceM61(p) != 0")
+	}
+	if ReduceM61(^uint64(0)) != (^uint64(0))%Mersenne61 {
+		t.Error("ReduceM61(max) wrong")
+	}
+}
+
+func TestPowM61(t *testing.T) {
+	// Fermat: a^(p-1) = 1 mod p for a != 0.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		a := rng.Uint64()%(Mersenne61-1) + 1
+		if PowM61(a, Mersenne61-1) != 1 {
+			t.Fatalf("Fermat fails for a=%d", a)
+		}
+	}
+	if PowM61(2, 61) != 1 {
+		t.Error("2^61 mod 2^61-1 should be 1")
+	}
+	if PowM61(5, 0) != 1 {
+		t.Error("a^0 should be 1")
+	}
+}
+
+func TestInvM61(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		a := rng.Uint64()%(Mersenne61-1) + 1
+		if MulM61(a, InvM61(a)) != 1 {
+			t.Fatalf("InvM61(%d) wrong", a)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("InvM61(0) should panic")
+		}
+	}()
+	InvM61(0)
+}
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true,
+		4: false, 6: false, 9: false, 15: false, 21: false, 25: false,
+		0: false, 1: false,
+		97: true, 91: false, 561: false /* Carmichael */, 1105: false,
+		7919: true, 104729: true,
+	}
+	for n, want := range primes {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d)=%v want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimeAgainstSieve(t *testing.T) {
+	const limit = 20000
+	sieve := make([]bool, limit)
+	for i := 2; i < limit; i++ {
+		sieve[i] = true
+	}
+	for i := 2; i*i < limit; i++ {
+		if sieve[i] {
+			for j := i * i; j < limit; j += i {
+				sieve[j] = false
+			}
+		}
+	}
+	for n := uint64(0); n < limit; n++ {
+		if IsPrime(n) != sieve[n] {
+			t.Fatalf("IsPrime(%d) disagrees with sieve", n)
+		}
+	}
+}
+
+func TestIsPrimeLarge(t *testing.T) {
+	// Known large primes and composites near them.
+	known := map[uint64]bool{
+		1<<61 - 1:            true,
+		1<<61 + 1:            false, // divisible by 3? 2^61+1 = 3 * ...; composite either way
+		18446744073709551557: true,  // largest prime < 2^64
+		18446744073709551556: false,
+		4294967291:           true, // largest prime < 2^32
+		4294967295:           false,
+	}
+	for n, want := range known {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d)=%v want %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := []struct{ n, want uint64 }{
+		{0, 2}, {2, 2}, {3, 3}, {4, 5}, {8, 11}, {90, 97}, {7918, 7919},
+	}
+	for _, c := range cases {
+		if got := NextPrime(c.n); got != c.want {
+			t.Errorf("NextPrime(%d)=%d want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRandPrimeIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		lo := uint64(1000 + i*37)
+		hi := lo + 5000
+		p := RandPrimeIn(rng, lo, hi)
+		if p < lo || p >= hi || !IsPrime(p) {
+			t.Fatalf("RandPrimeIn(%d,%d) returned %d", lo, hi, p)
+		}
+	}
+	// Lemma 6 magnitudes: D = 100·K·log(mM).
+	D := uint64(100 * 4096 * 64)
+	p := RandPrimeIn(rng, D, 2*D)
+	if p < D || p >= 2*D || !IsPrime(p) {
+		t.Fatalf("Lemma-6-scale RandPrimeIn returned %d", p)
+	}
+}
+
+func TestRandPrimeInTinyInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if p := RandPrimeIn(rng, 13, 14); p != 13 {
+		t.Errorf("only prime in [13,14) is 13, got %d", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty interval should panic")
+		}
+	}()
+	RandPrimeIn(rng, 24, 25) // no prime in [24,25)
+}
+
+func TestFieldOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, p := range []uint64{2, 3, 101, 65537, 4294967291, Mersenne61} {
+		f := NewField(p)
+		for i := 0; i < 200; i++ {
+			a := rng.Uint64() % p
+			b := rng.Uint64() % p
+			if got := f.Add(a, b); got != (a+b)%p && !(a+b < a) {
+				t.Fatalf("p=%d Add(%d,%d)=%d", p, a, b, got)
+			}
+			if f.Sub(f.Add(a, b), b) != a {
+				t.Fatalf("p=%d Sub/Add roundtrip fails", p)
+			}
+			want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+			want.Mod(want, new(big.Int).SetUint64(p))
+			if got := f.Mul(a, b); got != want.Uint64() {
+				t.Fatalf("p=%d Mul(%d,%d)=%d want %v", p, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldReduceInt(t *testing.T) {
+	f := NewField(101)
+	cases := []struct {
+		v    int64
+		want uint64
+	}{
+		{0, 0}, {1, 1}, {-1, 100}, {101, 0}, {-101, 0}, {-102, 100},
+		{202, 0}, {-9223372036854775808, uint64(((-9223372036854775808 % 101) + 101) % 101)},
+	}
+	for _, c := range cases {
+		if got := f.ReduceInt(c.v); got != c.want {
+			t.Errorf("ReduceInt(%d)=%d want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFieldRandUniform(t *testing.T) {
+	// Chi-square-ish check on a small field.
+	f := NewField(17)
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, 17)
+	const trials = 170000
+	for i := 0; i < trials; i++ {
+		counts[f.Rand(rng)]++
+	}
+	want := float64(trials) / 17
+	for v, c := range counts {
+		if float64(c) < 0.93*want || float64(c) > 1.07*want {
+			t.Errorf("field element %d drawn %d times, want about %v", v, c, want)
+		}
+	}
+}
+
+func TestNewFieldRejectsComposite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewField(100) should panic")
+		}
+	}()
+	NewField(100)
+}
+
+func BenchmarkMulM61(b *testing.B) {
+	x, y := uint64(123456789012345), uint64(987654321098765)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s = MulM61(s^x, y)
+	}
+	_ = s
+}
+
+func BenchmarkIsPrime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		IsPrime(18446744073709551557)
+	}
+}

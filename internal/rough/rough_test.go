@@ -1,0 +1,246 @@
+package rough
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPaperKRE(t *testing.T) {
+	// K_RE = max(8, log n / loglog n).
+	if got := PaperKRE(32); got != 8 { // 32/5 = 6.4 → max with 8
+		t.Errorf("PaperKRE(32)=%d want 8", got)
+	}
+	if got := PaperKRE(60); got != 10 { // 60/log2(60)≈10.2 → 10
+		t.Errorf("PaperKRE(60)=%d want 10", got)
+	}
+	if got := PaperKRE(1); got != 8 {
+		t.Errorf("PaperKRE(1)=%d want 8", got)
+	}
+}
+
+func TestDefaultKREIsPow2AndAtLeast64(t *testing.T) {
+	for _, logN := range []uint{8, 16, 32, 62} {
+		k := DefaultKRE(logN)
+		if k < 64 || k&(k-1) != 0 {
+			t.Errorf("DefaultKRE(%d)=%d", logN, k)
+		}
+	}
+}
+
+func TestMedian3(t *testing.T) {
+	cases := []struct{ a, b, c, want int }{
+		{1, 2, 3, 2}, {3, 2, 1, 2}, {2, 3, 1, 2}, {5, 5, 5, 5},
+		{-1, 0, 7, 0}, {7, -1, -1, -1}, {0, 0, 1, 0},
+	}
+	for _, c := range cases {
+		if got := median3(c.a, c.b, c.c); got != c.want {
+			t.Errorf("median3(%d,%d,%d)=%d want %d", c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestEmptyEstimateIsZero(t *testing.T) {
+	e := New(Config{LogN: 32}, rand.New(rand.NewSource(40)))
+	if got := e.Estimate(); got != 0 {
+		t.Errorf("empty estimate = %d, want 0", got)
+	}
+}
+
+func TestEstimateMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	e := New(Config{LogN: 32, Fast: true}, rng)
+	prev := uint64(0)
+	for i := 0; i < 200000; i++ {
+		e.Update(rng.Uint64())
+		if i%1000 == 0 {
+			cur := e.Estimate()
+			if cur < prev {
+				t.Fatalf("estimate decreased: %d -> %d at i=%d", prev, cur, i)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestTheorem1AllTimes is experiment E2: with probability close to 1,
+// F0(t) ≤ Est(t) ≤ 8·F0(t) simultaneously for every t with
+// F0(t) ≥ K_RE. We run independent trials over a stream of fresh
+// distinct items (so F0(t) = t) and require ≥ 90% of trials to satisfy
+// the all-times guarantee at the library default K_RE.
+func TestTheorem1AllTimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	for _, fast := range []bool{false, true} {
+		const trials = 40
+		const streamLen = 1 << 15
+		ok := 0
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(100 + int64(trial)))
+			e := New(Config{LogN: 32, Fast: fast}, rng)
+			kre := uint64(e.KRE())
+			good := true
+			for i := uint64(1); i <= streamLen; i++ {
+				e.Update(rng.Uint64()) // fresh random 64-bit keys: F0(t)=t whp
+				if i >= kre && i%64 == 0 {
+					est := e.Estimate()
+					if est < i || est > 8*i {
+						good = false
+						break
+					}
+				}
+			}
+			if good {
+				ok++
+			}
+		}
+		if frac := float64(ok) / trials; frac < 0.9 {
+			t.Errorf("fast=%v: all-times guarantee held in only %.2f of trials", fast, frac)
+		}
+	}
+}
+
+// TestConstantFactorAtCheckpoints verifies the per-point guarantee of
+// Lemma 4 over a range of F0 magnitudes.
+func TestConstantFactorAtCheckpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := New(Config{LogN: 32, Fast: true}, rng)
+	n := uint64(0)
+	for _, target := range []uint64{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18} {
+		for n < target {
+			n++
+			e.Update(n | n<<32) // distinct keys
+		}
+		est := e.Estimate()
+		if est < n || est > 8*n {
+			t.Errorf("F0=%d: estimate %d outside [F0, 8F0]", n, est)
+		}
+	}
+}
+
+func TestRepeatedItemsDoNotInflate(t *testing.T) {
+	// F0 semantics: duplicates must not move the estimate.
+	rng := rand.New(rand.NewSource(43))
+	e := New(Config{LogN: 32, Fast: true}, rng)
+	for i := uint64(0); i < 4096; i++ {
+		e.Update(i)
+	}
+	before := e.Estimate()
+	for rep := 0; rep < 10; rep++ {
+		for i := uint64(0); i < 4096; i++ {
+			e.Update(i)
+		}
+	}
+	if after := e.Estimate(); after != before {
+		t.Errorf("duplicates changed estimate: %d -> %d", before, after)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	// Two same-seed estimators fed disjoint halves, merged, must equal
+	// one estimator fed the whole stream.
+	mk := func() *Estimator {
+		return New(Config{LogN: 32, Fast: true}, rand.New(rand.NewSource(44)))
+	}
+	a, b, whole := mk(), mk(), mk()
+	for i := uint64(0); i < 20000; i++ {
+		key := i*2654435761 + 7
+		whole.Update(key)
+		if i%2 == 0 {
+			a.Update(key)
+		} else {
+			b.Update(key)
+		}
+	}
+	a.MergeFrom(b)
+	if got, want := a.Estimate(), whole.Estimate(); got != want {
+		t.Errorf("merged estimate %d != whole-stream estimate %d", got, want)
+	}
+}
+
+func TestMergeIncompatiblePanics(t *testing.T) {
+	a := New(Config{LogN: 32, KRE: 64}, rand.New(rand.NewSource(1)))
+	b := New(Config{LogN: 32, KRE: 128}, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.MergeFrom(b)
+}
+
+func TestSpaceIsLogarithmic(t *testing.T) {
+	// Theorem 1: O(log n) bits. The counters+suffix-count+seed total for
+	// the polynomial variant at LogN=32 must be far below, say, one
+	// F0-sketch worth of ε⁻² bits for small ε, and must grow only
+	// linearly in logN.
+	s32 := New(Config{LogN: 32}, rand.New(rand.NewSource(2))).SpaceBits()
+	s62 := New(Config{LogN: 62}, rand.New(rand.NewSource(2))).SpaceBits()
+	if s62 > 3*s32 {
+		t.Errorf("space grows too fast: %d -> %d", s32, s62)
+	}
+	if s32 > 1<<20 {
+		t.Errorf("space unexpectedly large: %d bits", s32)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, cfg := range []Config{{LogN: 0}, {LogN: 63}, {LogN: 32, KRE: 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			New(cfg, rng)
+		}()
+	}
+}
+
+func TestPaperKREConfiguration(t *testing.T) {
+	// The paper-exact K_RE must still give a working (if noisier)
+	// estimator: within [F0, 8F0] at a fixed checkpoint in most trials.
+	const trials = 30
+	ok := 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(500 + int64(trial)))
+		e := New(Config{LogN: 32, KRE: PaperKRE(32), Fast: true}, rng)
+		const n = 1 << 14
+		for i := 0; i < n; i++ {
+			e.Update(rng.Uint64())
+		}
+		if est := e.Estimate(); est >= n && est <= 8*n {
+			ok++
+		}
+	}
+	if ok < trials*6/10 {
+		t.Errorf("paper K_RE: only %d/%d trials within [F0,8F0]", ok, trials)
+	}
+}
+
+func BenchmarkUpdateFast(b *testing.B) {
+	e := New(Config{LogN: 32, Fast: true}, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		e.Update(uint64(i))
+	}
+}
+
+func BenchmarkUpdateReference(b *testing.B) {
+	e := New(Config{LogN: 32}, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		e.Update(uint64(i))
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	e := New(Config{LogN: 32, Fast: true}, rand.New(rand.NewSource(1)))
+	for i := 0; i < 1<<16; i++ {
+		e.Update(uint64(i))
+	}
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += e.Estimate()
+	}
+	_ = s
+}

@@ -1,0 +1,159 @@
+// Package simulate is the experiment harness (DESIGN.md S12): it
+// drives any F0 estimator over any workload, measures relative error,
+// accounted state size, and per-update latency, and formats the
+// comparison tables that reproduce Figure 1 (experiment E1) and the
+// per-theorem experiments of EXPERIMENTS.md.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/stream"
+)
+
+// Result summarizes one estimator over one stream.
+type Result struct {
+	Algorithm   string
+	Workload    string
+	Truth       float64
+	Estimate    float64
+	RelErr      float64 // signed (Estimate−Truth)/Truth
+	SpaceBits   int
+	NsPerUpdate float64
+	Updates     int
+}
+
+// RunF0 drives one estimator over one stream and measures it.
+func RunF0(est baseline.F0Estimator, s stream.F0Stream) Result {
+	start := time.Now()
+	n := stream.Drain(s, est.Add)
+	elapsed := time.Since(start)
+	truth := float64(s.TrueF0())
+	got := est.Estimate()
+	rel := 0.0
+	if truth > 0 {
+		rel = (got - truth) / truth
+	}
+	return Result{
+		Algorithm:   est.Name(),
+		Workload:    s.Name(),
+		Truth:       truth,
+		Estimate:    got,
+		RelErr:      rel,
+		SpaceBits:   est.SpaceBits(),
+		NsPerUpdate: float64(elapsed.Nanoseconds()) / float64(max(n, 1)),
+		Updates:     n,
+	}
+}
+
+// Aggregate is RMS/worst-case error statistics over repeated trials.
+type Aggregate struct {
+	Algorithm   string
+	Trials      int
+	RMSRelErr   float64
+	MaxAbsRel   float64
+	MeanBits    float64
+	NsPerUpdate float64
+	Failures    int // trials whose estimate was NaN/Inf
+}
+
+// RunTrials runs trials independent (estimator, stream) pairs produced
+// by the two factories and aggregates.
+func RunTrials(trials int, mkEst func(trial int) baseline.F0Estimator,
+	mkStream func(trial int) stream.F0Stream) Aggregate {
+	var agg Aggregate
+	agg.Trials = trials
+	sum2, sumBits, sumNs := 0.0, 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		r := RunF0(mkEst(i), mkStream(i))
+		agg.Algorithm = r.Algorithm
+		if math.IsNaN(r.RelErr) || math.IsInf(r.RelErr, 0) {
+			agg.Failures++
+			continue
+		}
+		sum2 += r.RelErr * r.RelErr
+		if a := math.Abs(r.RelErr); a > agg.MaxAbsRel {
+			agg.MaxAbsRel = a
+		}
+		sumBits += float64(r.SpaceBits)
+		sumNs += r.NsPerUpdate
+	}
+	good := trials - agg.Failures
+	if good > 0 {
+		agg.RMSRelErr = math.Sqrt(sum2 / float64(good))
+		agg.MeanBits = sumBits / float64(good)
+		agg.NsPerUpdate = sumNs / float64(good)
+	}
+	return agg
+}
+
+// FormatTable renders results as an aligned text table, one row per
+// result, for the CLI tools and EXPERIMENTS.md.
+func FormatTable(rows []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-28s %12s %12s %9s %12s %10s\n",
+		"algorithm", "workload", "truth", "estimate", "rel.err", "space(bits)", "ns/update")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %-28s %12.0f %12.0f %8.3f%% %12d %10.1f\n",
+			r.Algorithm, r.Workload, r.Truth, r.Estimate, 100*r.RelErr, r.SpaceBits, r.NsPerUpdate)
+	}
+	return b.String()
+}
+
+// FormatAggregates renders aggregates sorted by RMS error.
+func FormatAggregates(rows []Aggregate) string {
+	sorted := append([]Aggregate(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RMSRelErr < sorted[j].RMSRelErr })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %7s %10s %10s %14s %10s %8s\n",
+		"algorithm", "trials", "rms.err", "max.err", "mean bits", "ns/update", "fails")
+	for _, a := range sorted {
+		fmt.Fprintf(&b, "%-22s %7d %9.3f%% %9.3f%% %14.0f %10.1f %8d\n",
+			a.Algorithm, a.Trials, 100*a.RMSRelErr, 100*a.MaxAbsRel, a.MeanBits, a.NsPerUpdate, a.Failures)
+	}
+	return b.String()
+}
+
+// LatencyProfile measures per-update latency quantiles — the
+// worst-case-vs-amortized comparison of experiment E6. It feeds the
+// stream one key at a time, timing each Add individually (coarse, but
+// Θ(K) rescan spikes at rescale boundaries are orders of magnitude
+// above the timer's noise floor).
+type LatencyProfile struct {
+	P50, P99, P999, Max time.Duration
+	N                   int
+}
+
+// MeasureLatency profiles est over the stream.
+func MeasureLatency(est baseline.F0Estimator, s stream.F0Stream) LatencyProfile {
+	lat := make([]time.Duration, 0, 1<<21)
+	stream.Drain(s, func(k uint64) {
+		t0 := time.Now()
+		est.Add(k)
+		lat = append(lat, time.Since(t0))
+	})
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return LatencyProfile{
+		P50: q(0.50), P99: q(0.99), P999: q(0.999),
+		Max: lat[len(lat)-1], N: len(lat),
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Packet is one simulated network event: a (source IP, destination IP,
+// destination port) triple. Keys for distinct-counting are derived
+// from it (SrcKey for "distinct sources", FlowKey for "distinct
+// source-destination pairs" — the statistics the paper's introduction
+// says routers track).
+type Packet struct {
+	SrcIP   uint32
+	DstIP   uint32
+	DstPort uint16
+}
+
+// SrcKey is the distinct-sources key ("number of distinct Code Red
+// sources passing through a link", Estan et al. per the paper's intro).
+func (p Packet) SrcKey() uint64 { return uint64(p.SrcIP) }
+
+// FlowKey is the source-destination pair key.
+func (p Packet) FlowKey() uint64 { return uint64(p.SrcIP)<<32 | uint64(p.DstIP) }
+
+// ScanKey is the (source, destination port) key used for port-scan
+// detection: a scanner touches many distinct ports from one source.
+func (p Packet) ScanKey() uint64 { return uint64(p.SrcIP)<<16 | uint64(p.DstPort) }
+
+// NetTrace generates a three-phase synthetic router trace:
+//
+//  1. baseline: popular servers contacted by a stable population of
+//     benign sources (heavy-tailed popularity);
+//  2. DDoS window: a victim destination is flooded by spoofed, mostly
+//     never-repeating source IPs (the distinct-sources signal spikes);
+//  3. port scan: one source probes a range of destination ports.
+//
+// The generator records exact ground truth for each phase so the
+// netmon example and experiment E12 can validate detection thresholds.
+type NetTrace struct {
+	rng     *rand.Rand
+	packets []Packet
+
+	pos int
+
+	// Ground truth.
+	BaselineSrcs int // distinct benign sources
+	DDoSSrcs     int // distinct spoofed sources in the attack window
+	ScanPorts    int // distinct ports probed by the scanner
+	DDoSStart    int // packet index where the attack begins
+	DDoSEnd      int
+	ScanStart    int
+	ScanEnd      int
+}
+
+// NetTraceConfig sizes the trace.
+type NetTraceConfig struct {
+	BenignSources int // stable population (default 5000)
+	BaselinePkts  int // phase 1 length (default 200000)
+	DDoSSources   int // spoofed sources (default 80000)
+	DDoSPkts      int // phase 2 length (default 100000)
+	ScanPorts     int // ports probed (default 20000)
+	Seed          int64
+}
+
+func (c *NetTraceConfig) normalize() {
+	if c.BenignSources == 0 {
+		c.BenignSources = 5000
+	}
+	if c.BaselinePkts == 0 {
+		c.BaselinePkts = 200000
+	}
+	if c.DDoSSources == 0 {
+		c.DDoSSources = 80000
+	}
+	if c.DDoSPkts == 0 {
+		c.DDoSPkts = 100000
+	}
+	if c.ScanPorts == 0 {
+		c.ScanPorts = 20000
+	}
+}
+
+// NewNetTrace generates the full trace up front (ground truth requires
+// materializing it anyway; a few hundred thousand packets).
+func NewNetTrace(cfg NetTraceConfig) *NetTrace {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &NetTrace{rng: rng}
+
+	benign := make([]uint32, cfg.BenignSources)
+	seen := make(map[uint32]struct{}, cfg.BenignSources)
+	for i := range benign {
+		for {
+			ip := rng.Uint32()
+			if _, dup := seen[ip]; !dup {
+				seen[ip] = struct{}{}
+				benign[i] = ip
+				break
+			}
+		}
+	}
+	servers := make([]uint32, 50)
+	for i := range servers {
+		servers[i] = rng.Uint32()
+	}
+
+	// Phase 1: benign traffic. Source popularity is heavy-tailed via a
+	// Zipf over the benign population; the tail of the population may
+	// never appear, so ground truth counts who actually did.
+	zs := rand.NewZipf(rng, 1.2, 1, uint64(cfg.BenignSources-1))
+	appeared := make(map[uint32]struct{}, cfg.BenignSources)
+	for i := 0; i < cfg.BaselinePkts; i++ {
+		src := benign[zs.Uint64()]
+		appeared[src] = struct{}{}
+		t.packets = append(t.packets, Packet{
+			SrcIP:   src,
+			DstIP:   servers[rng.Intn(len(servers))],
+			DstPort: uint16(80 + rng.Intn(4)),
+		})
+	}
+	t.BaselineSrcs = len(appeared)
+
+	// Phase 2: DDoS — spoofed sources flood one victim.
+	t.DDoSStart = len(t.packets)
+	victim := servers[0]
+	spoofed := make(map[uint32]struct{}, cfg.DDoSSources)
+	for i := 0; i < cfg.DDoSPkts; i++ {
+		var src uint32
+		if len(spoofed) < cfg.DDoSSources {
+			src = rng.Uint32()
+			spoofed[src] = struct{}{}
+		} else {
+			src = benign[rng.Intn(len(benign))]
+		}
+		t.packets = append(t.packets, Packet{SrcIP: src, DstIP: victim, DstPort: 80})
+		// Background traffic continues during the attack.
+		if i%4 == 0 {
+			t.packets = append(t.packets, Packet{
+				SrcIP:   benign[zs.Uint64()],
+				DstIP:   servers[rng.Intn(len(servers))],
+				DstPort: 80,
+			})
+		}
+	}
+	t.DDoSSrcs = len(spoofed)
+	t.DDoSEnd = len(t.packets)
+
+	// Phase 3: port scan from a single source.
+	t.ScanStart = len(t.packets)
+	scanner := rng.Uint32()
+	target := servers[1]
+	for port := 0; port < cfg.ScanPorts; port++ {
+		t.packets = append(t.packets, Packet{
+			SrcIP:   scanner,
+			DstIP:   target,
+			DstPort: uint16(port),
+		})
+		if port%8 == 0 {
+			t.packets = append(t.packets, Packet{
+				SrcIP:   benign[zs.Uint64()],
+				DstIP:   servers[rng.Intn(len(servers))],
+				DstPort: 80,
+			})
+		}
+	}
+	t.ScanPorts = cfg.ScanPorts
+	t.ScanEnd = len(t.packets)
+	return t
+}
+
+// Next returns the next packet.
+func (t *NetTrace) Next() (Packet, bool) {
+	if t.pos >= len(t.packets) {
+		return Packet{}, false
+	}
+	p := t.packets[t.pos]
+	t.pos++
+	return p, true
+}
+
+// Len returns the total packet count.
+func (t *NetTrace) Len() int { return len(t.packets) }
+
+// Pos returns the index of the next packet to be returned.
+func (t *NetTrace) Pos() int { return t.pos }
+
+// Name labels the trace.
+func (t *NetTrace) Name() string {
+	return fmt.Sprintf("nettrace(benign=%d,ddos=%d,scan=%d)", t.BaselineSrcs, t.DDoSSrcs, t.ScanPorts)
+}

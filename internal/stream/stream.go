@@ -1,0 +1,174 @@
+// Package stream provides the synthetic workload generators used by
+// the experiments and examples (DESIGN.md §5(3)): the paper's
+// motivating workloads — router traffic with distinct destination
+// IPs, Code-Red-style worm spread, port scans, search-engine query
+// logs — are not distributable, so we generate streams with the same
+// shapes and *known ground truth*, which the algorithms (consuming
+// only a sequence of 64-bit keys) cannot distinguish from the real
+// thing. Every generator is deterministic given its seed.
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// F0Stream is a finite stream of keys with known distinct count.
+type F0Stream interface {
+	// Next returns the next key, or ok=false at end of stream.
+	Next() (key uint64, ok bool)
+	// TrueF0 returns the exact number of distinct keys in the whole
+	// stream (valid at any time; it describes the full stream).
+	TrueF0() int
+	// Name labels the workload in tables.
+	Name() string
+}
+
+// Uniform emits length keys drawn from a pool of exactly f0 distinct
+// random 64-bit keys, guaranteeing every pool element appears at least
+// once (the first f0 emissions cover the pool in random order).
+type Uniform struct {
+	pool []uint64
+	rng  *rand.Rand
+	pos  int
+	len  int
+}
+
+// NewUniform builds a uniform workload with f0 distinct keys and the
+// given total length (length ≥ f0).
+func NewUniform(f0, length int, seed int64) *Uniform {
+	if f0 < 1 || length < f0 {
+		panic("stream: need length >= f0 >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]uint64, f0)
+	seen := make(map[uint64]struct{}, f0)
+	for i := range pool {
+		for {
+			k := rng.Uint64()
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				pool[i] = k
+				break
+			}
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return &Uniform{pool: pool, rng: rng, len: length}
+}
+
+// Next implements F0Stream.
+func (u *Uniform) Next() (uint64, bool) {
+	if u.pos >= u.len {
+		return 0, false
+	}
+	var k uint64
+	if u.pos < len(u.pool) {
+		k = u.pool[u.pos] // first pass covers the pool
+	} else {
+		k = u.pool[u.rng.Intn(len(u.pool))]
+	}
+	u.pos++
+	return k, true
+}
+
+// TrueF0 implements F0Stream.
+func (u *Uniform) TrueF0() int { return len(u.pool) }
+
+// Name implements F0Stream.
+func (u *Uniform) Name() string { return fmt.Sprintf("uniform(F0=%d,m=%d)", len(u.pool), u.len) }
+
+// Sequential emits 0, 1, …, f0−1 cycled until length keys have been
+// produced — the adversarially-regular input that trips up weak hash
+// functions (structured keys are simple tabulation's hard case).
+type Sequential struct {
+	f0, length, pos int
+}
+
+// NewSequential builds the sequential workload.
+func NewSequential(f0, length int) *Sequential {
+	if f0 < 1 || length < f0 {
+		panic("stream: need length >= f0 >= 1")
+	}
+	return &Sequential{f0: f0, length: length}
+}
+
+// Next implements F0Stream.
+func (s *Sequential) Next() (uint64, bool) {
+	if s.pos >= s.length {
+		return 0, false
+	}
+	k := uint64(s.pos % s.f0)
+	s.pos++
+	return k, true
+}
+
+// TrueF0 implements F0Stream.
+func (s *Sequential) TrueF0() int { return s.f0 }
+
+// Name implements F0Stream.
+func (s *Sequential) Name() string { return fmt.Sprintf("sequential(F0=%d,m=%d)", s.f0, s.length) }
+
+// Zipf emits keys with a heavy-tailed (Zipfian) popularity
+// distribution over a universe of size u — the query-log / URL shape
+// from the paper's data-mining motivation. The exact distinct count is
+// tracked during generation.
+type Zipf struct {
+	z      *rand.Zipf
+	length int
+	pos    int
+	seen   map[uint64]struct{}
+	f0     int
+	keys   []uint64 // pre-generated so TrueF0 is exact up front
+}
+
+// NewZipf builds a Zipf(s, v) workload over universe [u] of the given
+// length (s > 1 controls skew; 1.1 is web-like).
+func NewZipf(universe uint64, s float64, length int, seed int64) *Zipf {
+	if universe < 2 || length < 1 || s <= 1 {
+		panic("stream: bad Zipf parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zg := rand.NewZipf(rng, s, 1, universe-1)
+	z := &Zipf{length: length, seen: make(map[uint64]struct{})}
+	z.keys = make([]uint64, length)
+	// Scramble the Zipf ranks so popular keys are not tiny integers
+	// (mirrors hashing real URLs/IPs into the key space).
+	const scramble = 0x9e3779b97f4a7c15
+	for i := range z.keys {
+		k := zg.Uint64()*scramble + 1
+		z.keys[i] = k
+		z.seen[k] = struct{}{}
+	}
+	z.f0 = len(z.seen)
+	return z
+}
+
+// Next implements F0Stream.
+func (z *Zipf) Next() (uint64, bool) {
+	if z.pos >= z.length {
+		return 0, false
+	}
+	k := z.keys[z.pos]
+	z.pos++
+	return k, true
+}
+
+// TrueF0 implements F0Stream.
+func (z *Zipf) TrueF0() int { return z.f0 }
+
+// Name implements F0Stream.
+func (z *Zipf) Name() string { return fmt.Sprintf("zipf(F0=%d,m=%d)", z.f0, z.length) }
+
+// Drain runs a stream to completion through fn.
+func Drain(s F0Stream, fn func(uint64)) int {
+	n := 0
+	for {
+		k, ok := s.Next()
+		if !ok {
+			return n
+		}
+		fn(k)
+		n++
+	}
+}

@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformGroundTruth(t *testing.T) {
+	s := NewUniform(1000, 5000, 1)
+	seen := make(map[uint64]struct{})
+	n := Drain(s, func(k uint64) { seen[k] = struct{}{} })
+	if n != 5000 {
+		t.Errorf("length %d", n)
+	}
+	if len(seen) != 1000 || s.TrueF0() != 1000 {
+		t.Errorf("distinct %d TrueF0 %d", len(seen), s.TrueF0())
+	}
+}
+
+func TestUniformCoversPoolEvenIfTruncated(t *testing.T) {
+	// The first f0 emissions are exactly the pool.
+	s := NewUniform(100, 100, 2)
+	seen := make(map[uint64]struct{})
+	Drain(s, func(k uint64) { seen[k] = struct{}{} })
+	if len(seen) != 100 {
+		t.Errorf("pool not covered: %d", len(seen))
+	}
+}
+
+func TestSequential(t *testing.T) {
+	s := NewSequential(10, 35)
+	var keys []uint64
+	Drain(s, func(k uint64) { keys = append(keys, k) })
+	if len(keys) != 35 || keys[0] != 0 || keys[10] != 0 || keys[34] != 4 {
+		t.Errorf("sequential wrong: %v", keys[:5])
+	}
+	if s.TrueF0() != 10 {
+		t.Errorf("TrueF0 %d", s.TrueF0())
+	}
+}
+
+func TestZipfGroundTruthAndSkew(t *testing.T) {
+	s := NewZipf(1<<20, 1.2, 100000, 3)
+	seen := make(map[uint64]int)
+	Drain(s, func(k uint64) { seen[k]++ })
+	if len(seen) != s.TrueF0() {
+		t.Errorf("distinct %d TrueF0 %d", len(seen), s.TrueF0())
+	}
+	// Heavy tail: the most popular key should dominate.
+	max := 0
+	for _, c := range seen {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100000/20 {
+		t.Errorf("no heavy hitter: max count %d", max)
+	}
+	if s.TrueF0() >= 100000 {
+		t.Error("Zipf produced no repeats")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := NewUniform(500, 2000, 42)
+	b := NewUniform(500, 2000, 42)
+	for {
+		ka, oka := a.Next()
+		kb, okb := b.Next()
+		if oka != okb || ka != kb {
+			t.Fatal("same seed, different streams")
+		}
+		if !oka {
+			break
+		}
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewUniform(0, 10, 1) },
+		func() { NewUniform(10, 5, 1) },
+		func() { NewSequential(0, 10) },
+		func() { NewZipf(1, 1.2, 10, 1) },
+		func() { NewZipf(100, 1.0, 10, 1) },
+		func() { NewColumnPair(-1, 0, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNetTracePhases(t *testing.T) {
+	tr := NewNetTrace(NetTraceConfig{Seed: 7})
+	if tr.Len() == 0 || tr.DDoSStart >= tr.DDoSEnd || tr.ScanStart >= tr.ScanEnd {
+		t.Fatalf("degenerate trace: %+v", tr)
+	}
+	// Verify ground truth by exact counting.
+	srcsBase := make(map[uint32]struct{})
+	srcsDDoS := make(map[uint32]struct{})
+	ports := make(map[uint16]struct{})
+	i := 0
+	for {
+		p, ok := tr.Next()
+		if !ok {
+			break
+		}
+		switch {
+		case i < tr.DDoSStart:
+			srcsBase[p.SrcIP] = struct{}{}
+		case i < tr.DDoSEnd:
+			srcsDDoS[p.SrcIP] = struct{}{}
+		default:
+			ports[p.DstPort] = struct{}{}
+		}
+		i++
+	}
+	if len(srcsBase) != tr.BaselineSrcs {
+		t.Errorf("baseline sources %d want %d", len(srcsBase), tr.BaselineSrcs)
+	}
+	// The attack window also carries benign background traffic, so the
+	// distinct-source count there is at least the spoofed count.
+	if len(srcsDDoS) < tr.DDoSSrcs {
+		t.Errorf("ddos sources %d < %d", len(srcsDDoS), tr.DDoSSrcs)
+	}
+	// The scan phase's distinct port count is dominated by the scanner.
+	if len(ports) < tr.ScanPorts {
+		t.Errorf("scan ports %d < %d", len(ports), tr.ScanPorts)
+	}
+}
+
+func TestPacketKeys(t *testing.T) {
+	p := Packet{SrcIP: 0x01020304, DstIP: 0x05060708, DstPort: 99}
+	if p.SrcKey() != 0x01020304 {
+		t.Error("SrcKey")
+	}
+	if p.FlowKey() != 0x0102030405060708 {
+		t.Error("FlowKey")
+	}
+	if p.ScanKey() != 0x01020304<<16|99 {
+		t.Error("ScanKey")
+	}
+}
+
+func TestChurnGroundTruth(t *testing.T) {
+	c := NewChurn(ChurnConfig{Live: 2000, Churned: 3000, Negative: 200, Seed: 9})
+	model := make(map[uint64]int64)
+	n := DrainTurnstile(c, func(k uint64, v int64) { model[k] += v })
+	if n != c.Len() {
+		t.Errorf("drained %d of %d", n, c.Len())
+	}
+	live := 0
+	neg := 0
+	for _, v := range model {
+		if v != 0 {
+			live++
+		}
+		if v < 0 {
+			neg++
+		}
+	}
+	if live != c.TrueL0() || live != 2000 {
+		t.Errorf("live %d TrueL0 %d", live, c.TrueL0())
+	}
+	if neg == 0 {
+		t.Error("no negative frequencies despite Negative=200")
+	}
+}
+
+func TestColumnPairGroundTruth(t *testing.T) {
+	cp := NewColumnPair(5000, 300, 200, 11)
+	model := make(map[uint64]int64)
+	DrainTurnstile(cp, func(k uint64, v int64) { model[k] += v })
+	diff := 0
+	for _, v := range model {
+		if v != 0 {
+			diff++
+		}
+	}
+	if diff != 500 || cp.TrueL0() != 500 {
+		t.Errorf("diff %d TrueL0 %d want 500", diff, cp.TrueL0())
+	}
+}
+
+func TestColumnPairIdenticalColumns(t *testing.T) {
+	cp := NewColumnPair(1000, 0, 0, 12)
+	model := make(map[uint64]int64)
+	DrainTurnstile(cp, func(k uint64, v int64) { model[k] += v })
+	for _, v := range model {
+		if v != 0 {
+			t.Fatal("identical columns should cancel exactly")
+		}
+	}
+	if cp.TrueL0() != 0 {
+		t.Errorf("TrueL0 %d want 0", cp.TrueL0())
+	}
+}
+
+func TestChurnUpdateMagnitudes(t *testing.T) {
+	c := NewChurn(ChurnConfig{Live: 500, MaxDelta: 10, Seed: 13})
+	maxAbs := int64(0)
+	DrainTurnstile(c, func(_ uint64, v int64) {
+		if a := int64(math.Abs(float64(v))); a > maxAbs {
+			maxAbs = a
+		}
+	})
+	// Residual parts can exceed MaxDelta by the split factor but stay
+	// within a small multiple.
+	if maxAbs > 50 {
+		t.Errorf("update magnitude %d far above MaxDelta", maxAbs)
+	}
+}

@@ -1,0 +1,208 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TurnstileUpdate is one (key, delta) update in the L0 model.
+type TurnstileUpdate struct {
+	Key   uint64
+	Delta int64
+}
+
+// TurnstileStream is a finite update stream with known final L0.
+type TurnstileStream interface {
+	Next() (TurnstileUpdate, bool)
+	// TrueL0 is the exact |{i : x_i ≠ 0}| after the whole stream.
+	TrueL0() int
+	Name() string
+}
+
+// Churn generates an insert/delete workload: live items that survive,
+// churned items that are inserted and later fully deleted, and
+// optionally items driven to negative frequencies (which still count
+// toward L0 — the capability Ganguly's algorithm lacks).
+type Churn struct {
+	updates []TurnstileUpdate
+	pos     int
+	l0      int
+}
+
+// ChurnConfig sizes a Churn workload.
+type ChurnConfig struct {
+	Live     int   // items with nonzero final frequency (default 10000)
+	Churned  int   // items inserted then fully deleted (default Live)
+	Negative int   // of the live items, how many end negative (default Live/10)
+	MaxDelta int64 // per-update magnitude bound M (default 100)
+	Seed     int64
+}
+
+func (c *ChurnConfig) normalize() {
+	if c.Live == 0 {
+		c.Live = 10000
+	}
+	if c.Churned == 0 {
+		c.Churned = c.Live
+	}
+	if c.Negative == 0 {
+		c.Negative = c.Live / 10
+	}
+	if c.MaxDelta == 0 {
+		c.MaxDelta = 100
+	}
+}
+
+// NewChurn builds the workload, shuffling all updates together so
+// inserts and deletes interleave arbitrarily.
+func NewChurn(cfg ChurnConfig) *Churn {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var ups []TurnstileUpdate
+	seen := make(map[uint64]struct{}, cfg.Live+cfg.Churned)
+	fresh := func() uint64 {
+		for {
+			k := rng.Uint64()
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				return k
+			}
+		}
+	}
+	// Live items: one or more updates summing to a nonzero total.
+	for i := 0; i < cfg.Live; i++ {
+		k := fresh()
+		total := rng.Int63n(cfg.MaxDelta) + 1
+		if i < cfg.Negative {
+			total = -total
+		}
+		// Split the total across up to 3 updates.
+		parts := rng.Intn(3) + 1
+		rem := total
+		for p := 0; p < parts-1; p++ {
+			d := rng.Int63n(cfg.MaxDelta)*2 - cfg.MaxDelta
+			ups = append(ups, TurnstileUpdate{k, d})
+			rem -= d
+		}
+		ups = append(ups, TurnstileUpdate{k, rem})
+	}
+	// Churned items: updates summing to exactly zero.
+	for i := 0; i < cfg.Churned; i++ {
+		k := fresh()
+		v := rng.Int63n(cfg.MaxDelta) + 1
+		ups = append(ups, TurnstileUpdate{k, v}, TurnstileUpdate{k, -v})
+	}
+	// Shuffle while keeping each key's internal order (swapping whole
+	// updates is fine — addition commutes, the final vector is what
+	// matters for L0).
+	rng.Shuffle(len(ups), func(i, j int) { ups[i], ups[j] = ups[j], ups[i] })
+	return &Churn{updates: ups, l0: cfg.Live}
+}
+
+// Next implements TurnstileStream.
+func (c *Churn) Next() (TurnstileUpdate, bool) {
+	if c.pos >= len(c.updates) {
+		return TurnstileUpdate{}, false
+	}
+	u := c.updates[c.pos]
+	c.pos++
+	return u, true
+}
+
+// TrueL0 implements TurnstileStream.
+func (c *Churn) TrueL0() int { return c.l0 }
+
+// Len returns the number of updates.
+func (c *Churn) Len() int { return len(c.updates) }
+
+// Name implements TurnstileStream.
+func (c *Churn) Name() string {
+	return fmt.Sprintf("churn(L0=%d,updates=%d)", c.l0, len(c.updates))
+}
+
+// ColumnPair models the paper's data-cleaning application (Section 1:
+// "L0-estimation can be applied to a pair of streams to measure the
+// number of unequal item counts … to find columns that are mostly
+// similar, even if the rows are in different orders"). Two columns A
+// and B share `common` values; A has `onlyA` extra rows and B has
+// `onlyB`. Feeding A with +1 and B with −1 makes L0 of the difference
+// vector equal the number of value slots where the multisets differ.
+type ColumnPair struct {
+	updates []TurnstileUpdate
+	pos     int
+	l0      int
+	rows    int
+}
+
+// NewColumnPair builds the workload. Rows of each column are emitted
+// in independently shuffled order.
+func NewColumnPair(common, onlyA, onlyB int, seed int64) *ColumnPair {
+	if common < 0 || onlyA < 0 || onlyB < 0 {
+		panic("stream: negative column sizes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]struct{})
+	fresh := func() uint64 {
+		for {
+			k := rng.Uint64()
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				return k
+			}
+		}
+	}
+	shared := make([]uint64, common)
+	for i := range shared {
+		shared[i] = fresh()
+	}
+	var colA, colB []uint64
+	colA = append(colA, shared...)
+	for i := 0; i < onlyA; i++ {
+		colA = append(colA, fresh())
+	}
+	colB = append(colB, shared...)
+	for i := 0; i < onlyB; i++ {
+		colB = append(colB, fresh())
+	}
+	rng.Shuffle(len(colA), func(i, j int) { colA[i], colA[j] = colA[j], colA[i] })
+	rng.Shuffle(len(colB), func(i, j int) { colB[i], colB[j] = colB[j], colB[i] })
+	cp := &ColumnPair{l0: onlyA + onlyB, rows: len(colA) + len(colB)}
+	for _, v := range colA {
+		cp.updates = append(cp.updates, TurnstileUpdate{v, +1})
+	}
+	for _, v := range colB {
+		cp.updates = append(cp.updates, TurnstileUpdate{v, -1})
+	}
+	return cp
+}
+
+// Next implements TurnstileStream.
+func (c *ColumnPair) Next() (TurnstileUpdate, bool) {
+	if c.pos >= len(c.updates) {
+		return TurnstileUpdate{}, false
+	}
+	u := c.updates[c.pos]
+	c.pos++
+	return u, true
+}
+
+// TrueL0 implements TurnstileStream.
+func (c *ColumnPair) TrueL0() int { return c.l0 }
+
+// Name implements TurnstileStream.
+func (c *ColumnPair) Name() string {
+	return fmt.Sprintf("columnpair(L0=%d,rows=%d)", c.l0, c.rows)
+}
+
+// DrainTurnstile runs a turnstile stream through fn.
+func DrainTurnstile(s TurnstileStream, fn func(uint64, int64)) int {
+	n := 0
+	for {
+		u, ok := s.Next()
+		if !ok {
+			return n
+		}
+		fn(u.Key, u.Delta)
+		n++
+	}
+}

@@ -1,0 +1,228 @@
+// Package vla implements a variable-bit-length array — the
+// Blandford–Blelloch compact-dictionary structure the paper invokes as
+// Theorem 8 — storing n entries whose binary representations have
+// unequal lengths, in O(n + Σ len(C_i)) bits with O(1)-word-operation
+// reads and updates.
+//
+// The KNW F0 algorithm (Figure 3) stores K = 1/ε² counters C_j whose
+// values are offsets from the subsampling base b; each counter occupies
+// O(1 + log(C_j + 2)) bits, and the algorithm guarantees (by outputting
+// FAIL when the tracked total A exceeds 3K) that the combined payload
+// stays O(K) bits. A fixed-width array would instead cost
+// Θ(K·loglog n) bits and break the O(ε⁻² + log n) space bound, which is
+// exactly why the paper reaches for this structure.
+//
+// Layout: entries are grouped into blocks of blockSize = 16. A block
+// stores a 4-bit-granular length code per entry (lengths are rounded up
+// to multiples of 4 bits, preserving the O(1 + len) charge) and a
+// packed payload of []uint64 words. Because the block size is a fixed
+// constant and every entry is at most one machine word, a block spans
+// O(1) words whenever entries are short (as in Figure 3, where offsets
+// are O(loglog n) bits), so reading or rewriting a block is O(1) word
+// operations — the same accounting Blandford–Blelloch use.
+package vla
+
+import "fmt"
+
+const (
+	blockSize = 16 // entries per block; constant so block ops are O(1)
+	granule   = 4  // lengths are multiples of 4 bits; codes fit in 4 bits
+)
+
+// Array is a variable-bit-length array of uint64 values.
+type Array struct {
+	n      int
+	blocks []block
+}
+
+type block struct {
+	codes uint64   // 4-bit length code per entry: length = code*granule
+	data  []uint64 // packed payload, little-endian bit order
+}
+
+// New returns an Array of n entries, all zero. A zero entry occupies
+// zero payload bits (length code 0).
+func New(n int) *Array {
+	if n < 0 {
+		panic("vla: negative length")
+	}
+	return &Array{
+		n:      n,
+		blocks: make([]block, (n+blockSize-1)/blockSize),
+	}
+}
+
+// Len returns the number of entries.
+func (a *Array) Len() int { return a.n }
+
+// codeFor returns the 4-bit length code for value v: the number of
+// 4-bit granules needed to represent v (0 for v == 0, up to 15 for a
+// 60-bit value; values needing more than 60 bits are rejected, which is
+// far beyond anything Figure 3 stores).
+func codeFor(v uint64) uint64 {
+	if v >= 1<<60 {
+		panic("vla: value exceeds 60 bits")
+	}
+	c := uint64(0)
+	for x := v; x != 0; x >>= granule {
+		c++
+	}
+	return c
+}
+
+func (b *block) code(slot int) uint64 {
+	return (b.codes >> (4 * uint(slot))) & 0xF
+}
+
+func (b *block) setCode(slot int, c uint64) {
+	shift := 4 * uint(slot)
+	b.codes = b.codes&^(0xF<<shift) | c<<shift
+}
+
+// bitOffset returns the payload bit position where slot's entry starts:
+// the sum of preceding entries' lengths. blockSize is constant, so this
+// is O(1) word operations.
+func (b *block) bitOffset(slot int) uint {
+	off := uint(0)
+	for s := 0; s < slot; s++ {
+		off += uint(b.code(s)) * granule
+	}
+	return off
+}
+
+// Read returns entry i.
+func (a *Array) Read(i int) uint64 {
+	a.check(i)
+	b := &a.blocks[i/blockSize]
+	slot := i % blockSize
+	nbits := uint(b.code(slot)) * granule
+	if nbits == 0 {
+		return 0
+	}
+	return extractBits(b.data, b.bitOffset(slot), nbits)
+}
+
+// Write sets entry i to v, repacking the containing block if the
+// entry's bit length changed. Repacking touches one constant-size
+// block: O(1) word operations.
+func (a *Array) Write(i int, v uint64) {
+	a.check(i)
+	b := &a.blocks[i/blockSize]
+	slot := i % blockSize
+	oldCode := b.code(slot)
+	newCode := codeFor(v)
+	if oldCode == newCode {
+		if newCode != 0 {
+			depositBits(b.data, b.bitOffset(slot), uint(newCode)*granule, v)
+		}
+		return
+	}
+	// Length changed: decode the whole block, update, re-encode.
+	var vals [blockSize]uint64
+	off := uint(0)
+	for s := 0; s < blockSize; s++ {
+		n := uint(b.code(s)) * granule
+		if n > 0 {
+			vals[s] = extractBits(b.data, off, n)
+		} else {
+			vals[s] = 0
+		}
+		off += n
+	}
+	vals[slot] = v
+	b.setCode(slot, newCode)
+	total := uint(0)
+	for s := 0; s < blockSize; s++ {
+		total += uint(b.code(s)) * granule
+	}
+	words := int((total + 63) / 64)
+	if cap(b.data) < words {
+		nd := make([]uint64, words, words+2)
+		b.data = nd
+	} else {
+		b.data = b.data[:words]
+		for w := range b.data {
+			b.data[w] = 0
+		}
+	}
+	off = 0
+	for s := 0; s < blockSize; s++ {
+		n := uint(b.code(s)) * granule
+		if n > 0 {
+			depositBits(b.data, off, n, vals[s])
+		}
+		off += n
+	}
+}
+
+// PayloadBits returns Σ len(C_i) as stored (each entry rounded up to a
+// granule), the quantity Theorem 8's space bound is expressed in.
+func (a *Array) PayloadBits() int {
+	total := 0
+	for bi := range a.blocks {
+		b := &a.blocks[bi]
+		for s := 0; s < blockSize; s++ {
+			total += int(b.code(s)) * granule
+		}
+	}
+	return total
+}
+
+// SpaceBits returns the structure's total footprint: payload words plus
+// the per-block length codes — O(n + Σ len(C_i)) bits as in Theorem 8.
+func (a *Array) SpaceBits() int {
+	total := 0
+	for bi := range a.blocks {
+		total += 64 * len(a.blocks[bi].data) // packed payload
+		total += 64                          // length-code word
+	}
+	return total
+}
+
+// Reset zeroes every entry, releasing payload storage.
+func (a *Array) Reset() {
+	for bi := range a.blocks {
+		a.blocks[bi].codes = 0
+		a.blocks[bi].data = a.blocks[bi].data[:0]
+	}
+}
+
+func (a *Array) check(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("vla: index %d out of range [0,%d)", i, a.n))
+	}
+}
+
+// extractBits reads nbits (1..64) starting at bit position off from the
+// little-endian packed word slice.
+func extractBits(data []uint64, off, nbits uint) uint64 {
+	w, b := off/64, off%64
+	v := data[w] >> b
+	if b+nbits > 64 {
+		v |= data[w+1] << (64 - b)
+	}
+	if nbits < 64 {
+		v &= (1 << nbits) - 1
+	}
+	return v
+}
+
+// depositBits writes the low nbits of v at bit position off.
+func depositBits(data []uint64, off, nbits uint, v uint64) {
+	if nbits < 64 {
+		v &= (1 << nbits) - 1
+	}
+	w, b := off/64, off%64
+	data[w] = data[w]&^(maskBits(nbits)<<b) | v<<b
+	if b+nbits > 64 {
+		rem := b + nbits - 64
+		data[w+1] = data[w+1]&^maskBits(rem) | v>>(64-b)
+	}
+}
+
+func maskBits(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << n) - 1
+}

@@ -1,0 +1,146 @@
+package knw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/binenc"
+)
+
+// Serialization format: a magic/version header, the full option set
+// (including the seed), then each copy's dynamic counter state. Hash
+// functions never hit the wire — on load the sketch is rebuilt
+// deterministically from (options, seed) and only counters are
+// restored, so payload size tracks the sketch's accounted state, not
+// its tabulation tables.
+//
+// A sketch can therefore only be unmarshaled by a binary using the
+// same construction logic (this library), which is the usual contract
+// for sketch stores (statistics catalogs, checkpoint files).
+const (
+	f0Magic = 0x4b4e5746 // "KNWF"
+	l0Magic = 0x4b4e574c // "KNWL"
+	version = 1
+)
+
+func appendSettings(w *binenc.Writer, s settings) {
+	w.Uvarint(math.Float64bits(s.eps))
+	w.Uvarint(uint64(s.copies))
+	w.Uvarint(math.Float64bits(s.delta))
+	w.Varint(s.seed)
+	w.Uvarint(uint64(s.logN))
+	w.Uvarint(uint64(s.logMM))
+	w.Uvarint(uint64(s.kOverride))
+	w.Bool(s.reference)
+	w.Bool(s.lnTable)
+	w.Bool(s.strict)
+}
+
+func readSettings(r *binenc.Reader) settings {
+	var s settings
+	s.eps = math.Float64frombits(r.Uvarint())
+	s.copies = int(r.Uvarint())
+	s.delta = math.Float64frombits(r.Uvarint())
+	s.seed = r.Varint()
+	s.seedSet = true
+	s.logN = uint(r.Uvarint())
+	s.logMM = uint(r.Uvarint())
+	s.kOverride = int(r.Uvarint())
+	s.reference = r.Bool()
+	s.lnTable = r.Bool()
+	s.strict = r.Bool()
+	return s
+}
+
+func (s settings) valid() bool {
+	return s.eps > 0 && s.eps < 1 &&
+		s.copies >= 1 && s.copies <= 1<<10 &&
+		s.delta > 0 && s.delta < 1 &&
+		s.logN >= 4 && s.logN <= 62 &&
+		s.logMM >= 1 && s.logMM <= 62
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Any in-progress
+// deamortized phases are drained first, so marshaling is an O(state)
+// operation, not a hot-path one.
+func (f *F0) MarshalBinary() ([]byte, error) {
+	var w binenc.Writer
+	w.Uvarint(f0Magic)
+	w.Uvarint(version)
+	appendSettings(&w, f.cfg)
+	for _, s := range f.fast {
+		s.AppendState(&w)
+	}
+	for _, s := range f.ref {
+		s.AppendState(&w)
+	}
+	return w.Buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing f's
+// configuration and state entirely.
+func (f *F0) UnmarshalBinary(data []byte) error {
+	r := binenc.Reader{Buf: data}
+	r.Expect(f0Magic, "F0 magic")
+	r.Expect(version, "version")
+	cfg := readSettings(&r)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if !cfg.valid() {
+		return fmt.Errorf("knw: corrupt F0 header")
+	}
+	fresh := newF0From(cfg)
+	for _, s := range fresh.fast {
+		if err := s.RestoreState(&r); err != nil {
+			return fmt.Errorf("knw: restoring F0 copy: %w", err)
+		}
+	}
+	for _, s := range fresh.ref {
+		if err := s.RestoreState(&r); err != nil {
+			return fmt.Errorf("knw: restoring F0 copy: %w", err)
+		}
+	}
+	if len(r.Buf) != 0 {
+		return fmt.Errorf("knw: %d trailing bytes in F0 payload", len(r.Buf))
+	}
+	*f = *fresh
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for L0.
+func (l *L0) MarshalBinary() ([]byte, error) {
+	var w binenc.Writer
+	w.Uvarint(l0Magic)
+	w.Uvarint(version)
+	appendSettings(&w, l.cfg)
+	for _, s := range l.copies {
+		s.AppendState(&w)
+	}
+	return w.Buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for L0.
+func (l *L0) UnmarshalBinary(data []byte) error {
+	r := binenc.Reader{Buf: data}
+	r.Expect(l0Magic, "L0 magic")
+	r.Expect(version, "version")
+	cfg := readSettings(&r)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if !cfg.valid() {
+		return fmt.Errorf("knw: corrupt L0 header")
+	}
+	fresh := newL0From(cfg)
+	for _, s := range fresh.copies {
+		if err := s.RestoreState(&r); err != nil {
+			return fmt.Errorf("knw: restoring L0 copy: %w", err)
+		}
+	}
+	if len(r.Buf) != 0 {
+		return fmt.Errorf("knw: %d trailing bytes in L0 payload", len(r.Buf))
+	}
+	*l = *fresh
+	return nil
+}

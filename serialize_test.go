@@ -1,0 +1,158 @@
+package knw
+
+import (
+	"encoding"
+	"math"
+	"testing"
+)
+
+var (
+	_ encoding.BinaryMarshaler   = (*F0)(nil)
+	_ encoding.BinaryUnmarshaler = (*F0)(nil)
+	_ encoding.BinaryMarshaler   = (*L0)(nil)
+	_ encoding.BinaryUnmarshaler = (*L0)(nil)
+)
+
+func TestF0SerializeRoundTrip(t *testing.T) {
+	for _, opts := range [][]Option{
+		{WithSeed(50), WithEpsilon(0.1), WithCopies(3)},
+		{WithSeed(51), WithEpsilon(0.2), WithCopies(1), WithReference()},
+		{WithSeed(52), WithEpsilon(0.2), WithCopies(1), WithLnTable()},
+	} {
+		orig := NewF0(opts...)
+		for i := 0; i < 150_000; i++ {
+			orig.Add(uint64(i)*0x9e3779b97f4a7c15 + 1)
+		}
+		data, err := orig.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back F0
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := back.Estimate(), orig.Estimate(); got != want {
+			t.Fatalf("restored estimate %v != original %v", got, want)
+		}
+		// The restored sketch must keep working: adds continue the stream.
+		for i := 150_000; i < 200_000; i++ {
+			k := uint64(i)*0x9e3779b97f4a7c15 + 1
+			orig.Add(k)
+			back.Add(k)
+		}
+		g, w := back.Estimate(), orig.Estimate()
+		if g != w {
+			t.Fatalf("post-restore divergence: %v vs %v", g, w)
+		}
+		if rel := math.Abs(w-200000) / 200000; rel > 0.3 {
+			t.Fatalf("post-restore accuracy: %v", w)
+		}
+	}
+}
+
+func TestF0SerializeSmallRegime(t *testing.T) {
+	orig := NewF0(WithSeed(53), WithCopies(1))
+	for i := 0; i < 42; i++ {
+		orig.Add(uint64(i) + 1)
+	}
+	data, _ := orig.MarshalBinary()
+	var back F0
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != 42 {
+		t.Fatalf("exact regime lost: %v", back.Estimate())
+	}
+	back.Add(999_999_999)
+	if back.Estimate() != 43 {
+		t.Fatalf("restored exact set not live: %v", back.Estimate())
+	}
+}
+
+func TestL0SerializeRoundTrip(t *testing.T) {
+	orig := NewL0(WithSeed(54), WithEpsilon(0.2), WithCopies(1))
+	keys := make([]uint64, 40_000)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+		orig.Update(keys[i], 3)
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back L0
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != orig.Estimate() {
+		t.Fatalf("restored %v != original %v", back.Estimate(), orig.Estimate())
+	}
+	// Deletions must work against restored state: delete half on BOTH
+	// and compare exactly (linear counters, same hashes).
+	for i := 0; i < 20_000; i++ {
+		orig.Update(keys[i], -3)
+		back.Update(keys[i], -3)
+	}
+	if back.Estimate() != orig.Estimate() {
+		t.Fatalf("post-restore deletion divergence: %v vs %v", back.Estimate(), orig.Estimate())
+	}
+}
+
+func TestSerializeRejectsGarbage(t *testing.T) {
+	var f F0
+	for _, bad := range [][]byte{
+		nil,
+		{0x01},
+		[]byte("not a sketch at all, definitely"),
+	} {
+		if err := f.UnmarshalBinary(bad); err == nil {
+			t.Errorf("garbage %q accepted", bad)
+		}
+	}
+	// An L0 payload must not unmarshal as F0 and vice versa.
+	l := NewL0(WithSeed(55), WithCopies(1), WithEpsilon(0.3))
+	data, _ := l.MarshalBinary()
+	if err := f.UnmarshalBinary(data); err == nil {
+		t.Error("L0 payload accepted as F0")
+	}
+}
+
+func TestSerializeRejectsTruncation(t *testing.T) {
+	orig := NewF0(WithSeed(56), WithCopies(1), WithEpsilon(0.3))
+	for i := 0; i < 10_000; i++ {
+		orig.Add(uint64(i) + 1)
+	}
+	data, _ := orig.MarshalBinary()
+	for _, cut := range []int{1, len(data) / 4, len(data) / 2, len(data) - 1} {
+		var back F0
+		if err := back.UnmarshalBinary(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage must also be rejected.
+	var back F0
+	if err := back.UnmarshalBinary(append(append([]byte{}, data...), 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestSerializedSizeTracksState(t *testing.T) {
+	// Payload must scale with ε⁻² (counter state), not with the
+	// tabulation tables (which are reconstructed from the seed).
+	small := NewF0(WithSeed(57), WithCopies(1), WithEpsilon(0.2))
+	big := NewF0(WithSeed(57), WithCopies(1), WithEpsilon(0.05))
+	for i := 0; i < 100_000; i++ {
+		k := uint64(i) + 1
+		small.Add(k)
+		big.Add(k)
+	}
+	ds, _ := small.MarshalBinary()
+	db, _ := big.MarshalBinary()
+	if len(db) <= len(ds) {
+		t.Fatalf("sizes: eps=0.2 %dB, eps=0.05 %dB", len(ds), len(db))
+	}
+	// And stay far below the in-memory tabulation footprint.
+	if len(db)*8 > big.SpaceBits() {
+		t.Errorf("payload %d bits exceeds accounted state %d", len(db)*8, big.SpaceBits())
+	}
+}
