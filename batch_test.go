@@ -1,0 +1,343 @@
+package knw
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/binenc"
+)
+
+// batchKeys builds a stream with duplicates, clusters, and enough
+// distinct keys to push the sketches through several rescales.
+func batchKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		switch i % 3 {
+		case 0:
+			keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 1 // fresh
+		case 1:
+			keys[i] = uint64(i/7)*0x9e3779b97f4a7c15 + 1 // recent repeat
+		default:
+			keys[i] = uint64(i % 1000) // hot set
+		}
+	}
+	return keys
+}
+
+// feedBatches drives AddBatch with deliberately ragged batch sizes so
+// chunk boundaries (including short and oversized batches) are hit.
+func feedBatches(add func([]uint64), keys []uint64) {
+	sizes := []int{1, 97, 256, 3, 1000, 513}
+	for i, pos := 0, 0; pos < len(keys); i++ {
+		n := sizes[i%len(sizes)]
+		if pos+n > len(keys) {
+			n = len(keys) - pos
+		}
+		add(keys[pos : pos+n])
+		pos += n
+	}
+}
+
+// TestF0AddBatchMatchesScalar: same seed ⇒ AddBatch state is
+// byte-identical under MarshalBinary to sequential Add, for every
+// implementation variant.
+func TestF0AddBatchMatchesScalar(t *testing.T) {
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"fast", nil},
+		{"fast-lntable", []Option{WithLnTable()}},
+		{"fast-strict", []Option{WithStrictRescale()}},
+		{"reference", []Option{WithReference()}},
+	}
+	keys := batchKeys(120_000)
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			opts := append([]Option{WithSeed(7), WithEpsilon(0.1), WithCopies(3)}, v.opts...)
+			scalar := NewF0(opts...)
+			batched := NewF0(opts...)
+			for _, k := range keys {
+				scalar.Add(k)
+			}
+			feedBatches(batched.AddBatch, keys)
+
+			a, err := scalar.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := batched.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("batched state diverged from scalar state (%d vs %d bytes)", len(a), len(b))
+			}
+		})
+	}
+}
+
+// TestL0UpdateBatchMatchesScalar covers turnstile batches with mixed
+// signs, zero deltas, and the nil-deltas (+1) form.
+func TestL0UpdateBatchMatchesScalar(t *testing.T) {
+	keys := batchKeys(40_000)
+	deltas := make([]int64, len(keys))
+	for i := range deltas {
+		switch i % 5 {
+		case 0:
+			deltas[i] = 3
+		case 1:
+			deltas[i] = -3
+		case 2:
+			deltas[i] = 0
+		default:
+			deltas[i] = 1
+		}
+	}
+	opts := []Option{WithSeed(8), WithEpsilon(0.1), WithCopies(3)}
+	scalar := NewL0(opts...)
+	batched := NewL0(opts...)
+	for i, k := range keys {
+		scalar.Update(k, deltas[i])
+	}
+	pos := 0
+	feedBatches(func(chunk []uint64) {
+		batched.UpdateBatch(chunk, deltas[pos:pos+len(chunk)])
+		pos += len(chunk)
+	}, keys)
+
+	a, err := scalar.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := batched.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("batched L0 state diverged from scalar state")
+	}
+
+	// nil deltas ≡ all +1.
+	plus := NewL0(opts...)
+	ones := NewL0(opts...)
+	plus.AddBatch(keys[:5000])
+	for _, k := range keys[:5000] {
+		ones.Update(k, 1)
+	}
+	pa, _ := plus.MarshalBinary()
+	oa, _ := ones.MarshalBinary()
+	if !bytes.Equal(pa, oa) {
+		t.Fatal("AddBatch (nil deltas) diverged from Update(+1)")
+	}
+}
+
+// TestConcurrentBatchMatchesScalar: batched pre-routed ingestion must
+// leave every shard byte-identical to per-key ingestion of the same
+// stream (routing preserves per-shard order).
+func TestConcurrentBatchMatchesScalar(t *testing.T) {
+	keys := batchKeys(60_000)
+	opts := []Option{WithSeed(9), WithEpsilon(0.1), WithCopies(1)}
+	scalar := NewConcurrentF0(4, opts...)
+	batched := NewConcurrentF0(4, opts...)
+	for _, k := range keys {
+		scalar.Add(k)
+	}
+	feedBatches(batched.AddBatch, keys)
+	a, _ := scalar.MarshalBinary()
+	b, _ := batched.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("batched concurrent state diverged from per-key state")
+	}
+}
+
+// TestConcurrentF0SerializeRoundTrip checkpoints a sharded sketch and
+// restores it into a differently-shaped wrapper.
+func TestConcurrentF0SerializeRoundTrip(t *testing.T) {
+	c := NewConcurrentF0(4, WithSeed(10), WithEpsilon(0.1), WithCopies(3))
+	keys := batchKeys(80_000)
+	c.AddBatch(keys)
+	want := c.Estimate()
+
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewConcurrentF0(1) // shape is replaced by the payload
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Shards() != c.Shards() {
+		t.Fatalf("Shards=%d want %d", restored.Shards(), c.Shards())
+	}
+	if got := restored.Estimate(); got != want {
+		t.Fatalf("estimate %v after round trip, want %v", got, want)
+	}
+	// The restored wrapper must remain ingestible and mergeable.
+	restored.AddBatch(keys)
+	if got := restored.Estimate(); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("re-ingesting the same stream moved the estimate %v → %v", want, got)
+	}
+	blob2, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob2) == 0 {
+		t.Fatal("empty remarshal")
+	}
+}
+
+// TestConcurrentL0SerializeRoundTrip is the turnstile analogue, with
+// deletions surviving the round trip.
+func TestConcurrentL0SerializeRoundTrip(t *testing.T) {
+	c := NewConcurrentL0(4, WithSeed(11), WithEpsilon(0.1), WithCopies(3))
+	const live = 20_000
+	keys := make([]uint64, 0, 2*live)
+	deltas := make([]int64, 0, 2*live)
+	for i := 0; i < live+8000; i++ {
+		k := uint64(i)*0x9e3779b97f4a7c15 + 1
+		keys = append(keys, k)
+		deltas = append(deltas, 4)
+		if i >= live {
+			keys = append(keys, k)
+			deltas = append(deltas, -4)
+		}
+	}
+	c.UpdateBatch(keys, deltas)
+	want := c.Estimate()
+	if rel := math.Abs(want-live) / live; rel > 0.2 {
+		t.Fatalf("pre-marshal estimate %v (rel %.3f)", want, rel)
+	}
+
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewConcurrentL0(1)
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Estimate(); got != want {
+		t.Fatalf("estimate %v after round trip, want %v", got, want)
+	}
+}
+
+// marshalV1 writes the legacy version-1 (unframed) payload for f.
+func marshalV1F0(f *F0) []byte {
+	var w binenc.Writer
+	w.Uvarint(f0Magic)
+	w.Uvarint(1)
+	appendSettings(&w, f.cfg)
+	for _, s := range f.fast {
+		s.AppendState(&w)
+	}
+	for _, s := range f.ref {
+		s.AppendState(&w)
+	}
+	return w.Buf
+}
+
+func marshalV1L0(l *L0) []byte {
+	var w binenc.Writer
+	w.Uvarint(l0Magic)
+	w.Uvarint(1)
+	appendSettings(&w, l.cfg)
+	for _, s := range l.copies {
+		s.AppendState(&w)
+	}
+	return w.Buf
+}
+
+// TestVersion1PayloadStillUnmarshals: payloads written by the v1
+// (unframed) format load under the version-2 reader and re-marshal to
+// the same state as the original sketch's v2 payload.
+func TestVersion1PayloadStillUnmarshals(t *testing.T) {
+	f := NewF0(WithSeed(12), WithEpsilon(0.1), WithCopies(3))
+	keys := batchKeys(50_000)
+	f.AddBatch(keys)
+
+	var restored F0
+	if err := restored.UnmarshalBinary(marshalV1F0(f)); err != nil {
+		t.Fatalf("v1 F0 payload rejected: %v", err)
+	}
+	wantBlob, _ := f.MarshalBinary()
+	gotBlob, _ := restored.MarshalBinary()
+	if !bytes.Equal(wantBlob, gotBlob) {
+		t.Fatal("state restored from v1 differs from the original")
+	}
+
+	l := NewL0(WithSeed(13), WithEpsilon(0.1), WithCopies(3))
+	for i, k := range keys[:20_000] {
+		l.Update(k, int64(i%5-2))
+	}
+	var lr L0
+	if err := lr.UnmarshalBinary(marshalV1L0(l)); err != nil {
+		t.Fatalf("v1 L0 payload rejected: %v", err)
+	}
+	wantBlob, _ = l.MarshalBinary()
+	gotBlob, _ = lr.MarshalBinary()
+	if !bytes.Equal(wantBlob, gotBlob) {
+		t.Fatal("L0 state restored from v1 differs from the original")
+	}
+}
+
+// TestResetPreservesMergeability: a Reset sketch behaves like a fresh
+// same-seed sketch (the pooled-scratch contract).
+func TestResetPreservesMergeability(t *testing.T) {
+	opts := []Option{WithSeed(14), WithEpsilon(0.1), WithCopies(3)}
+	a := NewF0(opts...)
+	keys := batchKeys(60_000)
+	a.AddBatch(keys)
+	a.Reset()
+	fresh, _ := NewF0(opts...).MarshalBinary()
+	after, _ := a.MarshalBinary()
+	if !bytes.Equal(fresh, after) {
+		t.Fatal("Reset F0 state differs from a fresh same-seed sketch")
+	}
+	a.AddBatch(keys)
+	b := NewF0(opts...)
+	b.AddBatch(keys)
+	ab, _ := a.MarshalBinary()
+	bb, _ := b.MarshalBinary()
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("re-used F0 diverged from fresh sketch over the same stream")
+	}
+
+	l := NewL0(opts...)
+	l.AddBatch(keys[:20_000])
+	l.Reset()
+	freshL, _ := NewL0(opts...).MarshalBinary()
+	afterL, _ := l.MarshalBinary()
+	if !bytes.Equal(freshL, afterL) {
+		t.Fatal("Reset L0 state differs from a fresh same-seed sketch")
+	}
+}
+
+// TestConcurrentMerge folds one sharded wrapper into another,
+// including mismatched shard counts.
+func TestConcurrentMerge(t *testing.T) {
+	opts := []Option{WithSeed(15), WithEpsilon(0.1), WithCopies(1)}
+	a := NewConcurrentF0(4, opts...)
+	b := NewConcurrentF0(8, opts...)
+	keys := batchKeys(100_000)
+	half := len(keys) / 2
+	a.AddBatch(keys[:half])
+	b.AddBatch(keys[half:])
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	single := NewF0(opts...)
+	single.AddBatch(keys)
+	want := single.Estimate()
+	if got := a.Estimate(); math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("merged estimate %v, single-sketch %v", got, want)
+	}
+	if err := a.Merge(a); err == nil {
+		t.Fatal("self-merge must error")
+	}
+	other := NewConcurrentF0(4, WithSeed(16), WithEpsilon(0.1), WithCopies(1))
+	if err := a.Merge(other); err == nil {
+		t.Fatal("merge across seeds must error")
+	}
+}

@@ -10,6 +10,7 @@ package knw_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	knw "repro"
@@ -109,6 +110,155 @@ func BenchmarkKNWAmplified(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sk.Add(uint64(i) * 0x9e3779b97f4a7c15)
 	}
+}
+
+// --- E13: batched ingestion (DESIGN.md §13) -------------------------
+
+// benchBatch is the micro-batch size the batched benchmarks use.
+// Sized so each of the 8 shards still receives full precompute chunks
+// after routing (4096/8 = 512 = 2 chunks per shard per batch).
+const benchBatch = 4096
+
+// BenchmarkKNWIngest compares the scalar and batched single-sketch
+// ingestion paths; the batch path amortizes hash evaluation across
+// pipelined chunk loops.
+func BenchmarkKNWIngest(b *testing.B) {
+	b.Run("scalar", func(b *testing.B) {
+		sk := knw.NewF0(knw.WithEpsilon(0.05), knw.WithSeed(1), knw.WithCopies(1))
+		for i := 0; i < b.N; i++ {
+			sk.Add(uint64(i) * 0x9e3779b97f4a7c15)
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		sk := knw.NewF0(knw.WithEpsilon(0.05), knw.WithSeed(1), knw.WithCopies(1))
+		keys := make([]uint64, benchBatch)
+		for i := 0; i < b.N; i += len(keys) {
+			n := len(keys)
+			if rem := b.N - i; rem < n {
+				n = rem
+			}
+			for j := 0; j < n; j++ {
+				keys[j] = uint64(i+j) * 0x9e3779b97f4a7c15
+			}
+			sk.AddBatch(keys[:n])
+		}
+	})
+}
+
+// BenchmarkL0IngestBatch is the turnstile analogue.
+func BenchmarkL0IngestBatch(b *testing.B) {
+	sk := knw.NewL0(knw.WithEpsilon(0.1), knw.WithSeed(1), knw.WithCopies(1))
+	keys := make([]uint64, benchBatch)
+	for i := 0; i < b.N; i += len(keys) {
+		n := len(keys)
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			keys[j] = uint64(i+j) * 0x9e3779b97f4a7c15
+		}
+		sk.UpdateBatch(keys[:n], nil)
+	}
+}
+
+// benchKeyspace bounds the distinct keys the concurrent ingest
+// benchmarks draw from: production streams re-see items — that is the
+// point of distinct counting — so the steady state has a stable
+// subsampling offset rather than one growing with b.N.
+const benchKeyspace = 1 << 21
+
+// BenchmarkConcurrentF0Ingest is the headline concurrency comparison:
+// per-key ingestion (one shard-lock acquisition per key — the pre-v2
+// write path) against pre-routed batched ingestion (one lock per shard
+// per batch) on the same workload, with at least 8 writer goroutines.
+func BenchmarkConcurrentF0Ingest(b *testing.B) {
+	parallelism := 1
+	for p := runtime.GOMAXPROCS(0); p < 8; p *= 2 {
+		parallelism *= 2 // ensure ≥ 8 goroutines even on small machines
+	}
+	b.Run("per-key-lock", func(b *testing.B) {
+		c := knw.NewConcurrentF0(8, knw.WithSeed(1), knw.WithCopies(1))
+		b.SetParallelism(parallelism)
+		b.RunParallel(func(pb *testing.PB) {
+			i := uint64(0)
+			for pb.Next() {
+				c.Add((i%benchKeyspace)*0x9e3779b97f4a7c15 + 1)
+				i++
+			}
+		})
+	})
+	b.Run("batch", func(b *testing.B) {
+		c := knw.NewConcurrentF0(8, knw.WithSeed(1), knw.WithCopies(1))
+		b.SetParallelism(parallelism)
+		b.RunParallel(func(pb *testing.PB) {
+			buf := make([]uint64, 0, benchBatch)
+			i := uint64(0)
+			for pb.Next() {
+				buf = append(buf, (i%benchKeyspace)*0x9e3779b97f4a7c15+1)
+				i++
+				if len(buf) == cap(buf) {
+					c.AddBatch(buf)
+					buf = buf[:0]
+				}
+			}
+			c.AddBatch(buf)
+		})
+	})
+}
+
+// BenchmarkConcurrentL0Ingest mirrors the F0 comparison for turnstile
+// updates.
+func BenchmarkConcurrentL0Ingest(b *testing.B) {
+	parallelism := 1
+	for p := runtime.GOMAXPROCS(0); p < 8; p *= 2 {
+		parallelism *= 2 // ensure ≥ 8 goroutines even on small machines
+	}
+	b.Run("per-key-lock", func(b *testing.B) {
+		c := knw.NewConcurrentL0(8, knw.WithSeed(1), knw.WithCopies(1))
+		b.SetParallelism(parallelism)
+		b.RunParallel(func(pb *testing.PB) {
+			i := uint64(0)
+			for pb.Next() {
+				c.Update(i*0x9e3779b97f4a7c15+1, 1)
+				i++
+			}
+		})
+	})
+	b.Run("batch", func(b *testing.B) {
+		c := knw.NewConcurrentL0(8, knw.WithSeed(1), knw.WithCopies(1))
+		b.SetParallelism(parallelism)
+		b.RunParallel(func(pb *testing.PB) {
+			buf := make([]uint64, 0, benchBatch)
+			i := uint64(0)
+			for pb.Next() {
+				buf = append(buf, i*0x9e3779b97f4a7c15+1)
+				i++
+				if len(buf) == cap(buf) {
+					c.UpdateBatch(buf, nil)
+					buf = buf[:0]
+				}
+			}
+			c.UpdateBatch(buf, nil)
+		})
+	})
+}
+
+// BenchmarkConcurrentF0Estimate measures the pooled-scratch merge read
+// path (the pre-v2 implementation rebuilt the scratch sketch — hash
+// draws included — on every call).
+func BenchmarkConcurrentF0Estimate(b *testing.B) {
+	c := knw.NewConcurrentF0(8, knw.WithSeed(1), knw.WithCopies(1))
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	c.AddBatch(keys)
+	b.ResetTimer()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = c.Estimate()
+	}
+	_ = v
 }
 
 // --- E6: worst-case update time (Theorem 9) -------------------------

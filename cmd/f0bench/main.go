@@ -26,6 +26,7 @@ func main() {
 	trials := flag.Int("trials", 5, "independent trials per algorithm")
 	workload := flag.String("workload", "uniform", "uniform | zipf | sequential")
 	seed := flag.Int64("seed", 1, "base random seed")
+	batch := flag.Int("batch", 1024, "ingest through AddBatch in batches of this many keys (0: per-key Add)")
 	flag.Parse()
 
 	mkStream := func(trial int) stream.F0Stream {
@@ -82,11 +83,16 @@ func main() {
 		}},
 	}
 
-	fmt.Printf("Figure 1 reproduction: F0=%d, eps=%.3f, workload=%s, %d trials\n\n",
-		*f0, *eps, *workload, *trials)
+	fmt.Printf("Figure 1 reproduction: F0=%d, eps=%.3f, workload=%s, %d trials, batch=%d\n\n",
+		*f0, *eps, *workload, *trials, *batch)
 	var rows []simulate.Aggregate
 	for _, a := range algos {
-		agg := simulate.RunTrials(*trials, a.mk, mkStream)
+		var agg simulate.Aggregate
+		if *batch > 0 {
+			agg = simulate.RunTrialsBatch(*trials, *batch, a.mk, mkStream)
+		} else {
+			agg = simulate.RunTrials(*trials, a.mk, mkStream)
+		}
 		agg.Algorithm = a.name
 		rows = append(rows, agg)
 	}

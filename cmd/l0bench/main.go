@@ -26,6 +26,7 @@ func main() {
 	eps := flag.Float64("eps", 0.1, "target relative error")
 	trials := flag.Int("trials", 5, "independent trials")
 	seed := flag.Int64("seed", 1, "base random seed")
+	batch := flag.Int("batch", 1024, "ingest through UpdateBatch in batches of this many updates (0: per-update)")
 	flag.Parse()
 
 	type result struct {
@@ -36,12 +37,19 @@ func main() {
 		handlesNegatives bool
 	}
 
-	run := func(name string, handlesNeg bool,
-		mk func(trial int) (update func(uint64, int64), est func() float64, bits func() int)) result {
+	type turnstile interface {
+		Update(key uint64, delta int64)
+		UpdateBatch(keys []uint64, deltas []int64)
+		Estimate() float64
+		SpaceBits() int
+	}
+
+	run := func(name string, handlesNeg bool, mk func(trial int) turnstile) result {
 		sum2, maxe, sumNs := 0.0, 0.0, 0.0
 		bits := 0
 		for trial := 0; trial < *trials; trial++ {
-			upd, est, spaceBits := mk(trial)
+			sk := mk(trial)
+			est, spaceBits := sk.Estimate, sk.SpaceBits
 			cfg := stream.ChurnConfig{
 				Live: *live, Churned: *churn,
 				Negative: 0, Seed: *seed + int64(trial),
@@ -51,7 +59,12 @@ func main() {
 			}
 			ch := stream.NewChurn(cfg)
 			start := time.Now()
-			n := stream.DrainTurnstile(ch, upd)
+			var n int
+			if *batch > 0 {
+				n = stream.DrainTurnstileBatch(ch, *batch, sk.UpdateBatch)
+			} else {
+				n = stream.DrainTurnstile(ch, sk.Update)
+			}
 			sumNs += float64(time.Since(start).Nanoseconds()) / float64(n)
 			rel := (est() - float64(ch.TrueL0())) / float64(ch.TrueL0())
 			sum2 += rel * rel
@@ -64,17 +77,15 @@ func main() {
 			sumNs / float64(*trials), handlesNeg}
 	}
 
-	knwRes := run("KNW-L0 (this paper)", true, func(t int) (func(uint64, int64), func() float64, func() int) {
-		sk := knw.NewL0(knw.WithEpsilon(*eps), knw.WithSeed(*seed+int64(t)), knw.WithCopies(1))
-		return sk.Update, sk.Estimate, sk.SpaceBits
+	knwRes := run("KNW-L0 (this paper)", true, func(t int) turnstile {
+		return knw.NewL0(knw.WithEpsilon(*eps), knw.WithSeed(*seed+int64(t)), knw.WithCopies(1))
 	})
-	gangulyRes := run("Ganguly-style [22]", false, func(t int) (func(uint64, int64), func() float64, func() int) {
-		g := baseline.NewGangulyL0(4096, 32, rand.New(rand.NewSource(*seed+int64(t))))
-		return g.Update, g.Estimate, g.SpaceBits
+	gangulyRes := run("Ganguly-style [22]", false, func(t int) turnstile {
+		return baseline.NewGangulyL0(4096, 32, rand.New(rand.NewSource(*seed+int64(t))))
 	})
 
-	fmt.Printf("L0 with deletions: live=%d churned=%d eps=%.3f (%d trials)\n\n",
-		*live, *churn, *eps, *trials)
+	fmt.Printf("L0 with deletions: live=%d churned=%d eps=%.3f (%d trials, batch=%d)\n\n",
+		*live, *churn, *eps, *trials, *batch)
 	fmt.Printf("%-24s %10s %10s %14s %12s %14s\n",
 		"algorithm", "rms.err", "max.err", "space(bits)", "ns/update", "neg. freqs?")
 	for _, r := range []result{knwRes, gangulyRes} {

@@ -1,6 +1,7 @@
 package knw
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/bitutil"
@@ -8,17 +9,26 @@ import (
 
 // ConcurrentF0 is a goroutine-safe wrapper around F0: keys are routed
 // to one of several same-seed shards (each guarded by its own mutex),
-// and Estimate merges the shards into a scratch sketch. Because the
-// shards share hash functions and the KNW counters are max-mergeable,
-// the merged estimate is exactly what a single sketch over the whole
-// stream would report (up to rough-estimator timing, as with Merge).
+// and Estimate merges the shards into a pooled scratch sketch. Because
+// the shards share hash functions and the KNW counters are
+// max-mergeable, the merged estimate is exactly what a single sketch
+// over the whole stream would report (up to rough-estimator timing, as
+// with Merge).
 //
-// Add is cheap and scales with the shard count; Estimate is O(shards ·
-// state) and intended for periodic reads, not per-update calls.
+// Add takes one shard lock per key; AddBatch pre-routes the batch and
+// takes one lock per shard per batch, which is the intended ingestion
+// path under heavy write traffic. Estimate is O(shards · state) and
+// intended for periodic reads, not per-update calls.
 type ConcurrentF0 struct {
 	cfg    settings
 	mask   uint64
 	shards []f0Shard
+
+	// scratch pools same-seed sketches for Estimate so repeated reads
+	// reuse hash draws instead of re-deriving them; routers pools the
+	// group-by-shard scratch for AddBatch.
+	scratch *sync.Pool
+	routers *sync.Pool
 }
 
 type f0Shard struct {
@@ -34,6 +44,9 @@ func NewConcurrentF0(shards int, opts ...Option) *ConcurrentF0 {
 	if shards < 1 {
 		panic("knw: need at least one shard")
 	}
+	if shards > maxShards {
+		panic("knw: shard count exceeds the supported maximum")
+	}
 	n := int(bitutil.NextPow2(uint64(shards)))
 	cfg := defaultSettings()
 	cfg.resolve(opts)
@@ -41,27 +54,73 @@ func NewConcurrentF0(shards int, opts ...Option) *ConcurrentF0 {
 	for i := range c.shards {
 		c.shards[i].sk = newF0From(cfg)
 	}
+	c.initPools()
 	return c
+}
+
+// initPools (re)creates the scratch and router pools; shared by the
+// constructor and UnmarshalBinary.
+func (c *ConcurrentF0) initPools() {
+	cfg := c.cfg
+	c.scratch = &sync.Pool{New: func() any { return newF0From(cfg) }}
+	c.routers = &sync.Pool{New: func() any { return new(batchRouter) }}
+}
+
+// shardIndex routes a key by a cheap mix so shards stay balanced even
+// on sequential keys. Routing only affects contention, not
+// correctness: shards merge by max (F0) or sum (L0).
+func shardIndex(key, mask uint64) int {
+	return int((key * 0x9e3779b97f4a7c15 >> 32) & mask)
 }
 
 // Add records one stream element; safe for concurrent use.
 func (c *ConcurrentF0) Add(key uint64) {
-	// Route by a cheap mix of the key so shards stay balanced even on
-	// sequential keys. Routing only affects contention, not
-	// correctness: shards merge by max.
-	s := &c.shards[(key*0x9e3779b97f4a7c15>>32)&c.mask]
+	s := &c.shards[shardIndex(key, c.mask)]
 	s.mu.Lock()
 	s.sk.Add(key)
 	s.mu.Unlock()
 }
 
+// AddBatch records a batch of stream elements; safe for concurrent
+// use. The batch is grouped by destination shard first, so each shard
+// lock is taken at most once per batch (instead of once per key) and
+// each shard ingests its sub-batch through the core batch path.
+func (c *ConcurrentF0) AddBatch(keys []uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	if len(c.shards) == 1 {
+		s := &c.shards[0]
+		s.mu.Lock()
+		s.sk.AddBatch(keys)
+		s.mu.Unlock()
+		return
+	}
+	rt := c.routers.Get().(*batchRouter)
+	rt.route(keys, nil, c.mask)
+	for i := range c.shards {
+		g := rt.keyGroup(i)
+		if len(g) == 0 {
+			continue
+		}
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.sk.AddBatch(g)
+		s.mu.Unlock()
+	}
+	c.routers.Put(rt)
+}
+
 // AddString records a string element; safe for concurrent use.
 func (c *ConcurrentF0) AddString(s string) { c.Add(fnv1a([]byte(s))) }
 
-// Estimate merges all shards into a fresh scratch sketch and returns
-// its estimate; safe for concurrent use with Add.
+// Estimate merges all shards into a pooled scratch sketch and returns
+// its estimate; safe for concurrent use with Add and AddBatch. The
+// scratch sketch shares the wrapper's seed, so reuse skips the hash-
+// function derivation a fresh sketch would repeat on every call.
 func (c *ConcurrentF0) Estimate() float64 {
-	scratch := newF0From(c.cfg)
+	scratch := c.scratch.Get().(*F0)
+	scratch.Reset()
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
@@ -73,7 +132,36 @@ func (c *ConcurrentF0) Estimate() float64 {
 		}
 		s.mu.Unlock()
 	}
-	return scratch.Estimate()
+	v := scratch.Estimate()
+	c.scratch.Put(scratch)
+	return v
+}
+
+// Merge folds other into c so that c reflects the union of both
+// streams. Both wrappers must share options and seed; shard counts may
+// differ (other's shards fold into c's modulo c's shard count). Safe
+// for concurrent use with Add/AddBatch on either wrapper, but two
+// wrappers must not be concurrently merged into each other.
+func (c *ConcurrentF0) Merge(other *ConcurrentF0) error {
+	if c == other {
+		return fmt.Errorf("knw: cannot merge a sketch into itself")
+	}
+	if c.cfg != other.cfg {
+		return fmt.Errorf("knw: cannot merge sketches with different configurations")
+	}
+	for i := range other.shards {
+		os := &other.shards[i]
+		cs := &c.shards[uint64(i)&c.mask]
+		os.mu.Lock()
+		cs.mu.Lock()
+		err := cs.sk.Merge(os.sk)
+		cs.mu.Unlock()
+		os.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Shards returns the shard count.
@@ -91,12 +179,19 @@ func (c *ConcurrentF0) SpaceBits() int {
 	return total
 }
 
+// Name labels the sketch in experiment tables.
+func (c *ConcurrentF0) Name() string { return "KNW-F0(sharded)" }
+
 // ConcurrentL0 is the goroutine-safe wrapper for L0 turnstile streams,
-// built the same way (same-seed shards, linear-counter merge on read).
+// built the same way (same-seed shards, linear-counter merge on read,
+// batched pre-routed ingestion).
 type ConcurrentL0 struct {
 	cfg    settings
 	mask   uint64
 	shards []l0Shard
+
+	scratch *sync.Pool
+	routers *sync.Pool
 }
 
 type l0Shard struct {
@@ -111,6 +206,9 @@ func NewConcurrentL0(shards int, opts ...Option) *ConcurrentL0 {
 	if shards < 1 {
 		panic("knw: need at least one shard")
 	}
+	if shards > maxShards {
+		panic("knw: shard count exceeds the supported maximum")
+	}
 	n := int(bitutil.NextPow2(uint64(shards)))
 	cfg := defaultSettings()
 	cfg.resolve(opts)
@@ -118,7 +216,14 @@ func NewConcurrentL0(shards int, opts ...Option) *ConcurrentL0 {
 	for i := range c.shards {
 		c.shards[i].sk = newL0From(cfg)
 	}
+	c.initPools()
 	return c
+}
+
+func (c *ConcurrentL0) initPools() {
+	cfg := c.cfg
+	c.scratch = &sync.Pool{New: func() any { return newL0From(cfg) }}
+	c.routers = &sync.Pool{New: func() any { return new(batchRouter) }}
 }
 
 // Update applies x_key ← x_key + delta; safe for concurrent use.
@@ -126,16 +231,60 @@ func NewConcurrentL0(shards int, opts ...Option) *ConcurrentL0 {
 // routing is correct: the merged frequency vector is the sum over
 // shards.
 func (c *ConcurrentL0) Update(key uint64, delta int64) {
-	s := &c.shards[(key*0x9e3779b97f4a7c15>>32)&c.mask]
+	s := &c.shards[shardIndex(key, c.mask)]
 	s.mu.Lock()
 	s.sk.Update(key, delta)
 	s.mu.Unlock()
 }
 
-// Estimate merges all shards into a scratch sketch and returns its
-// estimate; safe for concurrent use with Update.
+// UpdateBatch applies a batch of turnstile updates; safe for
+// concurrent use. A nil deltas slice means every delta is +1;
+// otherwise len(deltas) must equal len(keys). The batch is grouped by
+// destination shard first, taking one lock per shard per batch.
+func (c *ConcurrentL0) UpdateBatch(keys []uint64, deltas []int64) {
+	if deltas != nil && len(deltas) != len(keys) {
+		panic("knw: UpdateBatch length mismatch")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	if len(c.shards) == 1 {
+		s := &c.shards[0]
+		s.mu.Lock()
+		s.sk.UpdateBatch(keys, deltas)
+		s.mu.Unlock()
+		return
+	}
+	rt := c.routers.Get().(*batchRouter)
+	rt.route(keys, deltas, c.mask)
+	for i := range c.shards {
+		g := rt.keyGroup(i)
+		if len(g) == 0 {
+			continue
+		}
+		var dg []int64
+		if deltas != nil {
+			dg = rt.deltaGroup(i)
+		}
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.sk.UpdateBatch(g, dg)
+		s.mu.Unlock()
+	}
+	c.routers.Put(rt)
+}
+
+// Add records one insertion (delta +1); safe for concurrent use.
+func (c *ConcurrentL0) Add(key uint64) { c.Update(key, 1) }
+
+// AddBatch records the keys with delta +1 each; safe for concurrent use.
+func (c *ConcurrentL0) AddBatch(keys []uint64) { c.UpdateBatch(keys, nil) }
+
+// Estimate merges all shards into a pooled scratch sketch and returns
+// its estimate; safe for concurrent use with Update and UpdateBatch.
 func (c *ConcurrentL0) Estimate() float64 {
-	scratch := newL0From(c.cfg)
+	scratch := c.scratch.Get().(*L0)
+	scratch.Reset()
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
@@ -145,8 +294,124 @@ func (c *ConcurrentL0) Estimate() float64 {
 		}
 		s.mu.Unlock()
 	}
-	return scratch.Estimate()
+	v := scratch.Estimate()
+	c.scratch.Put(scratch)
+	return v
+}
+
+// Merge folds other into c so that c estimates the L0 of the summed
+// frequency vectors. Both wrappers must share options and seed; shard
+// counts may differ. Safe for concurrent use with writers on either
+// wrapper, but two wrappers must not be concurrently merged into each
+// other.
+func (c *ConcurrentL0) Merge(other *ConcurrentL0) error {
+	if c == other {
+		return fmt.Errorf("knw: cannot merge a sketch into itself")
+	}
+	if c.cfg != other.cfg {
+		return fmt.Errorf("knw: cannot merge sketches with different configurations")
+	}
+	for i := range other.shards {
+		os := &other.shards[i]
+		cs := &c.shards[uint64(i)&c.mask]
+		os.mu.Lock()
+		cs.mu.Lock()
+		err := cs.sk.Merge(os.sk)
+		cs.mu.Unlock()
+		os.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Shards returns the shard count.
 func (c *ConcurrentL0) Shards() int { return len(c.shards) }
+
+// SpaceBits sums the shards' accounted state.
+func (c *ConcurrentL0) SpaceBits() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.sk.SpaceBits()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Name labels the sketch in experiment tables.
+func (c *ConcurrentL0) Name() string { return "KNW-L0(sharded)" }
+
+// batchRouter is the reusable group-by-shard scratch used by the
+// concurrent wrappers' batch paths: a counting sort of the batch into
+// per-shard contiguous groups, so ingestion takes one lock per shard
+// per batch and feeds each shard a contiguous sub-batch.
+type batchRouter struct {
+	cursors []int
+	starts  []int
+	sids    []uint16 // per-key shard index from the counting pass
+	keys    []uint64
+	deltas  []int64
+}
+
+// route groups keys (and, when non-nil, their parallel deltas) by
+// shardIndex under the given mask. Group i then occupies
+// [starts[i], starts[i+1]) of the scratch slices. Relative order
+// within a group is preserved, so per-shard replay order matches the
+// per-key path.
+func (r *batchRouter) route(keys []uint64, deltas []int64, mask uint64) {
+	n := int(mask) + 1
+	if cap(r.cursors) < n {
+		r.cursors = make([]int, n)
+		r.starts = make([]int, n+1)
+	}
+	r.cursors = r.cursors[:n]
+	r.starts = r.starts[:n+1]
+	clear(r.cursors)
+	if cap(r.keys) < len(keys) {
+		r.keys = make([]uint64, len(keys))
+		r.sids = make([]uint16, len(keys))
+	}
+	r.keys = r.keys[:len(keys)]
+	r.sids = r.sids[:len(keys)]
+	for j, k := range keys {
+		i := shardIndex(k, mask)
+		r.sids[j] = uint16(i) // mask < maxShards ≤ 2^16, so this fits
+		r.cursors[i]++
+	}
+	off := 0
+	for i, cnt := range r.cursors {
+		r.starts[i] = off
+		r.cursors[i] = off
+		off += cnt
+	}
+	r.starts[n] = off
+	if deltas == nil {
+		for j, k := range keys {
+			i := r.sids[j]
+			r.keys[r.cursors[i]] = k
+			r.cursors[i]++
+		}
+		return
+	}
+	if cap(r.deltas) < len(deltas) {
+		r.deltas = make([]int64, len(deltas))
+	}
+	r.deltas = r.deltas[:len(deltas)]
+	for j, k := range keys {
+		i := r.sids[j]
+		p := r.cursors[i]
+		r.keys[p] = k
+		r.deltas[p] = deltas[j]
+		r.cursors[i]++
+	}
+}
+
+// keyGroup returns shard i's routed keys.
+func (r *batchRouter) keyGroup(i int) []uint64 { return r.keys[r.starts[i]:r.starts[i+1]] }
+
+// deltaGroup returns shard i's routed deltas (valid only after a route
+// call with non-nil deltas).
+func (r *batchRouter) deltaGroup(i int) []int64 { return r.deltas[r.starts[i]:r.starts[i+1]] }

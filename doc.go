@@ -25,6 +25,25 @@
 //	hs.Update(key, -3) // fully deleted: no longer counts
 //	fmt.Printf("≈%.0f nonzero coordinates\n", hs.Estimate())
 //
+// # Batched and concurrent ingestion
+//
+// Every sketch implements Estimator (see sketch.go): AddBatch (and
+// UpdateBatch on the turnstile types) ingests keys in bulk with
+// per-call overhead amortized, producing state byte-identical to
+// sequential Add. For shared writers, ConcurrentF0 and ConcurrentL0
+// route batches to same-seed shards with one lock acquisition per
+// shard per batch and merge shards into a pooled scratch sketch on
+// Estimate; see examples/pipeline for the full ingest → estimate →
+// checkpoint/restore loop:
+//
+//	c := knw.NewConcurrentF0(8, knw.WithEpsilon(0.05))
+//	go func() { c.AddBatch(keys) }() // many goroutines
+//	fmt.Printf("≈%.0f distinct\n", c.Estimate())
+//
+// Same-seed sketches Merge for scale-out, and MarshalBinary /
+// UnmarshalBinary checkpoint any sketch — including the sharded
+// wrappers — in a versioned wire format.
+//
 // # What's inside
 //
 // The top-level F0 and L0 types run a median over independent copies

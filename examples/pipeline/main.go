@@ -1,0 +1,119 @@
+// pipeline demonstrates the library's production ingestion shape: a
+// sharded concurrent sketch fed micro-batches by many goroutines (one
+// shard-lock acquisition per shard per batch), a reader goroutine
+// taking periodic estimates from the pooled merge path, and a
+// checkpoint/restore cycle through the version-2 framed wire format —
+// the full write path a streaming analytics service would run.
+//
+// The stream is split into two halves. Half one is ingested, the
+// wrapper is checkpointed with MarshalBinary, a brand-new wrapper is
+// restored from the checkpoint (as after a process restart), and half
+// two is ingested into the restored wrapper. The final estimate covers
+// the whole stream.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	knw "repro"
+)
+
+const (
+	workers   = 8
+	batchSize = 1024
+	distinct  = 400_000
+	updates   = 1_200_000
+)
+
+// ingest streams updates [lo, hi) into the sketch in micro-batches,
+// as a partition consumer would.
+func ingest(c *knw.ConcurrentF0, lo, hi int, wg *sync.WaitGroup, progress *atomic.Int64) {
+	defer wg.Done()
+	batch := make([]uint64, 0, batchSize)
+	flush := func() {
+		c.AddBatch(batch)
+		progress.Add(int64(len(batch)))
+		batch = batch[:0]
+	}
+	for i := lo; i < hi; i++ {
+		// Keys repeat (updates > distinct): real traffic re-sees items.
+		key := uint64(i%distinct)*0x9e3779b97f4a7c15 + 1
+		batch = append(batch, key)
+		if len(batch) == batchSize {
+			flush()
+		}
+	}
+	flush()
+}
+
+// runHalf ingests updates [lo, hi) with `workers` goroutines while a
+// reader polls estimates.
+func runHalf(c *knw.ConcurrentF0, lo, hi int) {
+	var wg sync.WaitGroup
+	var progress atomic.Int64
+	per := (hi - lo + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		a := lo + w*per
+		b := a + per
+		if b > hi {
+			b = hi
+		}
+		if a >= b {
+			break
+		}
+		wg.Add(1)
+		go ingest(c, a, b, &wg, &progress)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	// Periodic reads while writers run — Estimate merges the shards
+	// into a pooled scratch sketch under the shard locks.
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			fmt.Printf("  progress %9d updates  estimate ≈ %.0f\n",
+				progress.Load(), c.Estimate())
+		}
+	}
+}
+
+func main() {
+	c := knw.NewConcurrentF0(workers,
+		knw.WithEpsilon(0.05), knw.WithSeed(42), knw.WithCopies(3))
+
+	fmt.Printf("phase 1: %d workers, batches of %d\n", workers, batchSize)
+	runHalf(c, 0, updates/2)
+
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("checkpoint: %d bytes (settings + %d framed shard sections)\n",
+		len(blob), c.Shards())
+
+	// Simulate a restart: a brand-new wrapper restored from the blob.
+	restored := knw.NewConcurrentF0(1)
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		panic(err)
+	}
+	fmt.Printf("restored: %d shards, estimate ≈ %.0f\n",
+		restored.Shards(), restored.Estimate())
+
+	fmt.Println("phase 2: resuming ingestion on the restored sketch")
+	runHalf(restored, updates/2, updates)
+
+	got := restored.Estimate()
+	fmt.Printf("final: estimate ≈ %.0f  (true distinct %d, rel.err %+.2f%%)\n",
+		got, distinct, 100*(got-float64(distinct))/float64(distinct))
+}

@@ -61,6 +61,33 @@ func (f *F0) Add(key uint64) {
 	}
 }
 
+// AddBatch records a batch of stream elements, equivalent to calling
+// Add on each key in order (the resulting state is byte-identical
+// under MarshalBinary) but with per-call overhead amortized: each copy
+// evaluates its hash functions over the batch in tight pipelined
+// loops. Prefer it whenever keys arrive in groups.
+func (f *F0) AddBatch(keys []uint64) {
+	for _, s := range f.fast {
+		s.AddBatch(keys)
+	}
+	for _, s := range f.ref {
+		s.AddBatch(keys)
+	}
+}
+
+// Reset returns the sketch to its freshly constructed state while
+// keeping its configuration, seed, and hash draws, so it remains
+// mergeable with sketches it was mergeable with before. Used to reuse
+// scratch sketches instead of re-deriving hash functions.
+func (f *F0) Reset() {
+	for _, s := range f.fast {
+		s.Reset()
+	}
+	for _, s := range f.ref {
+		s.Reset()
+	}
+}
+
 // AddString records a string element (FNV-1a hashed to the key space).
 func (f *F0) AddString(s string) { f.Add(fnv1a([]byte(s))) }
 

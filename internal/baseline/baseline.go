@@ -26,9 +26,15 @@
 package baseline
 
 // F0Estimator is the uniform interface the experiment harness drives.
+// It mirrors the public knw.Estimator interface, so the KNW sketches
+// and every comparator here can be swept through the same scalar or
+// batched pipeline.
 type F0Estimator interface {
 	// Add processes one stream element.
 	Add(key uint64)
+	// AddBatch processes the keys as if Add were called on each in
+	// order; implementations may amortize per-call overhead.
+	AddBatch(keys []uint64)
 	// Estimate returns the current F̃0.
 	Estimate() float64
 	// SpaceBits returns the accounted size of the structure's state.

@@ -1,0 +1,108 @@
+package baseline
+
+// Batched ingestion for the comparators. The baselines keep their
+// published per-key algorithms — the batch surface exists so the
+// experiment harness can sweep every estimator (KNW and prior art)
+// through the same batched pipeline; none of these structures has a
+// deamortized phase to amortize, so a plain replay loop is already the
+// honest implementation.
+
+// AddBatch records the keys as sequential Add calls.
+func (e *Exact) AddBatch(keys []uint64) {
+	for _, k := range keys {
+		e.Add(k)
+	}
+}
+
+// AddBatch records the keys as sequential Add calls.
+func (f *FM85) AddBatch(keys []uint64) {
+	for _, k := range keys {
+		f.Add(k)
+	}
+}
+
+// AddBatch records the keys as sequential Add calls.
+func (a *AMS) AddBatch(keys []uint64) {
+	for _, k := range keys {
+		a.Add(k)
+	}
+}
+
+// AddBatch records the keys as sequential Add calls.
+func (g *GT) AddBatch(keys []uint64) {
+	for _, k := range keys {
+		g.Add(k)
+	}
+}
+
+// AddBatch records the keys as sequential Add calls.
+func (k *KMV) AddBatch(keys []uint64) {
+	for _, key := range keys {
+		k.Add(key)
+	}
+}
+
+// AddBatch records the keys as sequential Add calls.
+func (b *BJKST) AddBatch(keys []uint64) {
+	for _, k := range keys {
+		b.Add(k)
+	}
+}
+
+// AddBatch records the keys as sequential Add calls.
+func (l *LogLog) AddBatch(keys []uint64) {
+	for _, k := range keys {
+		l.Add(k)
+	}
+}
+
+// AddBatch records the keys as sequential Add calls.
+func (h *HyperLogLog) AddBatch(keys []uint64) {
+	for _, k := range keys {
+		h.Add(k)
+	}
+}
+
+// AddBatch records the keys as sequential Add calls.
+func (l *LinearCounting) AddBatch(keys []uint64) {
+	for _, k := range keys {
+		l.Add(k)
+	}
+}
+
+// AddBatch records the keys as sequential Add calls.
+func (g *GangulyL0) AddBatch(keys []uint64) {
+	for _, k := range keys {
+		g.Add(k)
+	}
+}
+
+// UpdateBatch applies the updates as sequential Update calls. A nil
+// deltas slice means every delta is +1.
+func (g *GangulyL0) UpdateBatch(keys []uint64, deltas []int64) {
+	if deltas == nil {
+		g.AddBatch(keys)
+		return
+	}
+	if len(deltas) != len(keys) {
+		panic("baseline: UpdateBatch length mismatch")
+	}
+	for i, k := range keys {
+		g.Update(k, deltas[i])
+	}
+}
+
+// Compile-time conformance of every comparator to the batched
+// estimator interface.
+var (
+	_ F0Estimator = (*Exact)(nil)
+	_ F0Estimator = (*FM85)(nil)
+	_ F0Estimator = (*AMS)(nil)
+	_ F0Estimator = (*GT)(nil)
+	_ F0Estimator = (*KMV)(nil)
+	_ F0Estimator = (*BJKST)(nil)
+	_ F0Estimator = (*LogLog)(nil)
+	_ F0Estimator = (*HyperLogLog)(nil)
+	_ F0Estimator = (*LinearCounting)(nil)
+	_ F0Estimator = (*GangulyL0)(nil)
+)

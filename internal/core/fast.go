@@ -100,35 +100,153 @@ func (s *FastSketch) K() int { return s.cfg.K }
 func (s *FastSketch) Add(key uint64) {
 	lvl := int(bitutil.LSB(s.h1.HashField(key)&s.keyMask, s.cfg.LogN))
 	bit := int(s.h3.Hash(s.h2.Hash(key)))
-	s.small.observe(key, bit)
+	s.addHashed(key, lvl, bit)
+}
 
-	j := bit & (s.cfg.K - 1)
-	s.writeMax(s.arr[s.cur], &s.aPri, &s.tPri, j, lvl-s.b)
-	if s.aPri > 3*s.cfg.K {
-		s.failed = true
+// batchChunk is the number of keys whose hash values AddBatch
+// precomputes per inner chunk. Small enough to stay in L1, large
+// enough to amortize loop overhead and let the independent hash
+// evaluations pipeline. It matches the rough estimator's chunk size so
+// one chunk walk precomputes every hash the update path needs.
+const batchChunk = rough.ChunkSize
+
+// AddBatch processes the keys exactly as sequential Add calls would —
+// the resulting state is identical update for update — but evaluates
+// each hash family (the sketch's own h1/h2/h3 and the rough
+// estimator's nine per-key evaluations) over the whole chunk in tight
+// loops, so per-key call overhead and hash-to-hash data dependencies
+// are amortized across the batch. Only the O(1) counter writes, phase
+// advances, and rescale checks remain per key, preserving the exact
+// scalar state machine.
+func (s *FastSketch) AddBatch(keys []uint64) {
+	var red, z [batchChunk]uint64
+	var lvls, bits, cidx [batchChunk]int32
+	var rsc rough.Scratch
+	var cest [batchChunk]uint64
+	// The first rough consultation of the batch always runs (the
+	// estimate may already exceed 2^est after a merge or restore);
+	// after that, consultations replay only at the recorded change
+	// points — between them the estimate is provably unmoved, so the
+	// skipped checks could not have fired.
+	checked := false
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > batchChunk {
+			n = batchChunk
+		}
+		chunk := keys[:n]
+		keys = keys[n:]
+		hashfn.ReduceChunk(chunk, red[:n])
+		s.h1.HashFieldChunkReduced(red[:n], z[:n])
+		for i, v := range z[:n] {
+			lvls[i] = int32(bitutil.LSB(v&s.keyMask, s.cfg.LogN))
+		}
+		s.h2.HashChunkReduced(red[:n], z[:n])
+		s.h3.HashChunk32(z[:n], bits[:n])
+		s.re.PrecomputeReduced(red[:n], &rsc)
+		// The rough estimator evolves independently of the main
+		// counters, so its chunk can be applied up front; the per-key
+		// consultations below replay against the recorded change
+		// points, exactly as the scalar path would have seen them.
+		r, m := s.re.ApplyChunk(&rsc, n, &cidx, &cest)
+		p := 0
+		if s.small.overflow {
+			// Past the exact regime, observing a key is just an OR into
+			// the bit array — fold the whole chunk in one pass.
+			for _, b := range bits[:n] {
+				s.small.bv.Set(int(b))
+			}
+			for i := range chunk {
+				s.applyCounter(int(lvls[i]), int(bits[i]))
+				if p < m && int(cidx[p]) == i {
+					r = cest[p]
+					p++
+				} else if checked {
+					continue
+				}
+				if r > 0 && r > uint64(1)<<uint(s.est) {
+					s.onRoughChange(r)
+				}
+				checked = true
+			}
+		} else {
+			for i, key := range chunk {
+				s.applyHashed(key, int(lvls[i]), int(bits[i]))
+				if p < m && int(cidx[p]) == i {
+					r = cest[p]
+					p++
+				} else if checked {
+					continue
+				}
+				if r > 0 && r > uint64(1)<<uint(s.est) {
+					s.onRoughChange(r)
+				}
+				checked = true
+			}
+		}
 	}
+}
 
+// addHashed is the post-hashing tail of Add: lvl is the subsampling
+// level lsb(h1(key)) and bit is h3(h2(key)) ∈ [0, 2K).
+func (s *FastSketch) addHashed(key uint64, lvl, bit int) {
+	s.applyHashed(key, lvl, bit)
+	s.re.Update(key)
+	s.checkRough()
+}
+
+// checkRough is Figure 3's per-update "if R > 2^est" consultation.
+func (s *FastSketch) checkRough() {
+	if r := s.re.Estimate(); r > 0 && r > uint64(1)<<uint(s.est) {
+		s.onRoughChange(r)
+	}
+}
+
+// applyHashed applies the main-sketch half of one update — small-F0
+// observation, counter write, and deamortized phase bookkeeping —
+// shared by the scalar and batched paths.
+func (s *FastSketch) applyHashed(key uint64, lvl, bit int) {
+	s.small.observe(key, bit)
+	s.applyCounter(lvl, bit)
+}
+
+// applyCounter is applyHashed minus the small-F0 observation (the
+// batched path folds post-overflow observations in bulk).
+func (s *FastSketch) applyCounter(lvl, bit int) {
+	if x := lvl - s.b; x >= 0 {
+		// A negative offset can never beat a counter (all are ≥ −1),
+		// so the write — and the A re-check, since A is unchanged — is
+		// skipped without touching the VLA. With a positive b this is
+		// the (1 − 2^−b)-probability path.
+		j := bit & (s.cfg.K - 1)
+		s.writeMax(s.arr[s.cur], &s.aPri, &s.tPri, j, x)
+		if s.aPri > 3*s.cfg.K {
+			s.failed = true
+		}
+	}
 	if s.copyPos >= 0 {
 		// During a phase the secondary also receives the update, but
 		// only for already-migrated slots: un-migrated slots will be
 		// overwritten by the (update-inclusive) primary value anyway.
-		if j < s.copyPos {
+		if j := bit & (s.cfg.K - 1); j < s.copyPos {
 			s.writeMax(s.arr[1-s.cur], &s.aSec, &s.tSec, j, lvl-s.bPend)
 		}
 		s.advanceCopy(copyChunk)
 	} else if s.resetPos < s.cfg.K {
 		s.advanceReset(copyChunk)
 	}
-
-	s.re.Update(key)
-	if r := s.re.Estimate(); r > 0 && r > uint64(1)<<uint(s.est) {
-		s.onRoughChange(r)
-	}
 }
 
 // writeMax performs C_j ← max(C_j, x) on the given array (stored as
 // C+1) while maintaining its A and T accumulators.
 func (s *FastSketch) writeMax(a *vla.Array, accA, accT *int, j, x int) {
+	if x < 0 {
+		// Counters are ≥ −1 ≥ x: the max is a no-op, so the packed
+		// read can be skipped. Once the offset b is positive this is
+		// the common case (a key subsamples below b with probability
+		// 1 − 2^−b), and it keeps the hot path off the VLA entirely.
+		return
+	}
 	cur := int(a.Read(j)) - 1
 	if x <= cur {
 		return
@@ -338,6 +456,24 @@ func (s *FastSketch) shiftTo(bnew int) {
 		pri.Write(j, uint64(cv+1))
 	}
 	s.b = bnew
+}
+
+// Reset returns the sketch to its freshly constructed state without
+// redrawing hash functions, so a scratch sketch can be pooled and
+// reused across merge-and-estimate passes.
+func (s *FastSketch) Reset() {
+	s.arr[0].Reset()
+	s.arr[1].Reset()
+	s.cur = 0
+	s.aPri, s.tPri = 0, 0
+	s.b, s.est = 0, 0
+	s.copyPos = -1
+	s.bPend, s.aSec, s.tSec = 0, 0, 0
+	s.resetPos = s.cfg.K
+	s.failed = false
+	s.rescales, s.drains = 0, 0
+	s.re.Reset()
+	s.small.reset()
 }
 
 // SpaceBits reports the accounted footprint: both counter arrays (the

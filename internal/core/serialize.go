@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"repro/internal/binenc"
 	"repro/internal/bitutil"
 )
@@ -137,12 +139,16 @@ func (s *FastSketch) RestoreState(r *binenc.Reader) error {
 	return nil
 }
 
-// appendState serializes the small-F0 companion.
+// appendState serializes the small-F0 companion. The exact-key set is
+// written sorted so the encoding is canonical: equal states always
+// marshal to equal bytes (map iteration order would otherwise leak
+// into the payload).
 func (s *smallF0) appendState(w *binenc.Writer) {
 	keys := make([]uint64, 0, len(s.exact))
 	for k := range s.exact {
 		keys = append(keys, k)
 	}
+	slices.Sort(keys)
 	w.Uints(keys)
 	w.Bool(s.overflow)
 	w.Uints(s.bv.Words())

@@ -62,6 +62,70 @@ func (s *Sketch) K() int { return s.cfg.K }
 func (s *Sketch) Add(key uint64) {
 	lvl := int(bitutil.LSB(s.h1.HashField(key)&s.keyMask, s.cfg.LogN))
 	bit := int(s.h3.Hash(s.h2.Hash(key))) // ∈ [0, 2K)
+	s.addHashed(key, lvl, bit)
+}
+
+// AddBatch processes the keys exactly as sequential Add calls would,
+// with each hash family — including the rough estimator's — evaluated
+// over the chunk in its own tight loop (see FastSketch.AddBatch).
+func (s *Sketch) AddBatch(keys []uint64) {
+	var red, z [batchChunk]uint64
+	var lvls, bits, cidx [batchChunk]int32
+	var rsc rough.Scratch
+	var cest [batchChunk]uint64
+	checked := false // see FastSketch.AddBatch on the consultation skip
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > batchChunk {
+			n = batchChunk
+		}
+		chunk := keys[:n]
+		keys = keys[n:]
+		hashfn.ReduceChunk(chunk, red[:n])
+		s.h1.HashFieldChunkReduced(red[:n], z[:n])
+		for i, v := range z[:n] {
+			lvls[i] = int32(bitutil.LSB(v&s.keyMask, s.cfg.LogN))
+		}
+		s.h2.HashChunkReduced(red[:n], z[:n])
+		for i, v := range z[:n] {
+			bits[i] = int32(s.h3.Hash(v))
+		}
+		s.re.PrecomputeReduced(red[:n], &rsc)
+		r, m := s.re.ApplyChunk(&rsc, n, &cidx, &cest)
+		p := 0
+		for i, key := range chunk {
+			s.applyHashed(key, int(lvls[i]), int(bits[i]))
+			if p < m && int(cidx[p]) == i {
+				r = cest[p]
+				p++
+			} else if checked {
+				continue
+			}
+			if r > 0 && r > uint64(1)<<uint(s.est) {
+				s.applyRough(r)
+			}
+			checked = true
+		}
+	}
+}
+
+// addHashed is the post-hashing tail of Add, shared with AddBatch.
+func (s *Sketch) addHashed(key uint64, lvl, bit int) {
+	s.applyHashed(key, lvl, bit)
+	s.re.Update(key)
+	s.checkRough()
+}
+
+// checkRough is Figure 3's per-update "if R > 2^est" consultation.
+func (s *Sketch) checkRough() {
+	if r := s.re.Estimate(); r > 0 && r > uint64(1)<<uint(s.est) {
+		s.applyRough(r)
+	}
+}
+
+// applyHashed applies the main-sketch half of one update, shared by
+// the scalar and batched paths.
+func (s *Sketch) applyHashed(key uint64, lvl, bit int) {
 	s.small.observe(key, bit)
 
 	j := bit & (s.cfg.K - 1) // h3 reduced mod K for the counter index
@@ -76,11 +140,6 @@ func (s *Sketch) Add(key uint64) {
 			s.tOcc++
 		}
 		s.c[j] = int8(x)
-	}
-
-	s.re.Update(key)
-	if r := s.re.Estimate(); r > 0 && r > uint64(1)<<uint(s.est) {
-		s.applyRough(r)
 	}
 }
 
@@ -203,6 +262,19 @@ func (s *Sketch) shiftTo(bnew int) {
 		s.c[j] = int8(nc)
 	}
 	s.b = bnew
+}
+
+// Reset returns the sketch to its freshly constructed state without
+// redrawing hash functions (scratch-sketch reuse; see FastSketch.Reset).
+func (s *Sketch) Reset() {
+	for i := range s.c {
+		s.c[i] = -1
+	}
+	s.a, s.b, s.est, s.tOcc = 0, 0, 0, 0
+	s.failed = false
+	s.rescales = 0
+	s.re.Reset()
+	s.small.reset()
 }
 
 // SpaceBits reports the sketch's accounted footprint. For the reference

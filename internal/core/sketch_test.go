@@ -182,6 +182,9 @@ func TestDuplicatesDoNotChangeEstimate(t *testing.T) {
 }
 
 func TestEstimateMidStreamAnytime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping million-update midstream suite in -short mode")
+	}
 	// The paper's reporting guarantee is "at any point midstream". Check
 	// estimates stay within a generous band at every power-of-two
 	// checkpoint of a growing stream.
@@ -269,6 +272,11 @@ func TestLnTableMode(t *testing.T) {
 // deterministic we instead drive counters directly with a hostile
 // level pattern via a huge LogN and tiny K).
 func TestFailureInjectionA3K(t *testing.T) {
+	if testing.Short() {
+		// The RoughKRE=2^16 reference estimator below evaluates a
+		// degree-131071 polynomial per update — minutes of runtime.
+		t.Skip("skipping FAIL-injection statistical suite in -short mode")
+	}
 	// With K=32 the FAIL bound is A > 96. Feed enough distinct keys
 	// before the rough estimator can raise b... in practice the easiest
 	// deterministic trigger is a sketch with RoughKRE large enough that

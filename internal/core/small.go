@@ -82,6 +82,13 @@ func (s *smallF0) mergeFrom(o *smallF0) {
 	}
 }
 
+// reset clears the structure for reuse (see FastSketch.Reset).
+func (s *smallF0) reset() {
+	clear(s.exact)
+	s.overflow = false
+	s.bv.Reset()
+}
+
 // spaceBits charges the bit array plus the ≤100 stored indices at
 // log n bits each (Section 3.3: O(log n) space total, with the paper's
 // constant 100).

@@ -1,0 +1,122 @@
+package hashfn
+
+import (
+	"math/bits"
+
+	"repro/internal/prime"
+)
+
+// Chunk evaluation for the batched ingestion paths: one method call
+// per chunk instead of one (possibly virtual) call per key, with the
+// seeds and table bases hoisted across the loop. Each method is
+// value-identical to calling its scalar counterpart per element.
+
+// ReduceChunk writes ReduceM61(xs[i]) into out[i]. Several hash
+// evaluations of the same key share one field reduction this way.
+func ReduceChunk(xs []uint64, out []uint64) {
+	for i, x := range xs {
+		out[i] = prime.ReduceM61(x)
+	}
+}
+
+// HashFieldChunk writes HashField(xs[i]) into out[i].
+func (h *TwoWise) HashFieldChunk(xs []uint64, out []uint64) {
+	a, b := h.a, h.b
+	for i, x := range xs {
+		out[i] = prime.AddM61(prime.MulM61(a, prime.ReduceM61(x)), b)
+	}
+}
+
+// HashFieldChunkReduced is HashFieldChunk over pre-reduced inputs
+// (red[i] = ReduceM61 of the key).
+func (h *TwoWise) HashFieldChunkReduced(red []uint64, out []uint64) {
+	a, b := h.a, h.b
+	for i, x := range red {
+		out[i] = prime.AddM61(prime.MulM61(a, x), b)
+	}
+}
+
+// HashChunk writes Hash(xs[i]) into out[i].
+func (h *TwoWise) HashChunk(xs []uint64, out []uint64) {
+	a, b, r := h.a, h.b, h.r
+	for i, x := range xs {
+		v := prime.AddM61(prime.MulM61(a, prime.ReduceM61(x)), b)
+		out[i] = scaleToRange(v, r)
+	}
+}
+
+// HashChunkReduced is HashChunk over pre-reduced inputs.
+func (h *TwoWise) HashChunkReduced(red []uint64, out []uint64) {
+	a, b, r := h.a, h.b, h.r
+	for i, x := range red {
+		v := prime.AddM61(prime.MulM61(a, x), b)
+		out[i] = scaleToRange(v, r)
+	}
+}
+
+// HashChunk32 writes Hash(xs[i]) into out[i] (ranges ≤ 2^31, as
+// everywhere Tabulation32 is used). The body restates Hash so the
+// twelve table lookups sit directly in the loop; keep the two in sync.
+// When every input in the chunk fits in 32 bits — always true for the
+// balls-and-bins stages, whose inputs are h2 values in [0, K³) — the
+// four high-byte lookups are the chunk constant ⊕_{c≥4} tables[c][0]
+// and are hoisted out of the loop.
+func (t *Tabulation32) HashChunk32(xs []uint64, out []int32) {
+	var or uint64
+	for _, x := range xs {
+		or |= x
+	}
+	if or < 1<<24 {
+		hi5 := t.tables[3][0] ^ t.tables[4][0] ^ t.tables[5][0] ^
+			t.tables[6][0] ^ t.tables[7][0]
+		for i, x := range xs {
+			v := hi5 ^
+				t.tables[0][byte(x)] ^
+				t.tables[1][byte(x>>8)] ^
+				t.tables[2][byte(x>>16)]
+			d := v
+			v ^= t.derived[0][byte(d)] ^
+				t.derived[1][byte(d>>8)] ^
+				t.derived[2][byte(d>>16)] ^
+				t.derived[3][byte(d>>24)]
+			hi, _ := bits.Mul64(uint64(v)<<32, t.r)
+			out[i] = int32(hi)
+		}
+		return
+	}
+	if or < 1<<32 {
+		hi4 := t.tables[4][0] ^ t.tables[5][0] ^ t.tables[6][0] ^ t.tables[7][0]
+		for i, x := range xs {
+			v := hi4 ^
+				t.tables[0][byte(x)] ^
+				t.tables[1][byte(x>>8)] ^
+				t.tables[2][byte(x>>16)] ^
+				t.tables[3][byte(x>>24)]
+			d := v
+			v ^= t.derived[0][byte(d)] ^
+				t.derived[1][byte(d>>8)] ^
+				t.derived[2][byte(d>>16)] ^
+				t.derived[3][byte(d>>24)]
+			hi, _ := bits.Mul64(uint64(v)<<32, t.r)
+			out[i] = int32(hi)
+		}
+		return
+	}
+	for i, x := range xs {
+		v := t.tables[0][byte(x)] ^
+			t.tables[1][byte(x>>8)] ^
+			t.tables[2][byte(x>>16)] ^
+			t.tables[3][byte(x>>24)] ^
+			t.tables[4][byte(x>>32)] ^
+			t.tables[5][byte(x>>40)] ^
+			t.tables[6][byte(x>>48)] ^
+			t.tables[7][byte(x>>56)]
+		d := v
+		v ^= t.derived[0][byte(d)] ^
+			t.derived[1][byte(d>>8)] ^
+			t.derived[2][byte(d>>16)] ^
+			t.derived[3][byte(d>>24)]
+		hi, _ := bits.Mul64(uint64(v)<<32, t.r)
+		out[i] = int32(hi)
+	}
+}

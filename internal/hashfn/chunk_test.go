@@ -1,0 +1,66 @@
+package hashfn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChunkMethodsMatchScalar pins every chunk-evaluation method to
+// its scalar counterpart across input magnitudes, including the
+// boundaries of HashChunk32's hoisted-table tiers.
+func TestChunkMethodsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tw := NewTwoWise(rng, 1<<20)
+	tab := NewTabulation32(rng, 1<<18)
+
+	cases := [][]uint64{
+		{0},
+		{1, 2, 3, 255, 256},
+		{1<<24 - 1, 1 << 24, 1<<24 + 1},
+		{1<<32 - 1, 1 << 32, 1<<32 + 1},
+		nil, // random mix filled below
+	}
+	mix := make([]uint64, 300)
+	for i := range mix {
+		mix[i] = rng.Uint64() >> uint(rng.Intn(64))
+	}
+	cases[len(cases)-1] = mix
+
+	for ci, xs := range cases {
+		out64 := make([]uint64, len(xs))
+		red := make([]uint64, len(xs))
+		ReduceChunk(xs, red)
+
+		tw.HashFieldChunk(xs, out64)
+		for i, x := range xs {
+			if out64[i] != tw.HashField(x) {
+				t.Fatalf("case %d: HashFieldChunk[%d] mismatch", ci, i)
+			}
+		}
+		tw.HashFieldChunkReduced(red, out64)
+		for i, x := range xs {
+			if out64[i] != tw.HashField(x) {
+				t.Fatalf("case %d: HashFieldChunkReduced[%d] mismatch", ci, i)
+			}
+		}
+		tw.HashChunk(xs, out64)
+		for i, x := range xs {
+			if out64[i] != tw.Hash(x) {
+				t.Fatalf("case %d: HashChunk[%d] mismatch", ci, i)
+			}
+		}
+		tw.HashChunkReduced(red, out64)
+		for i, x := range xs {
+			if out64[i] != tw.Hash(x) {
+				t.Fatalf("case %d: HashChunkReduced[%d] mismatch", ci, i)
+			}
+		}
+		out32 := make([]int32, len(xs))
+		tab.HashChunk32(xs, out32)
+		for i, x := range xs {
+			if uint64(out32[i]) != tab.Hash(x) {
+				t.Fatalf("case %d: HashChunk32[%d] = %d want %d", ci, i, out32[i], tab.Hash(x))
+			}
+		}
+	}
+}

@@ -144,6 +144,14 @@ func (e *ExactSmallL0) MergeFrom(o *ExactSmallL0) {
 	}
 }
 
+// Reset clears all counters for reuse without redrawing hashes.
+func (e *ExactSmallL0) Reset() {
+	for t := range e.cnt {
+		clear(e.cnt[t])
+	}
+	clear(e.nonzero)
+}
+
 // SpaceBits charges each bucket at ⌈log2 p⌉ bits (the packed
 // representation Lemma 8's O(c²·loglog mM) bound refers to) plus the
 // pairwise hash seeds.

@@ -229,6 +229,17 @@ func (e *RoughL0Estimator) Estimate() uint64 {
 	return 4 * r
 }
 
+// Reset clears all counters for reuse without redrawing hashes.
+func (e *RoughL0Estimator) Reset() {
+	for j := range e.cnt {
+		for t := range e.cnt[j] {
+			clear(e.cnt[j][t])
+		}
+		clear(e.nonzero[j])
+	}
+	e.z = 0
+}
+
 // SpaceBits charges buckets at ⌈log2 p⌉ bits plus hash seeds —
 // O(log n · loglog mM) with the paper's (large) constants; see the
 // RoughL0Config.C note.

@@ -151,11 +151,71 @@ func (s *Sketch) Update(key uint64, v int64) {
 		return
 	}
 	z2 := s.h2.Hash(key)
-	col2 := int(s.h3.Hash(z2))  // ∈ [0, 2K)
+	col2 := int(s.h3.Hash(z2)) // ∈ [0, 2K)
+	r := int(bitutil.LSB(s.h1.HashField(key)&bitutil.Mask(s.cfg.LogN), s.cfg.LogN))
+	s.updateHashed(key, v, z2, col2, r)
+}
+
+// batchChunk is the number of updates whose hash values UpdateBatch
+// precomputes per inner chunk (see core.FastSketch.AddBatch).
+const batchChunk = 256
+
+// UpdateBatch applies the updates exactly as sequential Update calls
+// would. A nil deltas slice means every delta is +1 (the F0-as-L0
+// special case); otherwise len(deltas) must equal len(keys). The three
+// hash families are each evaluated over the chunk in a tight loop, so
+// per-call overhead and hash-to-hash data dependencies are amortized
+// across the batch.
+func (s *Sketch) UpdateBatch(keys []uint64, deltas []int64) {
+	if deltas != nil && len(deltas) != len(keys) {
+		panic("l0core: UpdateBatch length mismatch")
+	}
+	var z2s [batchChunk]uint64
+	var col2s, rs [batchChunk]int32
+	mask := bitutil.Mask(s.cfg.LogN)
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > batchChunk {
+			n = batchChunk
+		}
+		chunk := keys[:n]
+		keys = keys[n:]
+		var dchunk []int64
+		if deltas != nil {
+			dchunk = deltas[:n]
+			deltas = deltas[n:]
+		}
+		for i, key := range chunk {
+			z2s[i] = s.h2.Hash(key)
+		}
+		for i := range chunk {
+			col2s[i] = int32(s.h3.Hash(z2s[i]))
+		}
+		for i, key := range chunk {
+			rs[i] = int32(bitutil.LSB(s.h1.HashField(key)&mask, s.cfg.LogN))
+		}
+		for i, key := range chunk {
+			v := int64(1)
+			if dchunk != nil {
+				v = dchunk[i]
+			}
+			if v == 0 {
+				continue
+			}
+			s.updateHashed(key, v, z2s[i], int(col2s[i]), int(rs[i]))
+		}
+	}
+}
+
+// AddBatch records the keys with delta +1 each.
+func (s *Sketch) AddBatch(keys []uint64) { s.UpdateBatch(keys, nil) }
+
+// updateHashed is the post-hashing tail of Update, shared with
+// UpdateBatch: z2 = h2(key), col2 = h3(z2), r = lsb(h1(key)).
+func (s *Sketch) updateHashed(key uint64, v int64, z2 uint64, col2, r int) {
 	col := col2 & (s.cfg.K - 1) // matrix column
 	uc := s.u[s.h4.Hash(z2)]    // Lemma 6's u-coordinate
 	dv := s.fp.Mul(s.fp.ReduceInt(v), uc)
-	r := int(bitutil.LSB(s.h1.HashField(key)&bitutil.Mask(s.cfg.LogN), s.cfg.LogN))
 
 	// Matrix cell.
 	row := s.rows[r]
@@ -272,6 +332,20 @@ func (s *Sketch) MergeFrom(o *Sketch) {
 		}
 		s.rough.refreshZ(j)
 	}
+}
+
+// Reset returns the sketch to its freshly constructed state without
+// redrawing hash functions, the prime, or the vector u, so a scratch
+// sketch can be pooled and reused across merge-and-estimate passes.
+func (s *Sketch) Reset() {
+	for r := range s.rows {
+		clear(s.rows[r])
+	}
+	clear(s.rowNZ)
+	clear(s.smallC)
+	s.smallNZ = 0
+	s.exact.Reset()
+	s.rough.Reset()
 }
 
 // SpaceBits charges each Lemma 6 counter at ⌈log2 p⌉ =

@@ -1,0 +1,76 @@
+package rough
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChunkPathMatchesScalar drives one estimator through scalar
+// Update and a twin through Precompute/ApplyChunk and requires
+// identical counters, occupancy, cursors, and estimates at every chunk
+// boundary — the contract the core batch paths rely on for
+// byte-identical sketches.
+func TestChunkPathMatchesScalar(t *testing.T) {
+	for _, fast := range []bool{true, false} {
+		name := "tabulation"
+		if !fast {
+			name = "polynomial"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{LogN: 32, Fast: fast}
+			scalar := New(cfg, rand.New(rand.NewSource(42)))
+			batched := New(cfg, rand.New(rand.NewSource(42)))
+			rng := rand.New(rand.NewSource(7))
+			var sc Scratch
+			var idxs [ChunkSize]int32
+			var ests [ChunkSize]uint64
+			for round := 0; round < 50; round++ {
+				n := 1 + rng.Intn(ChunkSize)
+				keys := make([]uint64, n)
+				for i := range keys {
+					keys[i] = rng.Uint64() >> uint(rng.Intn(24)) // vary density
+				}
+				// Scalar side, recording the estimate after each key.
+				want := make([]uint64, n)
+				for i, k := range keys {
+					scalar.Update(k)
+					want[i] = scalar.Estimate()
+				}
+				batched.Precompute(keys, &sc)
+				r0, m := batched.ApplyChunk(&sc, n, &idxs, &ests)
+				// Replay: the estimate at position i is the last change
+				// point's value (or r0), exactly what core consults.
+				p := 0
+				r := r0
+				for i := 0; i < n; i++ {
+					if p < m && int(idxs[p]) == i {
+						r = ests[p]
+						p++
+					}
+					if r != want[i] && !(r == 0 && want[i] == 0) {
+						t.Fatalf("round %d key %d: replayed estimate %d, scalar %d", round, i, r, want[i])
+					}
+				}
+				if got, wantE := batched.Estimate(), scalar.Estimate(); got != wantE {
+					t.Fatalf("round %d: estimates diverged %d vs %d", round, got, wantE)
+				}
+				for j := range scalar.subs {
+					a, b := &scalar.subs[j], &batched.subs[j]
+					if a.r != b.r {
+						t.Fatalf("round %d sub %d: cursor %d vs %d", round, j, a.r, b.r)
+					}
+					for i := range a.c {
+						if a.c[i] != b.c[i] {
+							t.Fatalf("round %d sub %d counter %d diverged", round, j, i)
+						}
+					}
+					for i := range a.t {
+						if a.t[i] != b.t[i] {
+							t.Fatalf("round %d sub %d occupancy %d diverged", round, j, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -160,6 +160,99 @@ func (e *Estimator) Update(i uint64) {
 	}
 }
 
+// ChunkSize is the number of keys a Scratch holds — the chunk
+// granularity of the batched ingestion path throughout the module.
+const ChunkSize = 512
+
+// Scratch holds one chunk's precomputed hash values for ApplyChunk.
+// Allocate it once per batch loop and reuse it; it is a few KB and
+// lives happily on the stack.
+type Scratch struct {
+	lvl [3][ChunkSize]int8
+	idx [3][ChunkSize]int32
+}
+
+// Precompute fills sc with the hash values Update would compute for
+// each key — per sub-estimator, the subsampling level lsb(h1(key)) and
+// the counter index h3(h2(key)) — evaluating each hash family over the
+// whole chunk in a tight loop (devirtualized for the tabulation h3).
+// Batched callers precompute a chunk, then replay it key by key with
+// UpdatePrecomputed so the estimate sequence (and hence all downstream
+// rescale decisions) is identical to scalar Update calls.
+func (e *Estimator) Precompute(keys []uint64, sc *Scratch) {
+	var red [ChunkSize]uint64
+	if len(keys) > ChunkSize {
+		panic("rough: chunk exceeds ChunkSize")
+	}
+	hashfn.ReduceChunk(keys, red[:len(keys)])
+	e.PrecomputeReduced(red[:len(keys)], sc)
+}
+
+// PrecomputeReduced is Precompute for callers that already hold the
+// keys' M61 reductions (the core batch paths compute them for their
+// own hash chunking; sharing skips a second reduction pass).
+func (e *Estimator) PrecomputeReduced(red []uint64, sc *Scratch) {
+	n := len(red)
+	if n > ChunkSize {
+		panic("rough: chunk exceeds ChunkSize")
+	}
+	mask := bitutil.Mask(e.logN)
+	var z [ChunkSize]uint64
+	for j := range e.subs {
+		s := &e.subs[j]
+		s.h1.HashFieldChunkReduced(red[:n], z[:n])
+		for i, v := range z[:n] {
+			sc.lvl[j][i] = int8(bitutil.LSB(v&mask, e.logN))
+		}
+		s.h2.HashChunkReduced(red[:n], z[:n])
+		if tab, ok := s.h3.(*hashfn.Tabulation32); ok {
+			tab.HashChunk32(z[:n], sc.idx[j][:n])
+		} else {
+			for i, v := range z[:n] {
+				sc.idx[j][i] = int32(s.h3.Hash(v))
+			}
+		}
+	}
+}
+
+// ApplyChunk applies the first n precomputed updates of sc in order —
+// state-identical to Update of each key — and records the change
+// points sparsely: on return, idxs[:m] holds (ascending) the positions
+// whose update changed some counter and ests[:m] the estimate right
+// after each such update; between change points the estimate is
+// provably unmoved (it is pure in the counters and monotone). r0 is
+// the estimate from before the chunk. Batched callers replay their
+// per-key estimate consultations against this record instead of
+// calling Estimate per key — the dominant steady-state rough cost.
+func (e *Estimator) ApplyChunk(sc *Scratch, n int, idxs *[ChunkSize]int32, ests *[ChunkSize]uint64) (r0 uint64, m int) {
+	r0 = e.Estimate()
+	for i := 0; i < n; i++ {
+		changed := false
+		for j := range e.subs {
+			s := &e.subs[j]
+			lvl := sc.lvl[j][i]
+			if idx := sc.idx[j][i]; lvl > s.c[idx] {
+				old := s.c[idx]
+				s.c[idx] = lvl
+				changed = true
+				lo := int(old) + 1
+				if lo < 0 {
+					lo = 0
+				}
+				for r := lo; r <= int(lvl); r++ {
+					s.t[r]++
+				}
+			}
+		}
+		if changed {
+			idxs[m] = int32(i)
+			ests[m] = e.Estimate()
+			m++
+		}
+	}
+	return r0, m
+}
+
 // Estimate returns the current rough estimate of F0 (Figure 2, step 5):
 // the median of 2^{r*_j}·K_RE over the three sub-estimators. It returns
 // 0 while no sub-estimator has reached its threshold (F0 ≲ K_RE; the
@@ -207,6 +300,19 @@ func (e *Estimator) MergeFrom(o *Estimator) {
 				s.c[i] = os.c[i]
 			}
 		}
+	}
+}
+
+// Reset returns the estimator to its freshly constructed state without
+// redrawing hash functions (scratch-sketch reuse; see core.FastSketch.Reset).
+func (e *Estimator) Reset() {
+	for j := range e.subs {
+		s := &e.subs[j]
+		for i := range s.c {
+			s.c[i] = -1
+		}
+		clear(s.t)
+		s.r = -1
 	}
 }
 

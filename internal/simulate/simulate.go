@@ -62,15 +62,56 @@ type Aggregate struct {
 	Failures    int // trials whose estimate was NaN/Inf
 }
 
+// RunF0Batch is RunF0 through the batched ingestion path: the stream
+// is drained in batches of batchSize keys fed to est.AddBatch. For the
+// KNW sketches the resulting state matches the scalar path exactly;
+// the measured ns/update reflects the amortized per-key cost.
+func RunF0Batch(est baseline.F0Estimator, s stream.F0Stream, batchSize int) Result {
+	start := time.Now()
+	n := stream.DrainBatch(s, batchSize, est.AddBatch)
+	elapsed := time.Since(start)
+	truth := float64(s.TrueF0())
+	got := est.Estimate()
+	rel := 0.0
+	if truth > 0 {
+		rel = (got - truth) / truth
+	}
+	return Result{
+		Algorithm:   est.Name(),
+		Workload:    s.Name(),
+		Truth:       truth,
+		Estimate:    got,
+		RelErr:      rel,
+		SpaceBits:   est.SpaceBits(),
+		NsPerUpdate: float64(elapsed.Nanoseconds()) / float64(max(n, 1)),
+		Updates:     n,
+	}
+}
+
 // RunTrials runs trials independent (estimator, stream) pairs produced
 // by the two factories and aggregates.
 func RunTrials(trials int, mkEst func(trial int) baseline.F0Estimator,
 	mkStream func(trial int) stream.F0Stream) Aggregate {
+	return runTrials(trials, mkEst, mkStream, RunF0)
+}
+
+// RunTrialsBatch is RunTrials through the batched ingestion path.
+func RunTrialsBatch(trials, batchSize int, mkEst func(trial int) baseline.F0Estimator,
+	mkStream func(trial int) stream.F0Stream) Aggregate {
+	return runTrials(trials, mkEst, mkStream,
+		func(est baseline.F0Estimator, s stream.F0Stream) Result {
+			return RunF0Batch(est, s, batchSize)
+		})
+}
+
+func runTrials(trials int, mkEst func(trial int) baseline.F0Estimator,
+	mkStream func(trial int) stream.F0Stream,
+	run func(baseline.F0Estimator, stream.F0Stream) Result) Aggregate {
 	var agg Aggregate
 	agg.Trials = trials
 	sum2, sumBits, sumNs := 0.0, 0.0, 0.0
 	for i := 0; i < trials; i++ {
-		r := RunF0(mkEst(i), mkStream(i))
+		r := run(mkEst(i), mkStream(i))
 		agg.Algorithm = r.Algorithm
 		if math.IsNaN(r.RelErr) || math.IsInf(r.RelErr, 0) {
 			agg.Failures++

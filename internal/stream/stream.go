@@ -172,3 +172,30 @@ func Drain(s F0Stream, fn func(uint64)) int {
 		n++
 	}
 }
+
+// DrainBatch runs a stream to completion through fn in batches of up
+// to batchSize keys — the batched-ingestion analogue of Drain (the
+// final batch may be short).
+func DrainBatch(s F0Stream, batchSize int, fn func([]uint64)) int {
+	if batchSize < 1 {
+		panic("stream: batch size must be positive")
+	}
+	buf := make([]uint64, 0, batchSize)
+	n := 0
+	for {
+		k, ok := s.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, k)
+		n++
+		if len(buf) == batchSize {
+			fn(buf)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		fn(buf)
+	}
+	return n
+}

@@ -206,3 +206,32 @@ func DrainTurnstile(s TurnstileStream, fn func(uint64, int64)) int {
 		n++
 	}
 }
+
+// DrainTurnstileBatch runs a turnstile stream through fn in batches of
+// up to batchSize parallel (keys, deltas) updates — the batched
+// analogue of DrainTurnstile.
+func DrainTurnstileBatch(s TurnstileStream, batchSize int, fn func([]uint64, []int64)) int {
+	if batchSize < 1 {
+		panic("stream: batch size must be positive")
+	}
+	keys := make([]uint64, 0, batchSize)
+	deltas := make([]int64, 0, batchSize)
+	n := 0
+	for {
+		u, ok := s.Next()
+		if !ok {
+			break
+		}
+		keys = append(keys, u.Key)
+		deltas = append(deltas, u.Delta)
+		n++
+		if len(keys) == batchSize {
+			fn(keys, deltas)
+			keys, deltas = keys[:0], deltas[:0]
+		}
+	}
+	if len(keys) > 0 {
+		fn(keys, deltas)
+	}
+	return n
+}

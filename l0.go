@@ -62,6 +62,27 @@ func (l *L0) Update(key uint64, delta int64) {
 // update is +1, as the paper notes).
 func (l *L0) Add(key uint64) { l.Update(key, 1) }
 
+// UpdateBatch applies the updates as if Update had been called on each
+// (key, delta) pair in order, with per-call overhead amortized across
+// the batch. A nil deltas slice means every delta is +1; otherwise
+// len(deltas) must equal len(keys).
+func (l *L0) UpdateBatch(keys []uint64, deltas []int64) {
+	for _, s := range l.copies {
+		s.UpdateBatch(keys, deltas)
+	}
+}
+
+// AddBatch records the keys with delta +1 each.
+func (l *L0) AddBatch(keys []uint64) { l.UpdateBatch(keys, nil) }
+
+// Reset returns the sketch to its freshly constructed state while
+// keeping its configuration, seed, and hash draws (see F0.Reset).
+func (l *L0) Reset() {
+	for _, s := range l.copies {
+		s.Reset()
+	}
+}
+
 // Estimate returns the median estimate across copies (NaN if every
 // copy errored — see EstimateErr).
 func (l *L0) Estimate() float64 {

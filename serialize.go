@@ -8,20 +8,32 @@ import (
 )
 
 // Serialization format: a magic/version header, the full option set
-// (including the seed), then each copy's dynamic counter state. Hash
-// functions never hit the wire — on load the sketch is rebuilt
-// deterministically from (options, seed) and only counters are
-// restored, so payload size tracks the sketch's accounted state, not
-// its tabulation tables.
+// (including the seed), then the dynamic counter state. Hash functions
+// never hit the wire — on load the sketch is rebuilt deterministically
+// from (options, seed) and only counters are restored, so payload size
+// tracks the sketch's accounted state, not its tabulation tables.
+//
+// Version 2 (current) wraps each copy's state in a length-prefixed
+// frame, which lets readers validate section boundaries and lets the
+// sharded (concurrent) formats reuse the same per-copy encoding: a
+// sharded payload is the shared settings plus one framed section per
+// shard. Version 1 concatenated the copy states unframed; the readers
+// still accept it.
 //
 // A sketch can therefore only be unmarshaled by a binary using the
 // same construction logic (this library), which is the usual contract
 // for sketch stores (statistics catalogs, checkpoint files).
 const (
-	f0Magic = 0x4b4e5746 // "KNWF"
-	l0Magic = 0x4b4e574c // "KNWL"
-	version = 1
+	f0Magic        = 0x4b4e5746 // "KNWF"
+	l0Magic        = 0x4b4e574c // "KNWL"
+	f0ShardedMagic = 0x4b4e5753 // "KNWS"
+	l0ShardedMagic = 0x4b4e5754 // "KNWT"
+	version        = 2
 )
+
+// maxShards bounds the shard count a sharded header may claim, so a
+// corrupt payload cannot force an unbounded allocation.
+const maxShards = 1 << 16
 
 func appendSettings(w *binenc.Writer, s settings) {
 	w.Uvarint(math.Float64bits(s.eps))
@@ -60,6 +72,84 @@ func (s settings) valid() bool {
 		s.logMM >= 1 && s.logMM <= 62
 }
 
+// readVersion consumes the version marker, accepting the current
+// version and the legacy unframed version 1.
+func readVersion(r *binenc.Reader, what string) (uint64, error) {
+	v := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if v != 1 && v != version {
+		return 0, fmt.Errorf("knw: unsupported %s version %d", what, v)
+	}
+	return v, nil
+}
+
+// restoreFrame decodes one length-prefixed frame with fn, requiring fn
+// to consume the frame exactly.
+func restoreFrame(r *binenc.Reader, fn func(*binenc.Reader) error) error {
+	frame := r.Bytes()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	sub := binenc.Reader{Buf: frame}
+	if err := fn(&sub); err != nil {
+		return err
+	}
+	if err := sub.Err(); err != nil {
+		return err
+	}
+	if len(sub.Buf) != 0 {
+		return binenc.ErrCorrupt
+	}
+	return nil
+}
+
+// appendCopyFrames writes each copy's state as a length-prefixed frame
+// (the version-2 section layout, shared with the sharded format).
+func (f *F0) appendCopyFrames(w *binenc.Writer) {
+	for _, s := range f.fast {
+		var cw binenc.Writer
+		s.AppendState(&cw)
+		w.Bytes(cw.Buf)
+	}
+	for _, s := range f.ref {
+		var cw binenc.Writer
+		s.AppendState(&cw)
+		w.Bytes(cw.Buf)
+	}
+}
+
+// restoreCopyFrames reads what appendCopyFrames wrote.
+func (f *F0) restoreCopyFrames(r *binenc.Reader) error {
+	for _, s := range f.fast {
+		if err := restoreFrame(r, s.RestoreState); err != nil {
+			return fmt.Errorf("knw: restoring F0 copy: %w", err)
+		}
+	}
+	for _, s := range f.ref {
+		if err := restoreFrame(r, s.RestoreState); err != nil {
+			return fmt.Errorf("knw: restoring F0 copy: %w", err)
+		}
+	}
+	return nil
+}
+
+// restoreCopiesV1 reads the legacy unframed copy-state concatenation.
+func (f *F0) restoreCopiesV1(r *binenc.Reader) error {
+	for _, s := range f.fast {
+		if err := s.RestoreState(r); err != nil {
+			return fmt.Errorf("knw: restoring F0 copy: %w", err)
+		}
+	}
+	for _, s := range f.ref {
+		if err := s.RestoreState(r); err != nil {
+			return fmt.Errorf("knw: restoring F0 copy: %w", err)
+		}
+	}
+	return nil
+}
+
 // MarshalBinary implements encoding.BinaryMarshaler. Any in-progress
 // deamortized phases are drained first, so marshaling is an O(state)
 // operation, not a hot-path one.
@@ -68,21 +158,20 @@ func (f *F0) MarshalBinary() ([]byte, error) {
 	w.Uvarint(f0Magic)
 	w.Uvarint(version)
 	appendSettings(&w, f.cfg)
-	for _, s := range f.fast {
-		s.AppendState(&w)
-	}
-	for _, s := range f.ref {
-		s.AppendState(&w)
-	}
+	f.appendCopyFrames(&w)
 	return w.Buf, nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing f's
-// configuration and state entirely.
+// configuration and state entirely. Version-1 and version-2 payloads
+// are both accepted.
 func (f *F0) UnmarshalBinary(data []byte) error {
 	r := binenc.Reader{Buf: data}
 	r.Expect(f0Magic, "F0 magic")
-	r.Expect(version, "version")
+	ver, err := readVersion(&r, "F0")
+	if err != nil {
+		return err
+	}
 	cfg := readSettings(&r)
 	if err := r.Err(); err != nil {
 		return err
@@ -91,20 +180,46 @@ func (f *F0) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("knw: corrupt F0 header")
 	}
 	fresh := newF0From(cfg)
-	for _, s := range fresh.fast {
-		if err := s.RestoreState(&r); err != nil {
-			return fmt.Errorf("knw: restoring F0 copy: %w", err)
-		}
+	if ver == 1 {
+		err = fresh.restoreCopiesV1(&r)
+	} else {
+		err = fresh.restoreCopyFrames(&r)
 	}
-	for _, s := range fresh.ref {
-		if err := s.RestoreState(&r); err != nil {
-			return fmt.Errorf("knw: restoring F0 copy: %w", err)
-		}
+	if err != nil {
+		return err
 	}
 	if len(r.Buf) != 0 {
 		return fmt.Errorf("knw: %d trailing bytes in F0 payload", len(r.Buf))
 	}
 	*f = *fresh
+	return nil
+}
+
+// appendCopyFrames / restoreCopyFrames / restoreCopiesV1: the L0
+// equivalents of the F0 section helpers.
+func (l *L0) appendCopyFrames(w *binenc.Writer) {
+	for _, s := range l.copies {
+		var cw binenc.Writer
+		s.AppendState(&cw)
+		w.Bytes(cw.Buf)
+	}
+}
+
+func (l *L0) restoreCopyFrames(r *binenc.Reader) error {
+	for _, s := range l.copies {
+		if err := restoreFrame(r, s.RestoreState); err != nil {
+			return fmt.Errorf("knw: restoring L0 copy: %w", err)
+		}
+	}
+	return nil
+}
+
+func (l *L0) restoreCopiesV1(r *binenc.Reader) error {
+	for _, s := range l.copies {
+		if err := s.RestoreState(r); err != nil {
+			return fmt.Errorf("knw: restoring L0 copy: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -114,17 +229,19 @@ func (l *L0) MarshalBinary() ([]byte, error) {
 	w.Uvarint(l0Magic)
 	w.Uvarint(version)
 	appendSettings(&w, l.cfg)
-	for _, s := range l.copies {
-		s.AppendState(&w)
-	}
+	l.appendCopyFrames(&w)
 	return w.Buf, nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler for L0.
+// Version-1 and version-2 payloads are both accepted.
 func (l *L0) UnmarshalBinary(data []byte) error {
 	r := binenc.Reader{Buf: data}
 	r.Expect(l0Magic, "L0 magic")
-	r.Expect(version, "version")
+	ver, err := readVersion(&r, "L0")
+	if err != nil {
+		return err
+	}
 	cfg := readSettings(&r)
 	if err := r.Err(); err != nil {
 		return err
@@ -133,14 +250,125 @@ func (l *L0) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("knw: corrupt L0 header")
 	}
 	fresh := newL0From(cfg)
-	for _, s := range fresh.copies {
-		if err := s.RestoreState(&r); err != nil {
-			return fmt.Errorf("knw: restoring L0 copy: %w", err)
-		}
+	if ver == 1 {
+		err = fresh.restoreCopiesV1(&r)
+	} else {
+		err = fresh.restoreCopyFrames(&r)
+	}
+	if err != nil {
+		return err
 	}
 	if len(r.Buf) != 0 {
 		return fmt.Errorf("knw: %d trailing bytes in L0 payload", len(r.Buf))
 	}
 	*l = *fresh
+	return nil
+}
+
+// MarshalBinary serializes the sharded wrapper: shared settings, the
+// shard count, then one framed section per shard holding that shard's
+// framed copy states. Each shard is encoded under its own lock, so
+// marshaling is safe while writers run, though the snapshot is then
+// per-shard consistent rather than globally atomic (checkpoint the
+// wrapper from a quiesced moment if exact cut semantics matter).
+func (c *ConcurrentF0) MarshalBinary() ([]byte, error) {
+	var w binenc.Writer
+	w.Uvarint(f0ShardedMagic)
+	w.Uvarint(version)
+	appendSettings(&w, c.cfg)
+	w.Uvarint(uint64(len(c.shards)))
+	for i := range c.shards {
+		s := &c.shards[i]
+		var sw binenc.Writer
+		s.mu.Lock()
+		s.sk.appendCopyFrames(&sw)
+		s.mu.Unlock()
+		w.Bytes(sw.Buf)
+	}
+	return w.Buf, nil
+}
+
+// UnmarshalBinary replaces c's configuration and state entirely. It is
+// not safe to call concurrently with writers or readers on c.
+func (c *ConcurrentF0) UnmarshalBinary(data []byte) error {
+	r := binenc.Reader{Buf: data}
+	r.Expect(f0ShardedMagic, "sharded F0 magic")
+	if _, err := readVersion(&r, "sharded F0"); err != nil {
+		return err
+	}
+	cfg := readSettings(&r)
+	shards := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if !cfg.valid() || shards < 1 || shards > maxShards || shards&(shards-1) != 0 {
+		return fmt.Errorf("knw: corrupt sharded F0 header")
+	}
+	fresh := make([]f0Shard, shards)
+	for i := range fresh {
+		fresh[i].sk = newF0From(cfg)
+		if err := restoreFrame(&r, fresh[i].sk.restoreCopyFrames); err != nil {
+			return fmt.Errorf("knw: restoring F0 shard %d: %w", i, err)
+		}
+	}
+	if len(r.Buf) != 0 {
+		return fmt.Errorf("knw: %d trailing bytes in sharded F0 payload", len(r.Buf))
+	}
+	c.cfg = cfg
+	c.mask = shards - 1
+	c.shards = fresh
+	c.initPools()
+	return nil
+}
+
+// MarshalBinary serializes the sharded L0 wrapper (see
+// ConcurrentF0.MarshalBinary for the snapshot semantics).
+func (c *ConcurrentL0) MarshalBinary() ([]byte, error) {
+	var w binenc.Writer
+	w.Uvarint(l0ShardedMagic)
+	w.Uvarint(version)
+	appendSettings(&w, c.cfg)
+	w.Uvarint(uint64(len(c.shards)))
+	for i := range c.shards {
+		s := &c.shards[i]
+		var sw binenc.Writer
+		s.mu.Lock()
+		s.sk.appendCopyFrames(&sw)
+		s.mu.Unlock()
+		w.Bytes(sw.Buf)
+	}
+	return w.Buf, nil
+}
+
+// UnmarshalBinary replaces c's configuration and state entirely. It is
+// not safe to call concurrently with writers or readers on c.
+func (c *ConcurrentL0) UnmarshalBinary(data []byte) error {
+	r := binenc.Reader{Buf: data}
+	r.Expect(l0ShardedMagic, "sharded L0 magic")
+	if _, err := readVersion(&r, "sharded L0"); err != nil {
+		return err
+	}
+	cfg := readSettings(&r)
+	shards := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if !cfg.valid() || shards < 1 || shards > maxShards || shards&(shards-1) != 0 {
+		return fmt.Errorf("knw: corrupt sharded L0 header")
+	}
+	fresh := make([]l0Shard, shards)
+	for i := range fresh {
+		fresh[i].sk = newL0From(cfg)
+		if err := restoreFrame(&r, fresh[i].sk.restoreCopyFrames); err != nil {
+			return fmt.Errorf("knw: restoring L0 shard %d: %w", i, err)
+		}
+	}
+	if len(r.Buf) != 0 {
+		return fmt.Errorf("knw: %d trailing bytes in sharded L0 payload", len(r.Buf))
+	}
+	c.cfg = cfg
+	c.mask = shards - 1
+	c.shards = fresh
+	c.initPools()
 	return nil
 }
