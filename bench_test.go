@@ -9,6 +9,7 @@ package knw_test
 // EXPERIMENTS.md records a reference run.
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -142,6 +143,58 @@ func BenchmarkKNWIngest(b *testing.B) {
 			}
 			sk.AddBatch(keys[:n])
 		}
+	})
+}
+
+// BenchmarkKeyedIngest compares typed-key batched ingestion against
+// the raw uint64 path on the same sketch configuration — the PR-2
+// acceptance gate is keyed-string within 10% of raw-uint64. The
+// string keys are realistic short ids (~12 bytes); "raw-uint64" is
+// the floor (no per-key hash at all).
+func BenchmarkKeyedIngest(b *testing.B) {
+	mkKeys := func() ([]uint64, []string) {
+		raw := make([]uint64, benchBatch)
+		str := make([]string, benchBatch)
+		for i := range raw {
+			raw[i] = uint64(i) * 0x9e3779b97f4a7c15 >> 32
+			str[i] = fmt.Sprintf("user-%07d", i)
+		}
+		return raw, str
+	}
+	opts := []knw.Option{knw.WithEpsilon(0.05), knw.WithSeed(1)}
+	b.Run("raw-uint64", func(b *testing.B) {
+		sk := knw.NewF0(opts...)
+		raw, _ := mkKeys()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += benchBatch {
+			sk.AddBatch(raw)
+		}
+	})
+	b.Run("keyed-uint64", func(b *testing.B) {
+		k := knw.NewKeyed[uint64](knw.NewF0(opts...))
+		raw, _ := mkKeys()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += benchBatch {
+			k.AddBatch(raw)
+		}
+	})
+	b.Run("keyed-string", func(b *testing.B) {
+		k := knw.NewKeyed[string](knw.NewF0(opts...))
+		_, str := mkKeys()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += benchBatch {
+			k.AddBatch(str)
+		}
+	})
+	b.Run("keyed-string-concurrent", func(b *testing.B) {
+		k := knw.NewKeyed[string](knw.NewConcurrentF0(runtime.GOMAXPROCS(0), opts...))
+		_, str := mkKeys()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				k.AddBatch(str)
+			}
+		})
 	})
 }
 

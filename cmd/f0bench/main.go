@@ -11,7 +11,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	knw "repro"
@@ -45,53 +44,54 @@ func main() {
 		}
 	}
 
+	// The sweep is registry-driven: every row names a knw.Kind and the
+	// options that parameterize it, and knw.New builds the estimator —
+	// the same front door a service or harness uses, so adding an
+	// algorithm to the registry is all it takes to appear here.
 	type algo struct {
 		name    string
-		formula string // the Figure 1 space bound
-		mk      func(trial int) baseline.F0Estimator
+		formula string   // the Figure 1 space bound
+		kind    knw.Kind // registry tag
+		opts    []knw.Option
 	}
+	common := []knw.Option{knw.WithEpsilon(*eps)}
 	algos := []algo{
-		{"KNW-F0 (this paper)", "O(eps^-2 + log n)", func(t int) baseline.F0Estimator {
-			return knw.NewF0(knw.WithEpsilon(*eps), knw.WithSeed(*seed+int64(t)), knw.WithCopies(1))
-		}},
-		{"KNW-F0 (reference)", "O(eps^-2 + log n)", func(t int) baseline.F0Estimator {
-			return knw.NewF0(knw.WithEpsilon(*eps), knw.WithSeed(*seed+int64(t)), knw.WithCopies(1), knw.WithReference())
-		}},
-		{"FM85-PCSA [20]", "O(log n), const eps", func(t int) baseline.F0Estimator {
-			return baseline.NewFM85(64, uint64(*seed)+uint64(t))
-		}},
-		{"AMS [3]", "O(log n), const eps", func(t int) baseline.F0Estimator {
-			return baseline.NewAMS(9, 32, rand.New(rand.NewSource(*seed+int64(t))))
-		}},
-		{"GT [24]", "O(eps^-2 log n)", func(t int) baseline.F0Estimator {
-			return baseline.NewGT(baseline.TForEpsilon(*eps)/24, 32, rand.New(rand.NewSource(*seed+int64(t))))
-		}},
-		{"KMV / BJKST-I [4]", "O(eps^-2 log n)", func(t int) baseline.F0Estimator {
-			return baseline.NewKMV(baseline.TForEpsilon(*eps)/24, rand.New(rand.NewSource(*seed+int64(t))))
-		}},
-		{"BJKST-II [4]", "O(eps^-2 loglog n + ...)", func(t int) baseline.F0Estimator {
-			return baseline.NewBJKST(baseline.TForEpsilon(*eps)/24, 32, rand.New(rand.NewSource(*seed+int64(t))))
-		}},
-		{"LogLog [16]", "O(eps^-2 loglog n)", func(t int) baseline.F0Estimator {
-			return baseline.NewLogLog(maxi(64, baseline.MForEpsilon(*eps)*2), uint64(*seed)+uint64(t))
-		}},
-		{"Estan bitmap [17]", "O(eps^-2 log n)", func(t int) baseline.F0Estimator {
-			return baseline.NewLinearCounting(*f0*8, uint64(*seed)+uint64(t))
-		}},
-		{"HyperLogLog [19]", "O(eps^-2 loglog n)", func(t int) baseline.F0Estimator {
-			return baseline.NewHyperLogLog(baseline.MForEpsilon(*eps), uint64(*seed)+uint64(t))
-		}},
+		{"KNW-F0 (this paper)", "O(eps^-2 + log n)", knw.KindF0,
+			append([]knw.Option{knw.WithCopies(1)}, common...)},
+		{"KNW-F0 (reference)", "O(eps^-2 + log n)", knw.KindF0,
+			append([]knw.Option{knw.WithCopies(1), knw.WithReference()}, common...)},
+		{"FM85-PCSA [20]", "O(log n), const eps", knw.KindFM85, common},
+		{"AMS [3]", "O(log n), const eps", knw.KindAMS,
+			append([]knw.Option{knw.WithCopies(9)}, common...)},
+		{"GT [24]", "O(eps^-2 log n)", knw.KindGT, common},
+		{"KMV / BJKST-I [4]", "O(eps^-2 log n)", knw.KindKMV, common},
+		{"BJKST-II [4]", "O(eps^-2 loglog n + ...)", knw.KindBJKST, common},
+		{"LogLog [16]", "O(eps^-2 loglog n)", knw.KindLogLog, common},
+		{"Estan bitmap [17]", "O(eps^-2 log n)", knw.KindLinearCounting,
+			append([]knw.Option{knw.WithK(*f0 * 8)}, common...)},
+		{"HyperLogLog [19]", "O(eps^-2 loglog n)", knw.KindHyperLogLog, common},
+	}
+	mkAlgo := func(a algo) func(trial int) baseline.F0Estimator {
+		return func(t int) baseline.F0Estimator {
+			est, err := knw.New(a.kind, append(a.opts[:len(a.opts):len(a.opts)],
+				knw.WithSeed(*seed+int64(t)))...)
+			if err != nil {
+				panic(err)
+			}
+			return est
+		}
 	}
 
 	fmt.Printf("Figure 1 reproduction: F0=%d, eps=%.3f, workload=%s, %d trials, batch=%d\n\n",
 		*f0, *eps, *workload, *trials, *batch)
 	var rows []simulate.Aggregate
 	for _, a := range algos {
+		mk := mkAlgo(a)
 		var agg simulate.Aggregate
 		if *batch > 0 {
-			agg = simulate.RunTrialsBatch(*trials, *batch, a.mk, mkStream)
+			agg = simulate.RunTrialsBatch(*trials, *batch, mk, mkStream)
 		} else {
-			agg = simulate.RunTrials(*trials, a.mk, mkStream)
+			agg = simulate.RunTrials(*trials, mk, mkStream)
 		}
 		agg.Algorithm = a.name
 		rows = append(rows, agg)
@@ -105,11 +105,4 @@ func main() {
 	fmt.Println("\nNotes: KNW's win is asymptotic — its eps^-2 term carries no log n factor")
 	fmt.Println("and no random-oracle assumption; at practical (eps, n) the oracle-based")
 	fmt.Println("HyperLogLog has smaller constants. See EXPERIMENTS.md §E1.")
-}
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -25,11 +25,17 @@ import (
 func main() {
 	mode := flag.String("mode", "sweep", "sweep | rough | latency")
 	seed := flag.Int64("seed", 1, "random seed")
+	kindName := flag.String("kind", "f0", "estimator kind for -mode sweep (see knw.Kinds)")
 	flag.Parse()
 
 	switch *mode {
 	case "sweep":
-		sweep(*seed)
+		kind, err := knw.ParseKind(*kindName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sweep(kind, *seed)
 	case "rough":
 		roughDemo(*seed)
 	case "latency":
@@ -40,12 +46,18 @@ func main() {
 	}
 }
 
-func sweep(seed int64) {
-	fmt.Println("accuracy sweep: median-amplified KNW-F0 (δ=0.05)")
+// sweep drives any registered estimator kind through the accuracy
+// grid — the registry means this demo needs no per-algorithm code.
+func sweep(kind knw.Kind, seed int64) {
+	fmt.Printf("accuracy sweep: kind=%s (δ=0.05)\n", kind)
 	fmt.Printf("%8s %10s %12s %12s %10s\n", "eps", "F0", "estimate", "rel.err", "KiB")
 	for _, eps := range []float64{0.3, 0.1, 0.05, 0.03} {
 		for _, f0 := range []int{1000, 100_000, 2_000_000} {
-			sk := knw.NewF0(knw.WithEpsilon(eps), knw.WithSeed(seed))
+			sk, err := knw.New(kind, knw.WithEpsilon(eps), knw.WithSeed(seed))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
 			s := stream.NewUniform(f0, f0, seed)
 			stream.Drain(s, sk.Add)
 			est := sk.Estimate()

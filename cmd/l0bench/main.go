@@ -12,11 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	knw "repro"
-	"repro/internal/baseline"
 	"repro/internal/stream"
 )
 
@@ -77,12 +75,23 @@ func main() {
 			sumNs / float64(*trials), handlesNeg}
 	}
 
-	knwRes := run("KNW-L0 (this paper)", true, func(t int) turnstile {
-		return knw.NewL0(knw.WithEpsilon(*eps), knw.WithSeed(*seed+int64(t)), knw.WithCopies(1))
-	})
-	gangulyRes := run("Ganguly-style [22]", false, func(t int) turnstile {
-		return baseline.NewGangulyL0(4096, 32, rand.New(rand.NewSource(*seed+int64(t))))
-	})
+	// Both rows come out of the kind registry: knw.NewTurnstile is the
+	// deletion-supporting slice of the same factory the service layer
+	// uses.
+	mkKind := func(kind knw.Kind, opts ...knw.Option) func(t int) turnstile {
+		return func(t int) turnstile {
+			est, err := knw.NewTurnstile(kind, append(opts[:len(opts):len(opts)],
+				knw.WithSeed(*seed+int64(t)))...)
+			if err != nil {
+				panic(err)
+			}
+			return est
+		}
+	}
+	knwRes := run("KNW-L0 (this paper)", true,
+		mkKind(knw.KindL0, knw.WithEpsilon(*eps), knw.WithCopies(1)))
+	gangulyRes := run("Ganguly-style [22]", false,
+		mkKind(knw.KindGangulyL0, knw.WithEpsilon(*eps), knw.WithK(4096)))
 
 	fmt.Printf("L0 with deletions: live=%d churned=%d eps=%.3f (%d trials, batch=%d)\n\n",
 		*live, *churn, *eps, *trials, *batch)

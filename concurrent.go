@@ -50,6 +50,7 @@ func NewConcurrentF0(shards int, opts ...Option) *ConcurrentF0 {
 	n := int(bitutil.NextPow2(uint64(shards)))
 	cfg := defaultSettings()
 	cfg.resolve(opts)
+	cfg.takeShards() // the explicit argument wins over WithShards
 	c := &ConcurrentF0{cfg: cfg, mask: uint64(n - 1), shards: make([]f0Shard, n)}
 	for i := range c.shards {
 		c.shards[i].sk = newF0From(cfg)
@@ -111,8 +112,19 @@ func (c *ConcurrentF0) AddBatch(keys []uint64) {
 	c.routers.Put(rt)
 }
 
-// AddString records a string element; safe for concurrent use.
-func (c *ConcurrentF0) AddString(s string) { c.Add(fnv1a([]byte(s))) }
+// AddString records a string element via the default seeded hasher;
+// safe for concurrent use.
+//
+// Deprecated: wrap the sketch in NewKeyed[string] instead, which
+// shares this hash, adds batching, and documents the collision
+// semantics (hasher.go).
+func (c *ConcurrentF0) AddString(s string) { c.Add(NewHasher[string](c.cfg.seed, c.cfg.logN).Hash(s)) }
+
+// AddBytes records a byte-slice element via the default seeded hasher;
+// safe for concurrent use.
+//
+// Deprecated: wrap the sketch in NewKeyed[[]byte] instead.
+func (c *ConcurrentF0) AddBytes(b []byte) { c.Add(NewHasher[[]byte](c.cfg.seed, c.cfg.logN).Hash(b)) }
 
 // Estimate merges all shards into a pooled scratch sketch and returns
 // its estimate; safe for concurrent use with Add and AddBatch. The
@@ -167,6 +179,15 @@ func (c *ConcurrentF0) Merge(other *ConcurrentF0) error {
 // Shards returns the shard count.
 func (c *ConcurrentF0) Shards() int { return len(c.shards) }
 
+// Seed returns the seed shared by every shard (see F0.Seed).
+func (c *ConcurrentF0) Seed() int64 { return c.cfg.seed }
+
+// UniverseBits returns log2 of the configured key universe.
+func (c *ConcurrentF0) UniverseBits() uint { return c.cfg.logN }
+
+// Kind returns KindConcurrentF0 (the registry/envelope tag).
+func (c *ConcurrentF0) Kind() Kind { return KindConcurrentF0 }
+
 // SpaceBits sums the shards' accounted state.
 func (c *ConcurrentF0) SpaceBits() int {
 	total := 0
@@ -212,6 +233,7 @@ func NewConcurrentL0(shards int, opts ...Option) *ConcurrentL0 {
 	n := int(bitutil.NextPow2(uint64(shards)))
 	cfg := defaultSettings()
 	cfg.resolve(opts)
+	cfg.takeShards() // the explicit argument wins over WithShards
 	c := &ConcurrentL0{cfg: cfg, mask: uint64(n - 1), shards: make([]l0Shard, n)}
 	for i := range c.shards {
 		c.shards[i].sk = newL0From(cfg)
@@ -280,6 +302,18 @@ func (c *ConcurrentL0) Add(key uint64) { c.Update(key, 1) }
 // AddBatch records the keys with delta +1 each; safe for concurrent use.
 func (c *ConcurrentL0) AddBatch(keys []uint64) { c.UpdateBatch(keys, nil) }
 
+// AddString records a string element via the default seeded hasher;
+// safe for concurrent use.
+//
+// Deprecated: wrap the sketch in NewKeyed[string] instead.
+func (c *ConcurrentL0) AddString(s string) { c.Add(NewHasher[string](c.cfg.seed, c.cfg.logN).Hash(s)) }
+
+// AddBytes records a byte-slice element via the default seeded hasher;
+// safe for concurrent use.
+//
+// Deprecated: wrap the sketch in NewKeyed[[]byte] instead.
+func (c *ConcurrentL0) AddBytes(b []byte) { c.Add(NewHasher[[]byte](c.cfg.seed, c.cfg.logN).Hash(b)) }
+
 // Estimate merges all shards into a pooled scratch sketch and returns
 // its estimate; safe for concurrent use with Update and UpdateBatch.
 func (c *ConcurrentL0) Estimate() float64 {
@@ -328,6 +362,15 @@ func (c *ConcurrentL0) Merge(other *ConcurrentL0) error {
 
 // Shards returns the shard count.
 func (c *ConcurrentL0) Shards() int { return len(c.shards) }
+
+// Seed returns the seed shared by every shard (see F0.Seed).
+func (c *ConcurrentL0) Seed() int64 { return c.cfg.seed }
+
+// UniverseBits returns log2 of the configured key universe.
+func (c *ConcurrentL0) UniverseBits() uint { return c.cfg.logN }
+
+// Kind returns KindConcurrentL0 (the registry/envelope tag).
+func (c *ConcurrentL0) Kind() Kind { return KindConcurrentL0 }
 
 // SpaceBits sums the shards' accounted state.
 func (c *ConcurrentL0) SpaceBits() int {

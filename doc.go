@@ -44,6 +44,22 @@
 // UnmarshalBinary checkpoint any sketch — including the sharded
 // wrappers — in a versioned wire format.
 //
+// # Typed keys, kinds, and the envelope
+//
+// Keyed[K] is the typed front door: it hashes string, []byte, or
+// uint64 keys into the wrapped sketch's universe with a documented
+// seeded hash (see hasher.go) and forwards through the batch pipeline:
+//
+//	users := knw.NewKeyed[string](knw.NewF0(knw.WithSeed(1)))
+//	users.AddBatch([]string{"alice", "bob", "carol"})
+//
+// Kind names every implementation — the four sketch types plus the
+// internal/baseline comparators — and New(kind, opts...) is the
+// uniform factory. Every MarshalBinary wraps its payload in a
+// self-describing envelope (kind tag + payload), and Open(data)
+// restores the right concrete type from it; pre-envelope payloads
+// still load. See README.md for the kind table and migration notes.
+//
 // # What's inside
 //
 // The top-level F0 and L0 types run a median over independent copies

@@ -1,19 +1,23 @@
 // pipeline demonstrates the library's production ingestion shape: a
-// sharded concurrent sketch fed micro-batches by many goroutines (one
+// sharded concurrent sketch behind the typed-key front door
+// (Keyed[string]), fed micro-batches by many goroutines (one
 // shard-lock acquisition per shard per batch), a reader goroutine
 // taking periodic estimates from the pooled merge path, and a
-// checkpoint/restore cycle through the version-2 framed wire format —
+// checkpoint/restore cycle through the self-describing envelope —
 // the full write path a streaming analytics service would run.
 //
 // The stream is split into two halves. Half one is ingested, the
-// wrapper is checkpointed with MarshalBinary, a brand-new wrapper is
-// restored from the checkpoint (as after a process restart), and half
-// two is ingested into the restored wrapper. The final estimate covers
-// the whole stream.
+// wrapper is checkpointed with MarshalBinary, the checkpoint is
+// reopened with knw.Open (which reads the concrete type off the
+// envelope's kind tag, as after a process restart), and half two is
+// ingested into the restored wrapper. The final estimate covers the
+// whole stream.
 package main
 
 import (
+	"encoding"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,10 +33,12 @@ const (
 )
 
 // ingest streams updates [lo, hi) into the sketch in micro-batches,
-// as a partition consumer would.
-func ingest(c *knw.ConcurrentF0, lo, hi int, wg *sync.WaitGroup, progress *atomic.Int64) {
+// as a partition consumer would. Keys are strings (user ids); the
+// Keyed front-end hashes the whole batch and feeds the sharded batch
+// path, so the typed layer costs one pass over the batch.
+func ingest(c *knw.Keyed[string], lo, hi int, wg *sync.WaitGroup, progress *atomic.Int64) {
 	defer wg.Done()
-	batch := make([]uint64, 0, batchSize)
+	batch := make([]string, 0, batchSize)
 	flush := func() {
 		c.AddBatch(batch)
 		progress.Add(int64(len(batch)))
@@ -40,8 +46,7 @@ func ingest(c *knw.ConcurrentF0, lo, hi int, wg *sync.WaitGroup, progress *atomi
 	}
 	for i := lo; i < hi; i++ {
 		// Keys repeat (updates > distinct): real traffic re-sees items.
-		key := uint64(i%distinct)*0x9e3779b97f4a7c15 + 1
-		batch = append(batch, key)
+		batch = append(batch, "user-"+strconv.Itoa(i%distinct))
 		if len(batch) == batchSize {
 			flush()
 		}
@@ -51,7 +56,7 @@ func ingest(c *knw.ConcurrentF0, lo, hi int, wg *sync.WaitGroup, progress *atomi
 
 // runHalf ingests updates [lo, hi) with `workers` goroutines while a
 // reader polls estimates.
-func runHalf(c *knw.ConcurrentF0, lo, hi int) {
+func runHalf(c *knw.Keyed[string], lo, hi int) {
 	var wg sync.WaitGroup
 	var progress atomic.Int64
 	per := (hi - lo + workers - 1) / workers
@@ -89,26 +94,33 @@ func runHalf(c *knw.ConcurrentF0, lo, hi int) {
 }
 
 func main() {
-	c := knw.NewConcurrentF0(workers,
+	sharded := knw.NewConcurrentF0(workers,
 		knw.WithEpsilon(0.05), knw.WithSeed(42), knw.WithCopies(3))
+	c := knw.NewKeyed[string](sharded)
 
 	fmt.Printf("phase 1: %d workers, batches of %d\n", workers, batchSize)
 	runHalf(c, 0, updates/2)
 
-	blob, err := c.MarshalBinary()
+	blob, err := c.Unwrap().(encoding.BinaryMarshaler).MarshalBinary()
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("checkpoint: %d bytes (settings + %d framed shard sections)\n",
-		len(blob), c.Shards())
+	fmt.Printf("checkpoint: %d bytes (envelope kind=%s + %d framed shard sections)\n",
+		len(blob), sharded.Kind(), sharded.Shards())
 
-	// Simulate a restart: a brand-new wrapper restored from the blob.
-	restored := knw.NewConcurrentF0(1)
-	if err := restored.UnmarshalBinary(blob); err != nil {
+	// Simulate a restart: Open reads the kind tag off the envelope and
+	// rebuilds the right concrete type — the restore side no longer
+	// needs to know what was checkpointed.
+	est, err := knw.Open(blob)
+	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("restored: %d shards, estimate ≈ %.0f\n",
-		restored.Shards(), restored.Estimate())
+	reshard := est.(*knw.ConcurrentF0)
+	// Re-wrapping in Keyed re-derives the same hasher from the restored
+	// seed and universe, so phase 2 hashes exactly like phase 1.
+	restored := knw.NewKeyed[string](reshard)
+	fmt.Printf("restored: %s with %d shards, estimate ≈ %.0f\n",
+		est.Name(), reshard.Shards(), restored.Estimate())
 
 	fmt.Println("phase 2: resuming ingestion on the restored sketch")
 	runHalf(restored, updates/2, updates)

@@ -37,11 +37,10 @@ func main() {
 	fmt.Printf("F0:  after 500k more: estimated %.0f (true %d)\n",
 		sk.Estimate(), distinct+500_000)
 
-	// Strings work too (hashed into the key universe).
-	users := knw.NewF0(knw.WithSeed(7))
-	for _, u := range []string{"alice", "bob", "alice", "carol", "bob"} {
-		users.AddString(u)
-	}
+	// Typed keys: wrap any sketch in Keyed to ingest strings (or
+	// []byte) through the documented seeded hash, batched or not.
+	users := knw.NewKeyed[string](knw.NewF0(knw.WithSeed(7)))
+	users.AddBatch([]string{"alice", "bob", "alice", "carol", "bob"})
 	fmt.Printf("F0:  distinct users in tiny stream: %.0f (exact below 100)\n",
 		users.Estimate())
 

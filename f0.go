@@ -33,6 +33,7 @@ func NewF0(opts ...Option) *F0 {
 // newF0From builds a sketch from resolved settings (shared by NewF0
 // and UnmarshalBinary, which must reproduce the exact hash draws).
 func newF0From(cfg settings) *F0 {
+	cfg.takeShards() // construction-only hint; keep stored cfgs comparable
 	f := &F0{cfg: cfg}
 	rng := cfg.rng()
 	cc := core.Config{
@@ -88,11 +89,17 @@ func (f *F0) Reset() {
 	}
 }
 
-// AddString records a string element (FNV-1a hashed to the key space).
-func (f *F0) AddString(s string) { f.Add(fnv1a([]byte(s))) }
+// AddString records a string element via the default seeded hasher.
+//
+// Deprecated: wrap the sketch in NewKeyed[string] instead, which
+// shares this hash, adds batching, and documents the collision
+// semantics (hasher.go).
+func (f *F0) AddString(s string) { f.Add(NewHasher[string](f.cfg.seed, f.cfg.logN).Hash(s)) }
 
-// AddBytes records a byte-slice element.
-func (f *F0) AddBytes(b []byte) { f.Add(fnv1a(b)) }
+// AddBytes records a byte-slice element via the default seeded hasher.
+//
+// Deprecated: wrap the sketch in NewKeyed[[]byte] instead.
+func (f *F0) AddBytes(b []byte) { f.Add(NewHasher[[]byte](f.cfg.seed, f.cfg.logN).Hash(b)) }
 
 // Estimate returns the median estimate across copies. It returns NaN
 // if every copy has failed (probability ≤ (1/32)^copies; see
@@ -149,6 +156,17 @@ func (f *F0) Merge(other *F0) error {
 // Copies returns the number of independent copies.
 func (f *F0) Copies() int { return f.cfg.copies }
 
+// Seed returns the seed the sketch's hash functions were drawn from.
+// Sketches are mergeable only when built from the same options and
+// seed; Keyed front-ends derive their default hasher from it.
+func (f *F0) Seed() int64 { return f.cfg.seed }
+
+// UniverseBits returns log2 of the configured key universe.
+func (f *F0) UniverseBits() uint { return f.cfg.logN }
+
+// Kind returns KindF0 (the registry/envelope tag).
+func (f *F0) Kind() Kind { return KindF0 }
+
 // K returns the per-copy counter count.
 func (f *F0) K() int { return f.cfg.k() }
 
@@ -170,20 +188,4 @@ func (f *F0) Name() string {
 		return "KNW-F0(ref)"
 	}
 	return "KNW-F0"
-}
-
-// fnv1a is the 64-bit FNV-1a hash, used only to map caller strings and
-// byte slices into the key universe (the sketch's own hash functions
-// do the probabilistic work).
-func fnv1a(b []byte) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime
-	}
-	return h
 }

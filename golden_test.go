@@ -1,0 +1,115 @@
+package knw
+
+import (
+	"bytes"
+	"encoding"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden wire-format tests. The files under testdata/ are committed
+// payloads in each framing the readers promise to accept forever:
+//
+//	*_v1.golden        legacy unframed format (pre-framing writers)
+//	*_v2.golden        bare framed format (pre-envelope writers)
+//	*_envelope.golden  current self-describing envelope
+//
+// The test asserts two independent things: (a) today's writers still
+// produce byte-identical v2/envelope payloads for the same sketch
+// state (format stability — any drift must be a deliberate version
+// bump plus a -update regeneration), and (b) today's readers load
+// every committed payload back to the recorded estimate (compatibility
+// — old checkpoints keep working).
+//
+// Regenerate with: go test -run TestGolden -update .
+var updateGolden = flag.Bool("update", false, "rewrite golden wire-format files")
+
+// goldenSketches builds the deterministic fixtures the golden files
+// capture. Small on purpose (copies=1, coarse ε) so the committed
+// files stay a few KB.
+func goldenSketches() (f *F0, l *L0, cf *ConcurrentF0, cl *ConcurrentL0) {
+	keys := make([]uint64, 3000)
+	deltas := make([]int64, len(keys))
+	for i := range keys {
+		keys[i] = (uint64(i)*0x9e3779b97f4a7c15>>16 + 1) & (1<<16 - 1)
+		deltas[i] = int64(i%5 - 2)
+	}
+	// WithK(32) pins the counter count at the floor and the narrow
+	// universe/update bounds shrink the L0 levels, keeping the
+	// committed files small.
+	small := []Option{WithEpsilon(0.3), WithCopies(1), WithK(32),
+		WithUniverseBits(16), WithUpdateBits(8)}
+	f = NewF0(append([]Option{WithSeed(1001)}, small...)...)
+	f.AddBatch(keys)
+	l = NewL0(append([]Option{WithSeed(1002)}, small...)...)
+	l.UpdateBatch(keys, deltas)
+	cf = NewConcurrentF0(2, append([]Option{WithSeed(1003)}, small...)...)
+	cf.AddBatch(keys)
+	cl = NewConcurrentL0(2, append([]Option{WithSeed(1004)}, small...)...)
+	cl.UpdateBatch(keys, deltas)
+	return
+}
+
+func TestGoldenWireFormats(t *testing.T) {
+	f, l, cf, cl := goldenSketches()
+	cases := []struct {
+		file string
+		data []byte  // what today's writer produces for this framing
+		want float64 // estimate the payload must restore to
+	}{
+		{"f0_v1.golden", marshalV1F0(f), f.Estimate()},
+		{"f0_v2.golden", f.marshalLegacy(), f.Estimate()},
+		{"f0_envelope.golden", mustMarshal(t, f), f.Estimate()},
+		{"l0_v1.golden", marshalV1L0(l), l.Estimate()},
+		{"l0_v2.golden", l.marshalLegacy(), l.Estimate()},
+		{"l0_envelope.golden", mustMarshal(t, l), l.Estimate()},
+		{"concurrent_f0_v2.golden", cf.marshalLegacy(), cf.Estimate()},
+		{"concurrent_f0_envelope.golden", mustMarshal(t, cf), cf.Estimate()},
+		{"concurrent_l0_v2.golden", cl.marshalLegacy(), cl.Estimate()},
+		{"concurrent_l0_envelope.golden", mustMarshal(t, cl), cl.Estimate()},
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range cases {
+		path := filepath.Join("testdata", c.file)
+		if *updateGolden {
+			if err := os.WriteFile(path, c.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		golden, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s missing (run `go test -run TestGolden -update .`): %v", c.file, err)
+		}
+		// (a) Writer stability.
+		if !bytes.Equal(golden, c.data) {
+			t.Errorf("%s: writer output drifted from committed golden bytes", c.file)
+		}
+		// (b) Reader compatibility, through the one front door.
+		est, err := Open(golden)
+		if err != nil {
+			t.Errorf("%s: Open: %v", c.file, err)
+			continue
+		}
+		if got := est.Estimate(); got != c.want {
+			t.Errorf("%s: restored estimate %v, want %v", c.file, got, c.want)
+		}
+		// Re-marshaling a restored golden produces the current
+		// (enveloped) framing and round-trips again.
+		blob, err := est.(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			t.Errorf("%s: re-marshal: %v", c.file, err)
+			continue
+		}
+		if _, err := Open(blob); err != nil {
+			t.Errorf("%s: reopen of re-marshal: %v", c.file, err)
+		}
+	}
+}

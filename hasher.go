@@ -1,0 +1,141 @@
+package knw
+
+import "repro/internal/hashfn"
+
+// This file defines the typed-key hashing layer: how caller-side keys
+// (strings, byte slices, raw integers) are mapped into the sketch's
+// key universe [2^universeBits]. The sketches themselves only ever see
+// uint64 keys inside that universe; Keyed[K] (keyed.go) composes a
+// Hasher with any Estimator to give callers a typed front door.
+//
+// The default hash is deliberately boring and documented, because it
+// is part of the wire contract: two sketches built with the same seed
+// must hash the same string to the same key on every machine and every
+// release, or merged / restored sketches silently diverge.
+//
+//	H(b)   = Mix64(FNV1a64(b), seed)       // bytes and strings
+//	H(x)   = x                             // uint64 keys (pre-hashed)
+//	key    = fold(H, universeBits)
+//	fold(h, b) = (h ^ (h >> b)) & (2^b - 1)
+//
+// FNV1a64 is the standard 64-bit FNV-1a; Mix64 is the SplitMix64
+// avalanche finalizer (internal/hashfn), which both seeds the hash and
+// repairs FNV's weak high bits. The XOR-fold keeps all 64 hash bits in
+// play when the universe is narrower than 64 bits — this replaces the
+// old behaviour of handing the sketch a full 64-bit FNV value and
+// letting the universe mask silently discard the high bits.
+//
+// Collision semantics: distinct string/byte keys collide in the folded
+// universe with the usual birthday probability ≈ n²/2^(b+1) for n
+// distinct keys and b universe bits — at the default b = 32, about 1%
+// once n reaches 10⁴ and near-certainty by n = 10⁶. Keep n well below
+// 2^((b+1)/2)·√p for a target collision probability p, or widen the
+// universe with WithUniverseBits. Collisions make the sketch under-count (two keys
+// become one), which is invisible to the estimator; sizing the
+// universe is the caller's job and is why fold/universe handling is
+// explicit here rather than implicit truncation downstream.
+//
+// For uint64 keys the identity is used instead of Mix64: raw-key
+// callers have always been required to present keys already inside
+// the universe, and fold(x, b) = x whenever x < 2^b, so the default
+// hasher is exactly backward compatible with Add(key) for in-universe
+// keys while out-of-universe keys now fold instead of truncate.
+
+// Key enumerates the key types the typed front-end accepts: text,
+// binary blobs, and pre-hashed 64-bit values.
+type Key interface {
+	string | []byte | uint64
+}
+
+// Hasher maps typed keys into the sketch's key universe. Implementations
+// must be deterministic (same key → same value, across processes) and
+// goroutine-safe; the fold to the configured universe is the Hasher's
+// responsibility. Use NewHasher for the default, or provide your own to
+// bring an existing hash (e.g. a precomputed shard key) — but note the
+// hash is part of the persisted state's identity: restoring or merging
+// sketches only makes sense under the same Hasher.
+type Hasher[K Key] interface {
+	// Hash maps key into [2^universeBits] as configured at construction.
+	Hash(key K) uint64
+}
+
+// SeededHasher is the default Hasher: seeded FNV-1a+Mix64 for strings
+// and byte slices, identity for uint64, XOR-folded into a b-bit
+// universe (see the package comment above for the exact definition and
+// collision semantics). The zero value hashes into the full 64-bit
+// universe with seed 0; prefer NewHasher.
+type SeededHasher[K Key] struct {
+	seed uint64
+	bits uint
+}
+
+// NewHasher returns the default deterministic Hasher for seed and a
+// universeBits-bit key universe. universeBits 0 (or ≥ 64) means the
+// full 64-bit space. Keyed estimators pick these parameters up from
+// the wrapped sketch automatically; NewHasher is for callers composing
+// the hash themselves (e.g. pre-hashing keys on the client side of an
+// ingestion RPC).
+func NewHasher[K Key](seed int64, universeBits uint) SeededHasher[K] {
+	if universeBits == 0 || universeBits > 64 {
+		universeBits = 64
+	}
+	return SeededHasher[K]{seed: uint64(seed), bits: universeBits}
+}
+
+// Hash implements Hasher.
+func (h SeededHasher[K]) Hash(key K) uint64 {
+	bits := h.bits
+	if bits == 0 {
+		bits = 64
+	}
+	switch k := any(key).(type) {
+	case string:
+		return foldUniverse(hashfn.Mix64(fnv1aString(k), h.seed), bits)
+	case []byte:
+		return foldUniverse(hashfn.Mix64(fnv1a(k), h.seed), bits)
+	case uint64:
+		return foldUniverse(k, bits)
+	default:
+		panic("knw: unreachable key type")
+	}
+}
+
+// foldUniverse XOR-folds a 64-bit hash into a b-bit universe. It is
+// the identity on values already inside the universe.
+func foldUniverse(h uint64, b uint) uint64 {
+	if b >= 64 {
+		return h
+	}
+	return (h ^ (h >> b)) & (1<<b - 1)
+}
+
+// fnv1a is the 64-bit FNV-1a hash over a byte slice — the base hash
+// for typed keys (the sketch's own hash functions do the probabilistic
+// work; this only flattens variable-length keys to words).
+func fnv1a(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// fnv1aString is fnv1a over a string without converting to []byte
+// (the conversion would allocate on every Add).
+func fnv1aString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

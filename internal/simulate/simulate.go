@@ -30,8 +30,15 @@ type Result struct {
 
 // RunF0 drives one estimator over one stream and measures it.
 func RunF0(est baseline.F0Estimator, s stream.F0Stream) Result {
+	return runF0(est, s, func() int { return stream.Drain(s, est.Add) })
+}
+
+// runF0 times the given drain step and assembles the measurement
+// (shared by the scalar and batched paths so the measured fields can
+// never diverge between them).
+func runF0(est baseline.F0Estimator, s stream.F0Stream, drain func() int) Result {
 	start := time.Now()
-	n := stream.Drain(s, est.Add)
+	n := drain()
 	elapsed := time.Since(start)
 	truth := float64(s.TrueF0())
 	got := est.Estimate()
@@ -67,25 +74,7 @@ type Aggregate struct {
 // KNW sketches the resulting state matches the scalar path exactly;
 // the measured ns/update reflects the amortized per-key cost.
 func RunF0Batch(est baseline.F0Estimator, s stream.F0Stream, batchSize int) Result {
-	start := time.Now()
-	n := stream.DrainBatch(s, batchSize, est.AddBatch)
-	elapsed := time.Since(start)
-	truth := float64(s.TrueF0())
-	got := est.Estimate()
-	rel := 0.0
-	if truth > 0 {
-		rel = (got - truth) / truth
-	}
-	return Result{
-		Algorithm:   est.Name(),
-		Workload:    s.Name(),
-		Truth:       truth,
-		Estimate:    got,
-		RelErr:      rel,
-		SpaceBits:   est.SpaceBits(),
-		NsPerUpdate: float64(elapsed.Nanoseconds()) / float64(max(n, 1)),
-		Updates:     n,
-	}
+	return runF0(est, s, func() int { return stream.DrainBatch(s, batchSize, est.AddBatch) })
 }
 
 // RunTrials runs trials independent (estimator, stream) pairs produced

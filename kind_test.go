@@ -1,0 +1,148 @@
+package knw
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNewAllKinds: every registered kind constructs through the
+// factory, ingests, and reports — the uniform front door the benches
+// and the service layer rely on.
+func TestNewAllKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		est, err := New(kind, WithSeed(81), WithEpsilon(0.2), WithCopies(3))
+		if err != nil {
+			t.Fatalf("New(%s): %v", kind, err)
+		}
+		for i := uint64(1); i <= 5000; i++ {
+			est.Add(i * 0x9e3779b97f4a7c15 >> 32)
+		}
+		est.AddBatch([]uint64{1, 2, 3})
+		if est.Name() == "" {
+			t.Errorf("New(%s): empty Name", kind)
+		}
+		if est.SpaceBits() <= 0 {
+			t.Errorf("New(%s): SpaceBits %d", kind, est.SpaceBits())
+		}
+		if est.Estimate() <= 0 {
+			t.Errorf("New(%s): estimate %v after 5000 adds", kind, est.Estimate())
+		}
+
+		// The registry's turnstile flag must match the estimator's
+		// actual surface.
+		_, isTurnstile := est.(TurnstileEstimator)
+		if isTurnstile != kind.Turnstile() {
+			t.Errorf("kind %s: Turnstile()=%v but estimator turnstile=%v",
+				kind, kind.Turnstile(), isTurnstile)
+		}
+		tu, err := NewTurnstile(kind, WithSeed(82), WithEpsilon(0.2), WithCopies(3))
+		if kind.Turnstile() {
+			if err != nil {
+				t.Errorf("NewTurnstile(%s): %v", kind, err)
+			} else {
+				tu.Update(7, +2)
+				tu.Update(7, -2)
+			}
+		} else if err == nil {
+			t.Errorf("NewTurnstile(%s) succeeded for an insertion-only kind", kind)
+		}
+	}
+}
+
+// TestParseKindRoundTrip: String() names parse back, aliases resolve,
+// junk errors.
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, kind := range Kinds() {
+		got, err := ParseKind(kind.String())
+		if err != nil || got != kind {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", kind.String(), got, err, kind)
+		}
+	}
+	for alias, want := range map[string]Kind{
+		"HLL": KindHyperLogLog, "cf0": KindConcurrentF0, "knw": KindF0,
+		" Sharded-L0 ": KindConcurrentL0, "bottom-k": KindKMV,
+	} {
+		got, err := ParseKind(alias)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", alias, got, err, want)
+		}
+	}
+	if _, err := ParseKind("no-such-sketch"); err == nil {
+		t.Error("ParseKind accepted junk")
+	} else if !strings.Contains(err.Error(), "f0") {
+		t.Errorf("ParseKind error does not list known kinds: %v", err)
+	}
+	if _, err := New(Kind(200)); err == nil {
+		t.Error("New accepted an unregistered kind")
+	}
+}
+
+// TestKindAccessorsAndWireFlags: the concrete types report their
+// registry tags; exactly the four KNW sketches are wire kinds.
+func TestKindAccessorsAndWireFlags(t *testing.T) {
+	if k := NewF0(WithSeed(1), WithCopies(1)).Kind(); k != KindF0 {
+		t.Errorf("F0.Kind() = %v", k)
+	}
+	if k := NewL0(WithSeed(1), WithCopies(1)).Kind(); k != KindL0 {
+		t.Errorf("L0.Kind() = %v", k)
+	}
+	if k := NewConcurrentF0(2, WithSeed(1), WithCopies(1)).Kind(); k != KindConcurrentF0 {
+		t.Errorf("ConcurrentF0.Kind() = %v", k)
+	}
+	if k := NewConcurrentL0(2, WithSeed(1), WithCopies(1)).Kind(); k != KindConcurrentL0 {
+		t.Errorf("ConcurrentL0.Kind() = %v", k)
+	}
+	for _, kind := range Kinds() {
+		wantWire := kind == KindF0 || kind == KindL0 ||
+			kind == KindConcurrentF0 || kind == KindConcurrentL0
+		if kind.Wire() != wantWire {
+			t.Errorf("kind %s: Wire() = %v, want %v", kind, kind.Wire(), wantWire)
+		}
+	}
+}
+
+// TestWithShards: the factory honours the shard-count option, the
+// explicit constructor argument wins over it, and the hint never leaks
+// into the stored configuration (mergeability across construction
+// paths).
+func TestWithShards(t *testing.T) {
+	est, err := New(KindConcurrentF0, WithShards(4), WithSeed(83), WithCopies(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := est.(*ConcurrentF0)
+	if c.Shards() != 4 {
+		t.Fatalf("WithShards(4) gave %d shards", c.Shards())
+	}
+
+	// Default: some power of two ≥ 1, without WithShards.
+	est2, err := New(KindConcurrentL0, WithSeed(83), WithCopies(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := est2.(*ConcurrentL0).Shards(); n < 1 || n&(n-1) != 0 {
+		t.Fatalf("default shard count %d not a power of two", n)
+	}
+
+	// Explicit argument beats the option.
+	if n := NewConcurrentF0(2, WithShards(8), WithSeed(83), WithCopies(1)).Shards(); n != 2 {
+		t.Fatalf("explicit shard argument lost to WithShards: %d", n)
+	}
+
+	// WithShards on a non-sharded kind is inert: the sketch merges with
+	// one built without it.
+	plain := NewF0(WithSeed(84), WithCopies(1))
+	est3, err := New(KindF0, WithShards(8), WithSeed(84), WithCopies(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Merge(est3.(*F0)); err != nil {
+		t.Fatalf("WithShards leaked into F0 config: %v", err)
+	}
+	// And the factory-built concurrent sketch merges with a
+	// constructor-built one.
+	d := NewConcurrentF0(4, WithSeed(83), WithCopies(1))
+	if err := c.Merge(d); err != nil {
+		t.Fatalf("factory and constructor configs diverge: %v", err)
+	}
+}

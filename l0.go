@@ -35,6 +35,7 @@ func NewL0(opts ...Option) *L0 {
 // newL0From builds a sketch from resolved settings (shared by NewL0
 // and UnmarshalBinary, which must reproduce the exact hash draws).
 func newL0From(cfg settings) *L0 {
+	cfg.takeShards() // construction-only hint; keep stored cfgs comparable
 	l := &L0{cfg: cfg}
 	rng := cfg.rng()
 	lc := l0core.Config{
@@ -74,6 +75,18 @@ func (l *L0) UpdateBatch(keys []uint64, deltas []int64) {
 
 // AddBatch records the keys with delta +1 each.
 func (l *L0) AddBatch(keys []uint64) { l.UpdateBatch(keys, nil) }
+
+// AddString records a string element via the default seeded hasher.
+//
+// Deprecated: wrap the sketch in NewKeyed[string] instead, which
+// shares this hash, adds batching and typed turnstile updates, and
+// documents the collision semantics (hasher.go).
+func (l *L0) AddString(s string) { l.Add(NewHasher[string](l.cfg.seed, l.cfg.logN).Hash(s)) }
+
+// AddBytes records a byte-slice element via the default seeded hasher.
+//
+// Deprecated: wrap the sketch in NewKeyed[[]byte] instead.
+func (l *L0) AddBytes(b []byte) { l.Add(NewHasher[[]byte](l.cfg.seed, l.cfg.logN).Hash(b)) }
 
 // Reset returns the sketch to its freshly constructed state while
 // keeping its configuration, seed, and hash draws (see F0.Reset).
@@ -131,6 +144,16 @@ func (l *L0) Merge(other *L0) error {
 
 // Copies returns the number of independent copies.
 func (l *L0) Copies() int { return len(l.copies) }
+
+// Seed returns the seed the sketch's hash functions were drawn from
+// (see F0.Seed).
+func (l *L0) Seed() int64 { return l.cfg.seed }
+
+// UniverseBits returns log2 of the configured key universe.
+func (l *L0) UniverseBits() uint { return l.cfg.logN }
+
+// Kind returns KindL0 (the registry/envelope tag).
+func (l *L0) Kind() Kind { return KindL0 }
 
 // SpaceBits returns the total accounted state across copies.
 func (l *L0) SpaceBits() int {

@@ -5,10 +5,14 @@ import (
 	"math"
 
 	"repro/internal/binenc"
+	"repro/internal/bitutil"
 )
 
-// Serialization format: a magic/version header, the full option set
-// (including the seed), then the dynamic counter state. Hash functions
+// Serialization format: every MarshalBinary wraps its payload in the
+// self-describing envelope of envelope.go (kind tag + payload), so
+// knw.Open can restore the right concrete type. The payload itself is
+// this file's per-type format: a magic/version header, the full option
+// set (including the seed), then the dynamic counter state. Hash functions
 // never hit the wire — on load the sketch is rebuilt deterministically
 // from (options, seed) and only counters are restored, so payload size
 // tracks the sketch's accounted state, not its tabulation tables.
@@ -64,12 +68,34 @@ func readSettings(r *binenc.Reader) settings {
 	return s
 }
 
+// maxRestoredK / maxRestoredCounters bound the per-copy K and the
+// total copies·K of a payload we are willing to reconstruct: a corrupt
+// (or adversarial) header must not be able to force an unbounded
+// allocation, and the core constructors panic outright on a
+// non-power-of-two K or on K ≥ 2^22 (the K³ hash range overflows
+// uint64), which a decoder must never do. K = 2^20 per copy is the
+// ε = 0.01 point and 2^24 total is far beyond the paper's regime
+// (ε = 0.01 at δ = 0.05 uses ~7.3M); sketches built past these bounds
+// simply don't round-trip.
+const (
+	maxRestoredK        = 1 << 20
+	maxRestoredCounters = 1 << 24
+)
+
 func (s settings) valid() bool {
-	return s.eps > 0 && s.eps < 1 &&
+	if !(s.eps > 0 && s.eps < 1 &&
 		s.copies >= 1 && s.copies <= 1<<10 &&
 		s.delta > 0 && s.delta < 1 &&
 		s.logN >= 4 && s.logN <= 62 &&
-		s.logMM >= 1 && s.logMM <= 62
+		s.logMM >= 1 && s.logMM <= 62) {
+		return false
+	}
+	if s.kOverride != 0 &&
+		(s.kOverride < 32 || !bitutil.IsPow2(uint64(s.kOverride))) {
+		return false
+	}
+	k := s.k()
+	return k >= 32 && k <= maxRestoredK && s.copies*k <= maxRestoredCounters
 }
 
 // readVersion consumes the version marker, accepting the current
@@ -150,22 +176,38 @@ func (f *F0) restoreCopiesV1(r *binenc.Reader) error {
 	return nil
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler. Any in-progress
-// deamortized phases are drained first, so marshaling is an O(state)
-// operation, not a hot-path one.
+// MarshalBinary implements encoding.BinaryMarshaler, wrapping the
+// type's payload in the self-describing envelope (envelope.go) so
+// readers can restore it without knowing the concrete type. Any
+// in-progress deamortized phases are drained first, so marshaling is
+// an O(state) operation, not a hot-path one.
 func (f *F0) MarshalBinary() ([]byte, error) {
+	return wrapEnvelope(KindF0, f.marshalLegacy()), nil
+}
+
+// marshalLegacy produces the pre-envelope (version-2) payload — the
+// bytes the envelope carries.
+func (f *F0) marshalLegacy() []byte {
 	var w binenc.Writer
 	w.Uvarint(f0Magic)
 	w.Uvarint(version)
 	appendSettings(&w, f.cfg)
 	f.appendCopyFrames(&w)
-	return w.Buf, nil
+	return w.Buf
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing f's
-// configuration and state entirely. Version-1 and version-2 payloads
-// are both accepted.
+// configuration and state entirely. Enveloped, bare version-2, and
+// legacy version-1 payloads are all accepted.
 func (f *F0) UnmarshalBinary(data []byte) error {
+	payload, err := unwrapEnvelope(data, KindF0)
+	if err != nil {
+		return err
+	}
+	return f.unmarshalLegacy(payload)
+}
+
+func (f *F0) unmarshalLegacy(data []byte) error {
 	r := binenc.Reader{Buf: data}
 	r.Expect(f0Magic, "F0 magic")
 	ver, err := readVersion(&r, "F0")
@@ -223,19 +265,33 @@ func (l *L0) restoreCopiesV1(r *binenc.Reader) error {
 	return nil
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler for L0.
+// MarshalBinary implements encoding.BinaryMarshaler for L0 (enveloped;
+// see F0.MarshalBinary).
 func (l *L0) MarshalBinary() ([]byte, error) {
+	return wrapEnvelope(KindL0, l.marshalLegacy()), nil
+}
+
+func (l *L0) marshalLegacy() []byte {
 	var w binenc.Writer
 	w.Uvarint(l0Magic)
 	w.Uvarint(version)
 	appendSettings(&w, l.cfg)
 	l.appendCopyFrames(&w)
-	return w.Buf, nil
+	return w.Buf
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler for L0.
-// Version-1 and version-2 payloads are both accepted.
+// Enveloped, bare version-2, and legacy version-1 payloads are all
+// accepted.
 func (l *L0) UnmarshalBinary(data []byte) error {
+	payload, err := unwrapEnvelope(data, KindL0)
+	if err != nil {
+		return err
+	}
+	return l.unmarshalLegacy(payload)
+}
+
+func (l *L0) unmarshalLegacy(data []byte) error {
 	r := binenc.Reader{Buf: data}
 	r.Expect(l0Magic, "L0 magic")
 	ver, err := readVersion(&r, "L0")
@@ -272,6 +328,10 @@ func (l *L0) UnmarshalBinary(data []byte) error {
 // per-shard consistent rather than globally atomic (checkpoint the
 // wrapper from a quiesced moment if exact cut semantics matter).
 func (c *ConcurrentF0) MarshalBinary() ([]byte, error) {
+	return wrapEnvelope(KindConcurrentF0, c.marshalLegacy()), nil
+}
+
+func (c *ConcurrentF0) marshalLegacy() []byte {
 	var w binenc.Writer
 	w.Uvarint(f0ShardedMagic)
 	w.Uvarint(version)
@@ -285,12 +345,21 @@ func (c *ConcurrentF0) MarshalBinary() ([]byte, error) {
 		s.mu.Unlock()
 		w.Bytes(sw.Buf)
 	}
-	return w.Buf, nil
+	return w.Buf
 }
 
 // UnmarshalBinary replaces c's configuration and state entirely. It is
 // not safe to call concurrently with writers or readers on c.
+// Enveloped and bare payloads are both accepted.
 func (c *ConcurrentF0) UnmarshalBinary(data []byte) error {
+	payload, err := unwrapEnvelope(data, KindConcurrentF0)
+	if err != nil {
+		return err
+	}
+	return c.unmarshalLegacy(payload)
+}
+
+func (c *ConcurrentF0) unmarshalLegacy(data []byte) error {
 	r := binenc.Reader{Buf: data}
 	r.Expect(f0ShardedMagic, "sharded F0 magic")
 	if _, err := readVersion(&r, "sharded F0"); err != nil {
@@ -324,6 +393,10 @@ func (c *ConcurrentF0) UnmarshalBinary(data []byte) error {
 // MarshalBinary serializes the sharded L0 wrapper (see
 // ConcurrentF0.MarshalBinary for the snapshot semantics).
 func (c *ConcurrentL0) MarshalBinary() ([]byte, error) {
+	return wrapEnvelope(KindConcurrentL0, c.marshalLegacy()), nil
+}
+
+func (c *ConcurrentL0) marshalLegacy() []byte {
 	var w binenc.Writer
 	w.Uvarint(l0ShardedMagic)
 	w.Uvarint(version)
@@ -337,12 +410,21 @@ func (c *ConcurrentL0) MarshalBinary() ([]byte, error) {
 		s.mu.Unlock()
 		w.Bytes(sw.Buf)
 	}
-	return w.Buf, nil
+	return w.Buf
 }
 
 // UnmarshalBinary replaces c's configuration and state entirely. It is
 // not safe to call concurrently with writers or readers on c.
+// Enveloped and bare payloads are both accepted.
 func (c *ConcurrentL0) UnmarshalBinary(data []byte) error {
+	payload, err := unwrapEnvelope(data, KindConcurrentL0)
+	if err != nil {
+		return err
+	}
+	return c.unmarshalLegacy(payload)
+}
+
+func (c *ConcurrentL0) unmarshalLegacy(data []byte) error {
 	r := binenc.Reader{Buf: data}
 	r.Expect(l0ShardedMagic, "sharded L0 magic")
 	if _, err := readVersion(&r, "sharded L0"); err != nil {
