@@ -408,6 +408,78 @@ func BenchmarkNetmonPacket(b *testing.B) {
 	}
 }
 
+// --- E14: service snapshot/merge hot path ----------------------------
+
+// BenchmarkSnapshotRoundTrip measures the knwd checkpoint/merge cycle:
+// encode a sketch to its envelope (AppendBinary into a reused buffer —
+// the pooled path the store checkpointer and /v1/snapshot use) and
+// restore it with knw.Open (the /v1/merge and startup-restore path).
+// ReportAllocs makes encode-side pooling regressions visible.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		make func() knw.Estimator
+	}{
+		{"F0", func() knw.Estimator {
+			return knw.NewF0(knw.WithEpsilon(0.05), knw.WithSeed(1))
+		}},
+		{"ConcurrentF0-8", func() knw.Estimator {
+			return knw.NewConcurrentF0(8, knw.WithEpsilon(0.05), knw.WithSeed(1))
+		}},
+		{"L0", func() knw.Estimator {
+			return knw.NewL0(knw.WithEpsilon(0.05), knw.WithSeed(1))
+		}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			sk := bc.make()
+			keys := make([]uint64, 1<<16)
+			for i := range keys {
+				keys[i] = uint64(i) * 0x9e3779b97f4a7c15
+			}
+			sk.AddBatch(keys)
+			enc := sk.(interface {
+				AppendBinary([]byte) ([]byte, error)
+			})
+			var buf []byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = enc.AppendBinary(buf[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := knw.Open(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(buf)))
+		})
+	}
+}
+
+// BenchmarkSnapshotEncode isolates the encode half (what a checkpoint
+// tick pays per store entry when nothing is restored).
+func BenchmarkSnapshotEncode(b *testing.B) {
+	sk := knw.NewConcurrentF0(8, knw.WithEpsilon(0.05), knw.WithSeed(1))
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	sk.AddBatch(keys)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = sk.AppendBinary(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
 func epsName(eps float64) string {
 	switch eps {
 	case 0.1:

@@ -1,0 +1,122 @@
+// Command knwd is the KNW sketch daemon: a multi-tenant cardinality
+// service over the paper's F0/L0 estimators. Pods POST keys at it,
+// dashboards GET estimates, peer nodes exchange snapshot envelopes
+// through /v1/merge, and a background checkpoint loop makes restarts
+// lose at most one checkpoint interval.
+//
+//	knwd -listen :7070 -checkpoint-dir /var/lib/knwd \
+//	     -kind concurrent-f0 -epsilon 0.02 -seed 1 \
+//	     -window-buckets 6 -window-interval 10m
+//
+// See the repository README ("Running knwd") for the API and curl
+// examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	knw "repro"
+	"repro/service"
+	"repro/store"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":7070", "HTTP listen address")
+		kindName     = flag.String("kind", "concurrent-f0", "sketch kind for every store (a wire kind: f0, l0, concurrent-f0, concurrent-l0)")
+		eps          = flag.Float64("epsilon", 0.05, "target relative standard error")
+		delta        = flag.Float64("delta", 0.05, "failure probability (copies = O(log 1/delta))")
+		seed         = flag.Int64("seed", 0, "sketch seed; REQUIRED (non-zero) for cross-node merging — peers must share it")
+		shards       = flag.Int("shards", 0, "shard count for the concurrent kinds (0 = one per CPU)")
+		universeBits = flag.Uint("universe-bits", 32, "log2 of the key universe")
+		ckptDir      = flag.String("checkpoint-dir", "", "checkpoint directory (empty = no persistence)")
+		ckptEvery    = flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint interval")
+		winBuckets   = flag.Int("window-buckets", 0, "window ring size (0 = windowing off)")
+		winInterval  = flag.Duration("window-interval", time.Minute, "width of one window bucket")
+	)
+	flag.Parse()
+
+	kind, err := knw.ParseKind(*kindName)
+	if err != nil {
+		log.Fatalf("knwd: %v", err)
+	}
+	opts := []knw.Option{
+		knw.WithEpsilon(*eps),
+		knw.WithDelta(*delta),
+		knw.WithUniverseBits(*universeBits),
+	}
+	switch {
+	case *seed != 0:
+		opts = append(opts, knw.WithSeed(*seed))
+	case *ckptDir != "":
+		// Persistence without an explicit seed: pin a per-directory seed
+		// in a sidecar file. Without this, every restart would draw a
+		// fresh time seed and reject its own checkpoint as incompatible.
+		s, err := loadOrCreateSeed(*ckptDir)
+		if err != nil {
+			log.Fatalf("knwd: %v", err)
+		}
+		opts = append(opts, knw.WithSeed(s))
+		fmt.Fprintf(os.Stderr, "knwd: no -seed given; using persisted seed %d from %s (peers need the same seed to merge)\n", s, *ckptDir)
+	default:
+		fmt.Fprintln(os.Stderr, "knwd: warning: no -seed given; snapshots from this node will not merge into other nodes")
+	}
+	if *shards > 0 {
+		opts = append(opts, knw.WithShards(*shards))
+	}
+
+	srv, err := service.New(service.Config{
+		Store: store.Config{
+			Kind:    kind,
+			Options: opts,
+			Window:  store.Window{Buckets: *winBuckets, Interval: *winInterval},
+		},
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("knwd: %v", err)
+	}
+
+	// SIGINT/SIGTERM cancel the context; Run drains requests and writes
+	// the final checkpoint before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx, *listen); err != nil {
+		log.Fatalf("knwd: %v", err)
+	}
+}
+
+// loadOrCreateSeed reads dir/seed, or draws a time seed and writes it
+// on first run, so unseeded daemons keep one sketch identity across
+// restarts (checkpoints only load under the seed they were written
+// with).
+func loadOrCreateSeed(dir string) (int64, error) {
+	path := filepath.Join(dir, "seed")
+	if b, err := os.ReadFile(path); err == nil {
+		s, perr := strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64)
+		if perr != nil || s == 0 {
+			return 0, fmt.Errorf("corrupt seed file %s: %q", path, b)
+		}
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	s := time.Now().UnixNano()
+	if err := os.WriteFile(path, []byte(strconv.FormatInt(s, 10)+"\n"), 0o644); err != nil {
+		return 0, err
+	}
+	return s, nil
+}

@@ -159,7 +159,7 @@ func (c *ConcurrentF0) Merge(other *ConcurrentF0) error {
 		return fmt.Errorf("knw: cannot merge a sketch into itself")
 	}
 	if c.cfg != other.cfg {
-		return fmt.Errorf("knw: cannot merge sketches with different configurations")
+		return errCfgMismatch(c)
 	}
 	for i := range other.shards {
 		os := &other.shards[i]
@@ -174,6 +174,19 @@ func (c *ConcurrentF0) Merge(other *ConcurrentF0) error {
 		}
 	}
 	return nil
+}
+
+// Reset returns every shard to its freshly constructed state while
+// keeping configuration, seed, and hash draws (see F0.Reset). Safe for
+// concurrent use, though concurrent writers may land keys on either
+// side of the reset.
+func (c *ConcurrentF0) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.sk.Reset()
+		s.mu.Unlock()
+	}
 }
 
 // Shards returns the shard count.
@@ -343,7 +356,7 @@ func (c *ConcurrentL0) Merge(other *ConcurrentL0) error {
 		return fmt.Errorf("knw: cannot merge a sketch into itself")
 	}
 	if c.cfg != other.cfg {
-		return fmt.Errorf("knw: cannot merge sketches with different configurations")
+		return errCfgMismatch(c)
 	}
 	for i := range other.shards {
 		os := &other.shards[i]
@@ -358,6 +371,19 @@ func (c *ConcurrentL0) Merge(other *ConcurrentL0) error {
 		}
 	}
 	return nil
+}
+
+// Reset returns every shard to its freshly constructed state while
+// keeping configuration, seed, and hash draws (see F0.Reset). Safe for
+// concurrent use, though concurrent writers may land keys on either
+// side of the reset.
+func (c *ConcurrentL0) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.sk.Reset()
+		s.mu.Unlock()
+	}
 }
 
 // Shards returns the shard count.

@@ -60,6 +60,16 @@
 // restores the right concrete type from it; pre-envelope payloads
 // still load. See README.md for the kind table and migration notes.
 //
+// # The knwd service
+//
+// The store and service packages (plus cmd/knwd) run the library as a
+// multi-tenant daemon: named sketches created on first write, optional
+// time-bucketed window rotation, an HTTP ingest/estimate/merge/
+// snapshot API, and atomic envelope-backed checkpointing. MergeInto
+// and Compatible lift merging to the Estimator interface for such
+// callers, with kind/settings mismatches reported via the typed
+// ErrIncompatible. See README.md ("Running knwd") and DESIGN.md §15.
+//
 // # What's inside
 //
 // The top-level F0 and L0 types run a median over independent copies

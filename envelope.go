@@ -2,6 +2,7 @@ package knw
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/binenc"
 )
@@ -37,6 +38,28 @@ func wrapEnvelope(kind Kind, payload []byte) []byte {
 	return w.Buf
 }
 
+// payloadScratch pools the intermediate payload buffers the
+// AppendBinary path needs (the envelope length-prefixes the payload,
+// so the payload must be sized before the header is written). Pooling
+// keeps the snapshot/merge hot path — a service checkpointing every
+// store on a tick, or streaming snapshots to peers — from re-growing a
+// fresh buffer per sketch per round.
+var payloadScratch = sync.Pool{New: func() any { return new([]byte) }}
+
+// appendEnvelope appends an envelope for kind to dst, obtaining the
+// payload from appendPayload via a pooled scratch buffer.
+func appendEnvelope(dst []byte, kind Kind, appendPayload func([]byte) []byte) []byte {
+	p := payloadScratch.Get().(*[]byte)
+	*p = appendPayload((*p)[:0])
+	w := binenc.Writer{Buf: dst}
+	w.Uvarint(envMagic)
+	w.Uvarint(envVersion)
+	w.Uvarint(uint64(kind))
+	w.Bytes(*p)
+	payloadScratch.Put(p)
+	return w.Buf
+}
+
 // unwrapEnvelope returns the inner payload if data is an envelope
 // (verifying it holds the wanted kind), or data unchanged if it is a
 // pre-envelope payload (anything not starting with the envelope
@@ -57,10 +80,13 @@ func unwrapEnvelope(data []byte, want Kind) ([]byte, error) {
 }
 
 // openEnvelope parses the envelope after its magic has been consumed.
+// The returned payload aliases r's buffer (the per-type decoders copy
+// whatever state they keep), so unwrapping a snapshot or a peer's
+// merge envelope allocates nothing.
 func openEnvelope(r *binenc.Reader) (Kind, []byte, error) {
 	ver := r.Uvarint()
 	kind := r.Uvarint()
-	payload := r.Bytes()
+	payload := r.BytesView()
 	if err := r.Err(); err != nil {
 		return KindInvalid, nil, fmt.Errorf("knw: corrupt envelope: %w", err)
 	}

@@ -1,7 +1,6 @@
 package knw
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
@@ -139,10 +138,11 @@ func (f *F0) EstimateErr() (float64, error) {
 
 // Merge folds other into f so that f reflects the union of both
 // streams. Both sketches must have been built with the same options
-// and seed (so their hash functions coincide).
+// and seed (so their hash functions coincide); a mismatch returns an
+// error wrapping ErrIncompatible.
 func (f *F0) Merge(other *F0) error {
 	if f.cfg != other.cfg {
-		return fmt.Errorf("knw: cannot merge sketches with different configurations")
+		return errCfgMismatch(f)
 	}
 	for i := range f.fast {
 		f.fast[i].MergeFrom(other.fast[i])

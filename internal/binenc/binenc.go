@@ -127,6 +127,25 @@ func (r *Reader) Bytes() []byte {
 	return out
 }
 
+// BytesView reads a length-prefixed byte slice without copying: the
+// returned slice aliases the reader's buffer. For transient framing
+// reads (envelope unwrapping, per-section dispatch) where the view is
+// fully consumed before the underlying buffer is reused; use Bytes
+// when the bytes outlive the decode.
+func (r *Reader) BytesView() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.Buf)) < n {
+		r.fail()
+		return nil
+	}
+	out := r.Buf[:n:n]
+	r.Buf = r.Buf[n:]
+	return out
+}
+
 // Uints reads a length-prefixed uvarint slice. maxLen guards against
 // corrupt headers allocating unbounded memory.
 func (r *Reader) Uints(maxLen int) []uint64 {

@@ -1,7 +1,6 @@
 package knw
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
@@ -134,7 +133,7 @@ func (l *L0) EstimateErr() (float64, error) {
 // frequency vectors.
 func (l *L0) Merge(other *L0) error {
 	if l.cfg != other.cfg {
-		return fmt.Errorf("knw: cannot merge sketches with different configurations")
+		return errCfgMismatch(l)
 	}
 	for i := range l.copies {
 		l.copies[i].MergeFrom(other.copies[i])

@@ -132,15 +132,17 @@ func restoreFrame(r *binenc.Reader, fn func(*binenc.Reader) error) error {
 }
 
 // appendCopyFrames writes each copy's state as a length-prefixed frame
-// (the version-2 section layout, shared with the sharded format).
+// (the version-2 section layout, shared with the sharded format). One
+// scratch buffer is reused across copies.
 func (f *F0) appendCopyFrames(w *binenc.Writer) {
+	var cw binenc.Writer
 	for _, s := range f.fast {
-		var cw binenc.Writer
+		cw.Buf = cw.Buf[:0]
 		s.AppendState(&cw)
 		w.Bytes(cw.Buf)
 	}
 	for _, s := range f.ref {
-		var cw binenc.Writer
+		cw.Buf = cw.Buf[:0]
 		s.AppendState(&cw)
 		w.Bytes(cw.Buf)
 	}
@@ -182,13 +184,23 @@ func (f *F0) restoreCopiesV1(r *binenc.Reader) error {
 // in-progress deamortized phases are drained first, so marshaling is
 // an O(state) operation, not a hot-path one.
 func (f *F0) MarshalBinary() ([]byte, error) {
-	return wrapEnvelope(KindF0, f.marshalLegacy()), nil
+	return f.AppendBinary(nil)
+}
+
+// AppendBinary implements encoding.BinaryAppender: MarshalBinary
+// appending to b. Callers on a snapshot loop (the store checkpointer,
+// the service's snapshot endpoint) pass a reused buffer so steady-state
+// encoding allocates nothing beyond destination growth.
+func (f *F0) AppendBinary(b []byte) ([]byte, error) {
+	return appendEnvelope(b, KindF0, f.appendLegacy), nil
 }
 
 // marshalLegacy produces the pre-envelope (version-2) payload — the
 // bytes the envelope carries.
-func (f *F0) marshalLegacy() []byte {
-	var w binenc.Writer
+func (f *F0) marshalLegacy() []byte { return f.appendLegacy(nil) }
+
+func (f *F0) appendLegacy(buf []byte) []byte {
+	w := binenc.Writer{Buf: buf}
 	w.Uvarint(f0Magic)
 	w.Uvarint(version)
 	appendSettings(&w, f.cfg)
@@ -240,8 +252,9 @@ func (f *F0) unmarshalLegacy(data []byte) error {
 // appendCopyFrames / restoreCopyFrames / restoreCopiesV1: the L0
 // equivalents of the F0 section helpers.
 func (l *L0) appendCopyFrames(w *binenc.Writer) {
+	var cw binenc.Writer
 	for _, s := range l.copies {
-		var cw binenc.Writer
+		cw.Buf = cw.Buf[:0]
 		s.AppendState(&cw)
 		w.Bytes(cw.Buf)
 	}
@@ -268,11 +281,18 @@ func (l *L0) restoreCopiesV1(r *binenc.Reader) error {
 // MarshalBinary implements encoding.BinaryMarshaler for L0 (enveloped;
 // see F0.MarshalBinary).
 func (l *L0) MarshalBinary() ([]byte, error) {
-	return wrapEnvelope(KindL0, l.marshalLegacy()), nil
+	return l.AppendBinary(nil)
 }
 
-func (l *L0) marshalLegacy() []byte {
-	var w binenc.Writer
+// AppendBinary implements encoding.BinaryAppender (see F0.AppendBinary).
+func (l *L0) AppendBinary(b []byte) ([]byte, error) {
+	return appendEnvelope(b, KindL0, l.appendLegacy), nil
+}
+
+func (l *L0) marshalLegacy() []byte { return l.appendLegacy(nil) }
+
+func (l *L0) appendLegacy(buf []byte) []byte {
+	w := binenc.Writer{Buf: buf}
 	w.Uvarint(l0Magic)
 	w.Uvarint(version)
 	appendSettings(&w, l.cfg)
@@ -328,18 +348,26 @@ func (l *L0) unmarshalLegacy(data []byte) error {
 // per-shard consistent rather than globally atomic (checkpoint the
 // wrapper from a quiesced moment if exact cut semantics matter).
 func (c *ConcurrentF0) MarshalBinary() ([]byte, error) {
-	return wrapEnvelope(KindConcurrentF0, c.marshalLegacy()), nil
+	return c.AppendBinary(nil)
 }
 
-func (c *ConcurrentF0) marshalLegacy() []byte {
-	var w binenc.Writer
+// AppendBinary implements encoding.BinaryAppender (see F0.AppendBinary).
+func (c *ConcurrentF0) AppendBinary(b []byte) ([]byte, error) {
+	return appendEnvelope(b, KindConcurrentF0, c.appendLegacy), nil
+}
+
+func (c *ConcurrentF0) marshalLegacy() []byte { return c.appendLegacy(nil) }
+
+func (c *ConcurrentF0) appendLegacy(buf []byte) []byte {
+	w := binenc.Writer{Buf: buf}
 	w.Uvarint(f0ShardedMagic)
 	w.Uvarint(version)
 	appendSettings(&w, c.cfg)
 	w.Uvarint(uint64(len(c.shards)))
+	var sw binenc.Writer
 	for i := range c.shards {
 		s := &c.shards[i]
-		var sw binenc.Writer
+		sw.Buf = sw.Buf[:0]
 		s.mu.Lock()
 		s.sk.appendCopyFrames(&sw)
 		s.mu.Unlock()
@@ -393,18 +421,26 @@ func (c *ConcurrentF0) unmarshalLegacy(data []byte) error {
 // MarshalBinary serializes the sharded L0 wrapper (see
 // ConcurrentF0.MarshalBinary for the snapshot semantics).
 func (c *ConcurrentL0) MarshalBinary() ([]byte, error) {
-	return wrapEnvelope(KindConcurrentL0, c.marshalLegacy()), nil
+	return c.AppendBinary(nil)
 }
 
-func (c *ConcurrentL0) marshalLegacy() []byte {
-	var w binenc.Writer
+// AppendBinary implements encoding.BinaryAppender (see F0.AppendBinary).
+func (c *ConcurrentL0) AppendBinary(b []byte) ([]byte, error) {
+	return appendEnvelope(b, KindConcurrentL0, c.appendLegacy), nil
+}
+
+func (c *ConcurrentL0) marshalLegacy() []byte { return c.appendLegacy(nil) }
+
+func (c *ConcurrentL0) appendLegacy(buf []byte) []byte {
+	w := binenc.Writer{Buf: buf}
 	w.Uvarint(l0ShardedMagic)
 	w.Uvarint(version)
 	appendSettings(&w, c.cfg)
 	w.Uvarint(uint64(len(c.shards)))
+	var sw binenc.Writer
 	for i := range c.shards {
 		s := &c.shards[i]
-		var sw binenc.Writer
+		sw.Buf = sw.Buf[:0]
 		s.mu.Lock()
 		s.sk.appendCopyFrames(&sw)
 		s.mu.Unlock()

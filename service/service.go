@@ -1,0 +1,322 @@
+// Package service is knwd's HTTP layer: it binds a store.Store to a
+// small versioned API (ingest, estimate, merge, snapshot) and runs the
+// background checkpoint loop that makes the daemon restartable. The
+// handlers are deliberately thin — every piece of sketch logic lives
+// in the store and knw packages — so the same Server drives production
+// listeners, httptest harnesses, and the in-process nodes of
+// examples/service.
+//
+// API (all store names come from the required ?store= query parameter
+// unless noted):
+//
+//	POST /v1/ingest    newline-delimited keys, or JSON
+//	                   {"store": "...", "keys": [...]} (the JSON body
+//	                   may carry the store name itself)
+//	GET  /v1/estimate  → JSON store.Estimate
+//	POST /v1/merge     body = a peer sketch envelope; folds it into the
+//	                   named store (409 on kind/settings mismatch)
+//	GET  /v1/snapshot  → the named store's envelope bytes
+//	PUT  /v1/snapshot  body = an envelope; replaces the named store's
+//	                   all-time sketch (409 on mismatch)
+//	GET  /v1/stores    → JSON {"stores": [...], "kind": "..."}
+//	GET  /healthz      → 200 once serving
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	knw "repro"
+	"repro/store"
+)
+
+// maxBodyBytes bounds any request body (key batches, envelopes): a
+// merge of a large sharded sketch fits comfortably; unbounded uploads
+// do not.
+const maxBodyBytes = 64 << 20
+
+// Config configures a Server.
+type Config struct {
+	// Store configures the underlying sketch registry.
+	Store store.Config
+	// CheckpointDir enables envelope-backed checkpointing: restored on
+	// New, written every CheckpointEvery by Run, and once more on
+	// shutdown. Empty disables persistence.
+	CheckpointDir string
+	// CheckpointEvery is the background checkpoint interval (default
+	// 30s). A restart loses at most this much ingestion.
+	CheckpointEvery time.Duration
+	// Logf receives operational log lines. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the knwd HTTP service: a store, its handlers, and the
+// checkpoint loop.
+type Server struct {
+	cfg   Config
+	st    *store.Store
+	mux   *http.ServeMux
+	bufs  sync.Pool // pooled request-body scratch (merge, restore, ingest)
+	snaps sync.Pool // pooled *[]byte envelope scratch for snapshot responses
+}
+
+// New builds a Server and, when a checkpoint directory is configured,
+// restores the latest checkpoint from it.
+func New(cfg Config) (*Server, error) {
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	st, err := store.New(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, st: st}
+	s.bufs.New = func() any { return new(bytes.Buffer) }
+	s.snaps.New = func() any { return new([]byte) }
+	if cfg.CheckpointDir != "" {
+		n, err := st.LoadCheckpoint(cfg.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: restoring checkpoint: %w", err)
+		}
+		if n > 0 {
+			cfg.Logf("knwd: restored %d stores from %s", n, cfg.CheckpointDir)
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshotGet)
+	s.mux.HandleFunc("PUT /v1/snapshot", s.handleSnapshotPut)
+	s.mux.HandleFunc("GET /v1/stores", s.handleStores)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return s, nil
+}
+
+// Store exposes the underlying registry (tests, in-process embedding).
+func (s *Server) Store() *store.Store { return s.st }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Checkpoint writes a checkpoint now (no-op without a configured
+// directory).
+func (s *Server) Checkpoint() error {
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	return s.st.Checkpoint(s.cfg.CheckpointDir)
+}
+
+// Run serves the API on addr until ctx is cancelled, checkpointing
+// every CheckpointEvery. On cancellation it drains in-flight requests
+// and writes a final checkpoint, so a clean shutdown loses nothing.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.serve(ctx, ln)
+}
+
+func (s *Server) serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	s.cfg.Logf("knwd: serving on %s (kind=%s checkpoint=%q every %v)",
+		ln.Addr(), s.st.Kind(), s.cfg.CheckpointDir, s.cfg.CheckpointEvery)
+
+	ticker := time.NewTicker(s.cfg.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := s.Checkpoint(); err != nil {
+				s.cfg.Logf("knwd: checkpoint failed: %v", err)
+			}
+		case err := <-errc:
+			return err
+		case <-ctx.Done():
+			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			serr := hs.Shutdown(shutCtx)
+			<-errc // Serve has returned http.ErrServerClosed
+			if err := s.Checkpoint(); err != nil {
+				return fmt.Errorf("service: final checkpoint: %w", err)
+			}
+			s.cfg.Logf("knwd: shut down cleanly, final checkpoint written")
+			return serr
+		}
+	}
+}
+
+// --- handlers -------------------------------------------------------
+
+// ingestRequest is the JSON body form of POST /v1/ingest.
+type ingestRequest struct {
+	Store string   `json:"store"`
+	Keys  []string `json:"keys"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("store")
+	var keys []string
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		var req ingestRequest
+		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding JSON body: %w", err))
+			return
+		}
+		if req.Store != "" {
+			name = req.Store
+		}
+		keys = req.Keys
+	} else {
+		buf, done := s.readBody(w, r)
+		if !done {
+			return
+		}
+		defer s.putBuf(buf)
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if line = strings.TrimSuffix(line, "\r"); line != "" {
+				keys = append(keys, line)
+			}
+		}
+	}
+	if err := s.st.Ingest(name, keys); err != nil {
+		s.failStore(w, err)
+		return
+	}
+	s.reply(w, http.StatusOK, map[string]any{"store": name, "ingested": len(keys)})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	est, err := s.st.Estimate(r.URL.Query().Get("store"))
+	if err != nil {
+		s.failStore(w, err)
+		return
+	}
+	s.reply(w, http.StatusOK, est)
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("store")
+	buf, done := s.readBody(w, r)
+	if !done {
+		return
+	}
+	defer s.putBuf(buf)
+	if err := s.st.Merge(name, buf.Bytes()); err != nil {
+		s.failStore(w, err)
+		return
+	}
+	s.reply(w, http.StatusOK, map[string]any{"store": name, "merged": true})
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	// The grown slice is stored back into the pooled holder, so
+	// steady-state snapshots reuse one encode buffer per concurrent
+	// request instead of reallocating the envelope each time.
+	p := s.snaps.Get().(*[]byte)
+	defer s.snaps.Put(p)
+	env, err := s.st.Snapshot(r.URL.Query().Get("store"), (*p)[:0])
+	if err != nil {
+		s.failStore(w, err)
+		return
+	}
+	*p = env
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(env)))
+	_, _ = w.Write(env)
+}
+
+func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("store")
+	buf, done := s.readBody(w, r)
+	if !done {
+		return
+	}
+	defer s.putBuf(buf)
+	if err := s.st.Restore(name, buf.Bytes()); err != nil {
+		s.failStore(w, err)
+		return
+	}
+	s.reply(w, http.StatusOK, map[string]any{"store": name, "restored": true})
+}
+
+func (s *Server) handleStores(w http.ResponseWriter, _ *http.Request) {
+	s.reply(w, http.StatusOK, map[string]any{
+		"stores": s.st.Names(),
+		"kind":   s.st.Kind().String(),
+	})
+}
+
+// --- plumbing -------------------------------------------------------
+
+func (s *Server) getBuf() *bytes.Buffer {
+	buf := s.bufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+func (s *Server) putBuf(buf *bytes.Buffer) { s.bufs.Put(buf) }
+
+// readBody reads the (size-capped) request body into a pooled buffer.
+// On failure it writes the error response itself and reports done =
+// false; the caller returns the buffer with putBuf only when done.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, bool) {
+	buf := s.getBuf()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
+		s.putBuf(buf)
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, status, fmt.Errorf("reading body: %w", err))
+		return nil, false
+	}
+	return buf, true
+}
+
+// failStore maps store/knw errors to status codes: unknown stores are
+// 404, kind/settings mismatches (foreign envelopes) are 409, anything
+// else — bad names, corrupt payloads — is 400.
+func (s *Server) failStore(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		s.fail(w, http.StatusNotFound, err)
+	case errors.Is(err, knw.ErrIncompatible):
+		s.fail(w, http.StatusConflict, err)
+	default:
+		s.fail(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.reply(w, status, map[string]any{"error": err.Error()})
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,267 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	knw "repro"
+	"repro/internal/binenc"
+)
+
+// Checkpoint file format ("KNWC"): one file holding every store entry,
+// written atomically (temp file + fsync + rename) so a crash mid-write
+// leaves the previous checkpoint intact and a restart loses at most
+// one checkpoint interval of ingestion.
+//
+//	uvarint ckptMagic ("KNWC")
+//	uvarint ckptVersion (1)
+//	uvarint entry count
+//	per entry:
+//	  bytes  name
+//	  bytes  all-time sketch envelope (the PR-2 self-describing format)
+//	  bool   windowed
+//	  if windowed:
+//	    bool    started
+//	    varint  epoch
+//	    uvarint current bucket index
+//	    uvarint bucket count
+//	    bytes   bucket envelope × count
+//
+// Every sketch is stored as its own envelope, so a checkpoint is just
+// a named collection of the same blobs /v1/snapshot serves and
+// knw.Open restores — there is exactly one sketch wire format in the
+// system.
+const (
+	ckptMagic   = 0x4b4e5743 // "KNWC"
+	ckptVersion = 1
+	// CheckpointFile is the file name Checkpoint writes inside its
+	// directory argument.
+	CheckpointFile = "checkpoint.knwc"
+)
+
+// ckptBufs pools whole-checkpoint encode buffers across ticks.
+var ckptBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// Checkpoint atomically writes every store entry to
+// dir/checkpoint.knwc, creating dir if needed. Each entry is captured
+// under its own lock: the file is per-entry consistent, which is the
+// granularity ingestion already has.
+func (s *Store) Checkpoint(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf := ckptBufs.Get().(*[]byte)
+	defer ckptBufs.Put(buf)
+	var err error
+	*buf, err = s.appendCheckpoint((*buf)[:0])
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, CheckpointFile), *buf)
+}
+
+// appendCheckpoint encodes the whole store to buf.
+func (s *Store) appendCheckpoint(buf []byte) ([]byte, error) {
+	names := s.Names()
+	w := binenc.Writer{Buf: buf}
+	w.Uvarint(ckptMagic)
+	w.Uvarint(ckptVersion)
+	w.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		e, err := s.lookup(name, false)
+		if err != nil {
+			// Entries are never deleted; a name from Names() resolves.
+			return nil, err
+		}
+		if err := e.appendCheckpoint(&w, name); err != nil {
+			return nil, err
+		}
+	}
+	return w.Buf, nil
+}
+
+// appendCheckpoint encodes one entry under its lock.
+func (e *entry) appendCheckpoint(w *binenc.Writer, name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	w.Bytes([]byte(name))
+	env := envBufs.Get().(*[]byte)
+	defer envBufs.Put(env)
+	var err error
+	*env, err = appendSketch((*env)[:0], e.total)
+	if err != nil {
+		return fmt.Errorf("store: checkpointing %q: %w", name, err)
+	}
+	w.Bytes(*env)
+	w.Bool(e.window != nil)
+	if e.window == nil {
+		return nil
+	}
+	win := e.window
+	w.Bool(win.started)
+	w.Varint(win.epoch)
+	w.Uvarint(uint64(win.cur))
+	w.Uvarint(uint64(len(win.buckets)))
+	for _, b := range win.buckets {
+		*env, err = appendSketch((*env)[:0], b)
+		if err != nil {
+			return fmt.Errorf("store: checkpointing %q window: %w", name, err)
+		}
+		w.Bytes(*env)
+	}
+	return nil
+}
+
+// envBufs pools the per-sketch envelope scratch the checkpoint writer
+// frames into the file buffer.
+var envBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// LoadCheckpoint restores the checkpoint written by Checkpoint into
+// the store, replacing any same-named entries. A missing checkpoint
+// file is not an error (the store simply starts empty); a checkpoint
+// whose sketches mismatch the store's kind/options/seed returns an
+// error wrapping knw.ErrIncompatible, and corrupt bytes a decode
+// error — never a panic. It returns the number of entries restored.
+//
+// Window rings restore only when the store's window config matches the
+// file's bucket count; otherwise the entry keeps its all-time sketch
+// (which already contains every windowed key) and starts a fresh ring.
+func (s *Store) LoadCheckpoint(dir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, CheckpointFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	r := binenc.Reader{Buf: data}
+	r.Expect(ckptMagic, "checkpoint magic")
+	if v := r.Uvarint(); r.Err() == nil && v != ckptVersion {
+		return 0, fmt.Errorf("store: unsupported checkpoint version %d", v)
+	}
+	count := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return 0, fmt.Errorf("store: corrupt checkpoint header: %w", err)
+	}
+	if count > 1<<20 {
+		return 0, fmt.Errorf("store: checkpoint claims %d entries", count)
+	}
+	restored := 0
+	for i := uint64(0); i < count; i++ {
+		if err := s.loadEntry(&r); err != nil {
+			return restored, err
+		}
+		restored++
+	}
+	if err := r.Err(); err != nil {
+		return restored, fmt.Errorf("store: corrupt checkpoint: %w", err)
+	}
+	if len(r.Buf) != 0 {
+		return restored, fmt.Errorf("store: %d trailing bytes in checkpoint", len(r.Buf))
+	}
+	return restored, nil
+}
+
+// loadEntry decodes and installs one checkpoint entry.
+func (s *Store) loadEntry(r *binenc.Reader) error {
+	name := string(r.BytesView())
+	envTotal := r.BytesView()
+	windowed := r.Bool()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("store: corrupt checkpoint entry: %w", err)
+	}
+	total, err := s.openCompatible(envTotal)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint entry %q: %w", name, err)
+	}
+	e, err := s.lookup(name, true)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.total = total
+	e.keyed = knw.NewKeyed[string](&fanout{e: e})
+	if !windowed {
+		return nil
+	}
+	started := r.Bool()
+	epoch := r.Varint()
+	cur := r.Uvarint()
+	buckets := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("store: corrupt checkpoint window header for %q: %w", name, err)
+	}
+	if buckets > 1024 || cur >= max(buckets, 1) {
+		return fmt.Errorf("store: corrupt checkpoint window header for %q", name)
+	}
+	restore := e.window != nil && uint64(len(e.window.buckets)) == buckets
+	for i := uint64(0); i < buckets; i++ {
+		env := r.BytesView()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("store: corrupt checkpoint window for %q: %w", name, err)
+		}
+		if !restore {
+			continue // window config changed; drop the saved ring
+		}
+		b, err := s.openCompatible(env)
+		if err != nil {
+			return fmt.Errorf("store: checkpoint window bucket for %q: %w", name, err)
+		}
+		e.window.buckets[i] = b
+	}
+	if restore {
+		e.window.started = started
+		e.window.epoch = epoch
+		e.window.cur = int(cur)
+	}
+	return nil
+}
+
+// openCompatible opens an envelope and verifies it matches the store's
+// kind, options, and seed.
+func (s *Store) openCompatible(env []byte) (knw.Estimator, error) {
+	est, err := knw.Open(env)
+	if err != nil {
+		return nil, err
+	}
+	if err := knw.Compatible(s.template, est); err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+// writeFileAtomic writes data next to path and renames it into place,
+// syncing the file first so the rename never publishes a torn write.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

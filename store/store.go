@@ -1,0 +1,448 @@
+// Package store is a multi-tenant registry of named KNW sketches: the
+// state layer of the knwd service. Each name (by convention
+// "tenant/metric") maps to one all-time sketch plus, optionally, a ring
+// of time-bucketed window sketches, all created on first write from the
+// store's default Kind and options. The registry is sharded and
+// concurrency-safe; every sketch a store creates shares one seed, so
+// everything inside a store — window buckets, checkpoint restores,
+// snapshots exchanged with same-configured peers — stays mergeable.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	knw "repro"
+)
+
+// ErrNotFound is returned by read operations on names that have never
+// been written.
+var ErrNotFound = errors.New("store: unknown store")
+
+// registryShards is the shard count of the name→entry map. Entry
+// lookup is a read-lock on one shard; only first-write creation takes
+// a write lock.
+const registryShards = 16
+
+// maxNameLen bounds store names so foreign input cannot grow headers
+// and checkpoint frames without bound.
+const maxNameLen = 256
+
+// Window configures time-bucketed rotation. The zero value disables
+// windowing. With Buckets = N and Interval = d, each bucket covers one
+// d-wide slice of wall time and the ring covers the last N·d: a
+// windowed estimate merges all N buckets, so it reports the distinct
+// count over at least (N−1)·d and at most N·d of trailing stream —
+// bucket-granular sliding-window semantics.
+type Window struct {
+	Buckets  int
+	Interval time.Duration
+}
+
+func (w Window) enabled() bool { return w.Buckets > 0 }
+
+func (w Window) validate() error {
+	if !w.enabled() {
+		return nil
+	}
+	if w.Buckets < 2 || w.Buckets > 1024 {
+		return fmt.Errorf("store: window buckets must be in [2, 1024], got %d", w.Buckets)
+	}
+	if w.Interval <= 0 {
+		return fmt.Errorf("store: window interval must be positive, got %v", w.Interval)
+	}
+	return nil
+}
+
+// Span is the wall-clock width the full ring covers.
+func (w Window) Span() time.Duration { return time.Duration(w.Buckets) * w.Interval }
+
+// Config describes how a Store builds sketches.
+type Config struct {
+	// Kind is the estimator kind for every sketch the store creates.
+	// It must be a wire kind (Kind.Wire): the store checkpoints through
+	// MarshalBinary/knw.Open. Defaults to KindConcurrentF0.
+	Kind knw.Kind
+	// Options are the default construction options. If they do not pin
+	// a seed, the store draws one at creation and pins it, so all
+	// sketches in the store (and its checkpoints) stay mergeable.
+	Options []knw.Option
+	// Window enables time-bucketed rotation for every store entry.
+	Window Window
+	// Now overrides the clock used for window rotation (tests). Nil
+	// means time.Now.
+	Now func() time.Time
+}
+
+// Store is the sharded, concurrency-safe sketch registry.
+type Store struct {
+	cfg      Config
+	opts     []knw.Option // Config.Options with the seed pinned
+	template knw.Estimator
+	now      func() time.Time
+	shards   [registryShards]registryShard
+}
+
+type registryShard struct {
+	mu sync.RWMutex
+	m  map[string]*entry
+}
+
+// entry is one named sketch: the all-time total, the typed ingestion
+// front-end, and the optional window ring. The entry mutex serializes
+// ingestion, rotation, estimation, merging, and checkpoint capture, so
+// the non-concurrent kinds (F0, L0) are as safe inside a store as the
+// sharded ones, and a windowed ingest lands atomically in both the
+// total and the current bucket.
+type entry struct {
+	mu     sync.Mutex
+	total  knw.Estimator
+	keyed  *knw.Keyed[string]
+	window *windowRing
+}
+
+// New builds an empty store. The configured kind must serialize
+// (checkpointing needs MarshalBinary / knw.Open).
+func New(cfg Config) (*Store, error) {
+	if cfg.Kind == knw.KindInvalid {
+		cfg.Kind = knw.KindConcurrentF0
+	}
+	if !cfg.Kind.Wire() {
+		return nil, fmt.Errorf("store: kind %s does not serialize and cannot be checkpointed", cfg.Kind)
+	}
+	if err := cfg.Window.validate(); err != nil {
+		return nil, err
+	}
+	s := &Store{cfg: cfg, now: cfg.Now}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	// Pin the seed: build one probe sketch with the caller's options and
+	// re-append whatever seed it resolved (the caller's when given, a
+	// time-drawn one otherwise). Every subsequent sketch then shares it.
+	probe, err := knw.New(cfg.Kind, cfg.Options...)
+	if err != nil {
+		return nil, err
+	}
+	seeded, ok := probe.(interface{ Seed() int64 })
+	if !ok {
+		return nil, fmt.Errorf("store: kind %s does not expose its seed", cfg.Kind)
+	}
+	s.opts = append(append([]knw.Option{}, cfg.Options...), knw.WithSeed(seeded.Seed()))
+	s.template = probe // never ingested into; used for compatibility checks
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*entry)
+	}
+	return s, nil
+}
+
+// Kind returns the store's sketch kind.
+func (s *Store) Kind() knw.Kind { return s.cfg.Kind }
+
+// Window returns the store's window configuration (zero if disabled).
+func (s *Store) Window() Window { return s.cfg.Window }
+
+// newSketch builds a sketch with the store's kind and pinned options.
+// Construction cannot fail: New validated the kind and options once.
+func (s *Store) newSketch() knw.Estimator {
+	est, err := knw.New(s.cfg.Kind, s.opts...)
+	if err != nil {
+		panic("store: sketch construction failed after validation: " + err.Error())
+	}
+	return est
+}
+
+// ValidateName checks a store name: non-empty, at most 256 bytes, no
+// control bytes. Slashes are allowed (and conventional: tenant/metric).
+func ValidateName(name string) error {
+	if name == "" {
+		return errors.New("store: empty store name")
+	}
+	if len(name) > maxNameLen {
+		return fmt.Errorf("store: store name exceeds %d bytes", maxNameLen)
+	}
+	if strings.ContainsFunc(name, func(r rune) bool { return r < 0x20 || r == 0x7f }) {
+		return errors.New("store: store name contains control characters")
+	}
+	return nil
+}
+
+func (s *Store) shardFor(name string) *registryShard {
+	// Inline FNV-1a: hash/fnv would heap-allocate a hasher and a byte
+	// copy of the name on every lookup, i.e. on every request.
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return &s.shards[h%registryShards]
+}
+
+// lookup returns the entry for name, creating it (from the store
+// defaults) when create is set.
+func (s *Store) lookup(name string, create bool) (*entry, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	sh := s.shardFor(name)
+	sh.mu.RLock()
+	e := sh.m[name]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("%w %q", ErrNotFound, name)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e = sh.m[name]; e != nil { // lost the create race
+		return e, nil
+	}
+	e = s.newEntry()
+	sh.m[name] = e
+	return e, nil
+}
+
+// newEntry builds an empty entry with the store defaults.
+func (s *Store) newEntry() *entry {
+	e := &entry{total: s.newSketch()}
+	if s.cfg.Window.enabled() {
+		e.window = newWindowRing(s.cfg.Window, s.newSketch)
+	}
+	// The Keyed front-end hashes once and fans out to the total and the
+	// current window bucket; it derives its hasher from the fanout's
+	// forwarded seed and universe, so every entry in the store hashes
+	// identically.
+	e.keyed = knw.NewKeyed[string](&fanout{e: e})
+	return e
+}
+
+// fanout is the Estimator the Keyed front-end wraps: batches land in
+// the entry's all-time total and, when windowing is on, the current
+// bucket — one hash pass, two sketch writes. Callers hold e.mu.
+type fanout struct{ e *entry }
+
+func (f *fanout) Add(key uint64) {
+	f.e.total.Add(key)
+	if f.e.window != nil {
+		f.e.window.current().Add(key)
+	}
+}
+
+func (f *fanout) AddBatch(keys []uint64) {
+	f.e.total.AddBatch(keys)
+	if f.e.window != nil {
+		f.e.window.current().AddBatch(keys)
+	}
+}
+
+func (f *fanout) Estimate() float64 { return f.e.total.Estimate() }
+func (f *fanout) SpaceBits() int    { return f.e.total.SpaceBits() }
+func (f *fanout) Name() string      { return f.e.total.Name() }
+
+// Seed / UniverseBits forward the total's hashing identity so the
+// Keyed front-end derives the same hasher a bare sketch would.
+func (f *fanout) Seed() int64 {
+	if s, ok := f.e.total.(interface{ Seed() int64 }); ok {
+		return s.Seed()
+	}
+	return 0
+}
+
+func (f *fanout) UniverseBits() uint {
+	if u, ok := f.e.total.(interface{ UniverseBits() uint }); ok {
+		return u.UniverseBits()
+	}
+	return 64
+}
+
+// Ingest records a batch of string keys under name, creating the store
+// entry on first write. Keys are hashed once through the entry's Keyed
+// front-end and batched into the all-time sketch and the current
+// window bucket.
+func (s *Store) Ingest(name string, keys []string) error {
+	e, err := s.lookup(name, true)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.window != nil {
+		e.window.rotate(s.now())
+	}
+	e.keyed.AddBatch(keys)
+	return nil
+}
+
+// IngestHashed is Ingest for pre-hashed keys (clients that run the
+// store's Hasher on their side and ship uint64s; see Keyed.Hasher).
+func (s *Store) IngestHashed(name string, keys []uint64) error {
+	e, err := s.lookup(name, true)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.window != nil {
+		e.window.rotate(s.now())
+	}
+	(&fanout{e: e}).AddBatch(keys)
+	return nil
+}
+
+// Estimate is one store entry's read-side report.
+type Estimate struct {
+	Store     string  `json:"store"`
+	Sketch    string  `json:"sketch"`
+	AllTime   float64 `json:"all_time"`
+	SpaceBits int     `json:"space_bits"`
+	// Window fields are present only for windowed stores.
+	Windowed   bool    `json:"windowed"`
+	Window     float64 `json:"window,omitempty"`
+	WindowSpan string  `json:"window_span,omitempty"`
+}
+
+// Estimate reports the all-time estimate and, for windowed stores, the
+// merged estimate over the live window ring. It returns ErrNotFound
+// for never-written names.
+func (s *Store) Estimate(name string) (Estimate, error) {
+	e, err := s.lookup(name, false)
+	if err != nil {
+		return Estimate{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := Estimate{
+		Store:     name,
+		Sketch:    e.total.Name(),
+		AllTime:   e.total.Estimate(),
+		SpaceBits: e.total.SpaceBits(),
+	}
+	if e.window != nil {
+		e.window.rotate(s.now())
+		out.Windowed = true
+		out.Window = e.window.estimate()
+		out.WindowSpan = s.cfg.Window.Span().String()
+		out.SpaceBits += e.window.spaceBits()
+	}
+	return out, nil
+}
+
+// Merge folds a peer's envelope (the bytes of its snapshot for the
+// same logical store) into name's all-time sketch, creating the entry
+// if needed — the cross-node aggregation primitive. The envelope must
+// hold the store's kind with the store's exact options and seed;
+// mismatches return an error wrapping knw.ErrIncompatible and corrupt
+// payloads an ordinary decode error. Merged keys are not attributed to
+// window buckets: the peer's event times are unknown, so remote counts
+// appear only in the all-time estimate.
+func (s *Store) Merge(name string, envelope []byte) error {
+	peer, err := knw.Open(envelope)
+	if err != nil {
+		return err
+	}
+	// Validate against the store template before create-on-merge, so a
+	// rejected envelope never leaves behind an empty ghost entry.
+	if err := knw.Compatible(s.template, peer); err != nil {
+		return err
+	}
+	e, lerr := s.lookup(name, true)
+	if lerr != nil {
+		return lerr
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return knw.MergeInto(e.total, peer)
+}
+
+// Snapshot appends name's all-time sketch as a self-describing
+// envelope to buf (which may be nil) — the bytes a peer feeds to Merge
+// or PUT back through Restore. It returns ErrNotFound for
+// never-written names.
+func (s *Store) Snapshot(name string, buf []byte) ([]byte, error) {
+	e, err := s.lookup(name, false)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return appendSketch(buf, e.total)
+}
+
+// Restore replaces name's all-time sketch with the envelope's,
+// creating the entry if needed. Like Merge it rejects envelopes whose
+// kind or settings mismatch the store (wrapping knw.ErrIncompatible).
+// Window buckets are left untouched: restored history has no event
+// times.
+func (s *Store) Restore(name string, envelope []byte) error {
+	peer, err := knw.Open(envelope)
+	if err != nil {
+		return err
+	}
+	if err := knw.Compatible(s.template, peer); err != nil {
+		return err
+	}
+	e, lerr := s.lookup(name, true)
+	if lerr != nil {
+		return lerr
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.total = peer
+	e.keyed = knw.NewKeyed[string](&fanout{e: e})
+	return nil
+}
+
+// appendSketch appends est's envelope to buf through the pooled
+// AppendBinary path when the concrete type provides it.
+func appendSketch(buf []byte, est knw.Estimator) ([]byte, error) {
+	type appender interface {
+		AppendBinary([]byte) ([]byte, error)
+	}
+	if a, ok := est.(appender); ok {
+		return a.AppendBinary(buf)
+	}
+	type marshaler interface {
+		MarshalBinary() ([]byte, error)
+	}
+	m, ok := est.(marshaler)
+	if !ok {
+		return nil, fmt.Errorf("store: %s does not serialize", est.Name())
+	}
+	b, err := m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, b...), nil
+}
+
+// Names returns every store name in sorted order.
+func (s *Store) Names() []string {
+	var names []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for name := range sh.m {
+			names = append(names, name)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of store entries.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"time"
+
+	knw "repro"
+)
+
+// windowRing is one entry's time-bucketed window state: a ring of N
+// same-seed sketches, each receiving the keys that arrive during one
+// Interval-wide slice of wall time. Rotation is lazy — ingest and
+// estimate advance the ring to the caller's clock before touching it —
+// so an idle store pays nothing and no background goroutine is needed.
+//
+// The windowed estimate is the merge of all N buckets into a scratch
+// sketch. Because every bucket shares the store's options and seed,
+// their hash functions coincide and the KNW counters merge exactly
+// (max for F0, linear sum for L0): the merged sketch is byte-identical
+// to one that ingested the union of the buckets' streams, so the
+// window estimate carries the same (ε, δ) guarantee as a single sketch
+// over the trailing window. Keys seen in several buckets count once —
+// union semantics, not sum of per-bucket counts.
+//
+// All methods are called with the owning entry's mutex held.
+type windowRing struct {
+	buckets  []knw.Estimator
+	interval time.Duration
+	started  bool
+	epoch    int64 // interval index of the current bucket
+	cur      int   // ring index of the current bucket
+	scratch  knw.Estimator
+	fresh    func() knw.Estimator
+}
+
+func newWindowRing(cfg Window, fresh func() knw.Estimator) *windowRing {
+	w := &windowRing{
+		buckets:  make([]knw.Estimator, cfg.Buckets),
+		interval: cfg.Interval,
+		fresh:    fresh,
+	}
+	for i := range w.buckets {
+		w.buckets[i] = fresh()
+	}
+	return w
+}
+
+// current returns the bucket receiving writes now. Callers rotate
+// first.
+func (w *windowRing) current() knw.Estimator { return w.buckets[w.cur] }
+
+// rotate advances the ring to now's interval index, recycling one
+// bucket per elapsed interval (all of them after a gap of ≥ N
+// intervals). Buckets are recycled with Reset, which keeps their hash
+// draws, so a recycled bucket stays mergeable with its ring mates.
+func (w *windowRing) rotate(now time.Time) {
+	e := now.UnixNano() / int64(w.interval)
+	if !w.started {
+		w.started = true
+		w.epoch = e
+		return
+	}
+	steps := e - w.epoch
+	if steps <= 0 {
+		// Same interval, or a clock step backwards: keep writing to the
+		// current bucket rather than resurrecting expired ones.
+		return
+	}
+	n := int64(len(w.buckets))
+	if steps > n {
+		steps = n
+	}
+	for i := int64(0); i < steps; i++ {
+		w.cur = (w.cur + 1) % len(w.buckets)
+		w.recycle(w.cur)
+	}
+	w.epoch = e
+}
+
+// recycle empties bucket i for reuse as the new current bucket.
+func (w *windowRing) recycle(i int) {
+	if r, ok := w.buckets[i].(interface{ Reset() }); ok {
+		r.Reset()
+		return
+	}
+	w.buckets[i] = w.fresh()
+}
+
+// estimate merges the live ring into the scratch sketch and reports
+// its estimate — the distinct count over the trailing window.
+func (w *windowRing) estimate() float64 {
+	if w.scratch == nil {
+		w.scratch = w.fresh()
+	}
+	if r, ok := w.scratch.(interface{ Reset() }); ok {
+		r.Reset()
+	} else {
+		w.scratch = w.fresh()
+	}
+	for _, b := range w.buckets {
+		if err := knw.MergeInto(w.scratch, b); err != nil {
+			// Ring mates share construction by invariant; a mismatch
+			// here is a program bug, not foreign input.
+			panic("store: window bucket diverged from ring: " + err.Error())
+		}
+	}
+	return w.scratch.Estimate()
+}
+
+// spaceBits sums the ring's accounted state.
+func (w *windowRing) spaceBits() int {
+	total := 0
+	for _, b := range w.buckets {
+		total += b.SpaceBits()
+	}
+	return total
+}
