@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# benchgate.sh BASELINE NEW [THRESHOLD_PCT]
+#
+# The CI perf-regression gate: compares per-benchmark MINIMUM ns/op
+# between two `go test -bench` output files and fails (exit 1) when any
+# benchmark regressed by more than THRESHOLD_PCT (default 20).
+#
+# benchstat renders the human-readable comparison that CI displays and
+# uploads; this script is the *hard* gate, because benchstat has no
+# fail-on-threshold mode and its table format is not stable enough to
+# parse. The gate statistic is the min over the -count=N runs, not the
+# median: at -benchtime=100x the microsecond-scale benchmarks measure
+# ~100 us per run, where scheduler noise inflates individual runs 2x
+# (the committed baseline's own 5 runs show that spread) — the minimum
+# is the closest estimate of the true cost and by far the most stable
+# across runs. Benchmarks present in only one file (new/renamed/
+# removed) are reported but never fail the gate — the baseline refresh
+# workflow is to commit the uploaded bench-new artifact as the new
+# testdata/bench_baseline.txt.
+set -euo pipefail
+
+baseline=${1:?usage: benchgate.sh BASELINE NEW [THRESHOLD_PCT]}
+new=${2:?usage: benchgate.sh BASELINE NEW [THRESHOLD_PCT]}
+threshold=${3:-20}
+
+awk -v thr="$threshold" '
+  # Collect ns/op samples keyed by benchmark name. The trailing -N
+  # GOMAXPROCS suffix is stripped so runs from machines with different
+  # core counts still line up.
+  FNR == 1 { file++ }
+  $1 ~ /^Benchmark/ {
+    for (i = 2; i < NF; i++) {
+      if ($(i + 1) == "ns/op") {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        n = ++count[file, name]
+        sample[file, name, n] = $i + 0
+        if (file == 1) seen1[name] = 1; else seen2[name] = 1
+        break
+      }
+    }
+  }
+  function minof(f, name,   n, i, m) {
+    n = count[f, name]
+    m = sample[f, name, 1]
+    for (i = 2; i <= n; i++) if (sample[f, name, i] < m) m = sample[f, name, i]
+    return m
+  }
+  END {
+    status = 0
+    printf "%-55s %14s %14s %9s\n", "benchmark (min ns/op)", "baseline", "new", "delta"
+    for (name in seen1) {
+      if (!(name in seen2)) { only1[name] = 1; continue }
+      om = minof(1, name); nm = minof(2, name)
+      delta = (om > 0) ? (nm - om) / om * 100 : 0
+      flag = ""
+      if (delta > thr) { flag = "  << REGRESSION"; bad[name] = delta; status = 1 }
+      printf "%-55s %14.0f %14.0f %+8.1f%%%s\n", name, om, nm, delta, flag
+    }
+    for (name in only1) printf "%-55s %14.0f %14s\n", name, minof(1, name), "(gone)"
+    for (name in seen2) if (!(name in seen1))
+      printf "%-55s %14s %14.0f\n", name, "(new)", minof(2, name)
+    if (status) {
+      printf "\nFAIL: ns/op regression over %s%% threshold:\n", thr
+      for (name in bad) printf "  %s: +%.1f%%\n", name, bad[name]
+    } else {
+      printf "\nOK: no benchmark regressed more than %s%%\n", thr
+    }
+    exit status
+  }
+' "$baseline" "$new"

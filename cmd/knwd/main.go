@@ -1,12 +1,14 @@
 // Command knwd is the KNW sketch daemon: a multi-tenant cardinality
 // service over the paper's F0/L0 estimators. Pods POST keys at it,
-// dashboards GET estimates, peer nodes exchange snapshot envelopes
-// through /v1/merge, and a background checkpoint loop makes restarts
-// lose at most one checkpoint interval.
+// dashboards GET estimates, Prometheus scrapes /metrics, peer nodes
+// exchange snapshot envelopes through /v1/merge, and a background
+// checkpoint loop makes restarts lose at most one checkpoint
+// interval.
 //
 //	knwd -listen :7070 -checkpoint-dir /var/lib/knwd \
 //	     -kind concurrent-f0 -epsilon 0.02 -seed 1 \
-//	     -window-buckets 6 -window-interval 10m
+//	     -window-buckets 6 -window-interval 10m \
+//	     -ready-file /run/knwd/ready
 //
 // See the repository README ("Running knwd") for the API and curl
 // examples.
@@ -17,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -43,6 +46,7 @@ func main() {
 		ckptEvery    = flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint interval")
 		winBuckets   = flag.Int("window-buckets", 0, "window ring size (0 = windowing off)")
 		winInterval  = flag.Duration("window-interval", time.Minute, "width of one window bucket")
+		readyFile    = flag.String("ready-file", "", "write the bound listen address to this file once serving (readiness probe for scripts)")
 	)
 	flag.Parse()
 
@@ -84,6 +88,16 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		Logf:            log.Printf,
+		OnListen: func(addr net.Addr) {
+			// The ready file appears only after the listener is bound, so
+			// scripts wait on the file instead of sleep-polling the port.
+			if *readyFile == "" {
+				return
+			}
+			if werr := os.WriteFile(*readyFile, []byte(addr.String()+"\n"), 0o644); werr != nil {
+				log.Printf("knwd: writing ready file: %v", werr)
+			}
+		},
 	})
 	if err != nil {
 		log.Fatalf("knwd: %v", err)

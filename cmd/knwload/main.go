@@ -1,0 +1,433 @@
+// Command knwload is the knwd load generator and benchmark harness:
+// it fans out N workers × M tenant stores of synthetic keys against a
+// running knwd, measures client-side latency quantiles and throughput,
+// scrapes the daemon's /metrics before and after the run, checks each
+// store's estimate against the true cardinality it generated, and
+// writes the whole result as machine-readable JSON (the BENCH_pr4.json
+// artifact the CI bench job uploads).
+//
+//	knwd -listen 127.0.0.1:7070 -seed 1 &
+//	knwload -addr http://127.0.0.1:7070 -workers 8 -stores 4 \
+//	        -requests 400 -batch 2000 -dist zipf -out BENCH_pr4.json
+//
+// Key streams are drawn per worker from a zipf or uniform distribution
+// over a bounded keyspace — production streams re-see hot keys, which
+// is the regime distinct counting exists for — and every drawn key id
+// is recorded in a per-store bitset, so the "true" cardinality the
+// estimates are judged against is exact, not itself sampled.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/bits"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:7070", "knwd base URL")
+		workers  = flag.Int("workers", 8, "concurrent load workers")
+		stores   = flag.Int("stores", 4, "tenant stores to spread load across")
+		prefix   = flag.String("store-prefix", "load/tenant", "store name prefix; stores are <prefix>-<i>")
+		requests = flag.Int("requests", 400, "total ingest requests to send")
+		batch    = flag.Int("batch", 2000, "keys per ingest request")
+		mode     = flag.String("mode", "newline", "ingest body format: newline or json")
+		dist     = flag.String("dist", "zipf", "key distribution: zipf or uniform")
+		zipfS    = flag.Float64("zipf-s", 1.1, "zipf exponent (>1)")
+		keyspace = flag.Uint64("keyspace", 200_000, "distinct key ids per store")
+		seed     = flag.Int64("seed", 1, "generator seed (deterministic streams)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		out      = flag.String("out", "BENCH_pr4.json", "output JSON path (empty = stdout only)")
+	)
+	flag.Parse()
+	if *mode != "newline" && *mode != "json" {
+		log.Fatalf("knwload: -mode must be newline or json, got %q", *mode)
+	}
+	if *dist != "zipf" && *dist != "uniform" {
+		log.Fatalf("knwload: -dist must be zipf or uniform, got %q", *dist)
+	}
+	if *workers < 1 || *stores < 1 || *requests < 1 || *batch < 1 || *keyspace < 1 {
+		log.Fatal("knwload: -workers, -stores, -requests, -batch, -keyspace must be positive")
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *workers * 2,
+			MaxIdleConnsPerHost: *workers * 2,
+		},
+	}
+
+	names := make([]string, *stores)
+	seen := make([][]uint64, *stores) // per-store key-id bitsets (atomic OR)
+	words := (*keyspace + 63) / 64
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-%d", *prefix, i)
+		seen[i] = make([]uint64, words)
+	}
+
+	before, err := scrapeMetrics(client, *addr)
+	if err != nil {
+		log.Printf("knwload: pre-run /metrics scrape failed (continuing without server deltas): %v", err)
+	}
+
+	var (
+		next      atomic.Int64 // request index dispenser
+		errCount  atomic.Int64
+		bytesSent atomic.Int64
+		wg        sync.WaitGroup
+		latCh     = make(chan []float64, *workers)
+	)
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			var zipf *rand.Zipf
+			if *dist == "zipf" {
+				zipf = rand.NewZipf(rng, *zipfS, 1, *keyspace-1)
+			}
+			draw := func() uint64 {
+				if zipf != nil {
+					return zipf.Uint64()
+				}
+				return uint64(rng.Int63n(int64(*keyspace)))
+			}
+			lats := make([]float64, 0, *requests / *workers + 1)
+			ids := make([]uint64, *batch)
+			var body bytes.Buffer
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= *requests {
+					break
+				}
+				si := r % *stores
+				for i := range ids {
+					id := draw()
+					ids[i] = id
+					atomicOr(&seen[si][id/64], 1<<(id%64))
+				}
+				body.Reset()
+				if *mode == "json" {
+					encodeJSONBody(&body, names[si], ids)
+				} else {
+					for _, id := range ids {
+						body.WriteString("user-")
+						body.WriteString(strconv.FormatUint(id, 10))
+						body.WriteByte('\n')
+					}
+				}
+				bytesSent.Add(int64(body.Len()))
+				t0 := time.Now()
+				err := postIngest(client, *addr, names[si], *mode, body.Bytes())
+				lats = append(lats, time.Since(t0).Seconds()*1e3)
+				if err != nil {
+					errCount.Add(1)
+					log.Printf("knwload: request %d: %v", r, err)
+				}
+			}
+			latCh <- lats
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(latCh)
+	var lats []float64
+	for l := range latCh {
+		lats = append(lats, l...)
+	}
+	sort.Float64s(lats)
+
+	after, err := scrapeMetrics(client, *addr)
+	if err != nil {
+		log.Printf("knwload: post-run /metrics scrape failed: %v", err)
+	}
+
+	// Judge estimates against the exact generated cardinality.
+	perStore := make(map[string]storeError, *stores)
+	var sumRel, maxRel float64
+	for i, name := range names {
+		truth := popcount(seen[i])
+		est, err := fetchEstimate(client, *addr, name)
+		if err != nil {
+			log.Fatalf("knwload: estimate %s: %v", name, err)
+		}
+		rel := 0.0
+		if truth > 0 {
+			rel = abs(est-float64(truth)) / float64(truth)
+		}
+		perStore[name] = storeError{Estimate: est, True: truth, AbsRelErr: rel}
+		sumRel += rel
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+
+	sent := int64(*requests) * int64(*batch)
+	report := benchReport{
+		Bench:     "knwload",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Config: benchConfig{
+			Addr: *addr, Workers: *workers, Stores: *stores, Requests: *requests,
+			Batch: *batch, Mode: *mode, Dist: *dist, ZipfS: *zipfS,
+			Keyspace: *keyspace, Seed: *seed,
+		},
+		WallSeconds:          wall.Seconds(),
+		RequestsSent:         *requests,
+		RequestErrors:        int(errCount.Load()),
+		KeysSent:             sent,
+		BodyBytesSent:        bytesSent.Load(),
+		ThroughputKeysPerSec: float64(sent) / wall.Seconds(),
+		LatencyMs: quantiles{
+			P50: quantile(lats, 0.50), P90: quantile(lats, 0.90),
+			P99: quantile(lats, 0.99), Max: quantile(lats, 1),
+		},
+		EstimateError: estimateError{MeanAbsRel: sumRel / float64(*stores), MaxAbsRel: maxRel, PerStore: perStore},
+		Server:        serverDelta(before, after, wall),
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			log.Fatalf("knwload: writing %s: %v", *out, err)
+		}
+	}
+	os.Stdout.Write(blob)
+	fmt.Fprintf(os.Stderr,
+		"knwload: %d keys in %.2fs = %.0f keys/s; p50 %.2fms p99 %.2fms; mean est err %.3f%%; %d errors\n",
+		sent, wall.Seconds(), report.ThroughputKeysPerSec,
+		report.LatencyMs.P50, report.LatencyMs.P99, 100*report.EstimateError.MeanAbsRel,
+		report.RequestErrors)
+	if errCount.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// --- report schema ---------------------------------------------------
+
+type benchConfig struct {
+	Addr     string  `json:"addr"`
+	Workers  int     `json:"workers"`
+	Stores   int     `json:"stores"`
+	Requests int     `json:"requests"`
+	Batch    int     `json:"batch"`
+	Mode     string  `json:"mode"`
+	Dist     string  `json:"dist"`
+	ZipfS    float64 `json:"zipf_s"`
+	Keyspace uint64  `json:"keyspace"`
+	Seed     int64   `json:"seed"`
+}
+
+type quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type storeError struct {
+	Estimate  float64 `json:"estimate"`
+	True      int     `json:"true"`
+	AbsRelErr float64 `json:"abs_rel_err"`
+}
+
+type estimateError struct {
+	MeanAbsRel float64               `json:"mean_abs_rel"`
+	MaxAbsRel  float64               `json:"max_abs_rel"`
+	PerStore   map[string]storeError `json:"per_store"`
+}
+
+// serverSide is the daemon's own view of the run, from /metrics deltas.
+type serverSide struct {
+	Scraped            bool    `json:"scraped"`
+	IngestKeysDelta    float64 `json:"ingest_keys_delta"`
+	IngestBytesDelta   float64 `json:"ingest_bytes_delta"`
+	IngestReqsDelta    float64 `json:"ingest_requests_delta"`
+	StoreEntries       float64 `json:"store_entries"`
+	KeysPerSecObserved float64 `json:"keys_per_sec_observed"`
+}
+
+type benchReport struct {
+	Bench                string        `json:"bench"`
+	Timestamp            string        `json:"timestamp"`
+	Config               benchConfig   `json:"config"`
+	WallSeconds          float64       `json:"wall_seconds"`
+	RequestsSent         int           `json:"requests_sent"`
+	RequestErrors        int           `json:"request_errors"`
+	KeysSent             int64         `json:"keys_sent"`
+	BodyBytesSent        int64         `json:"body_bytes_sent"`
+	ThroughputKeysPerSec float64       `json:"throughput_keys_per_sec"`
+	LatencyMs            quantiles     `json:"latency_ms"`
+	EstimateError        estimateError `json:"estimate_error"`
+	Server               serverSide    `json:"server"`
+}
+
+// --- load plumbing ---------------------------------------------------
+
+func encodeJSONBody(buf *bytes.Buffer, store string, ids []uint64) {
+	buf.WriteString(`{"store":`)
+	name, _ := json.Marshal(store)
+	buf.Write(name)
+	buf.WriteString(`,"keys":[`)
+	for i, id := range ids {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(`"user-`)
+		buf.WriteString(strconv.FormatUint(id, 10))
+		buf.WriteByte('"')
+	}
+	buf.WriteString("]}")
+}
+
+func postIngest(client *http.Client, base, store, mode string, body []byte) error {
+	url := base + "/v1/ingest?store=" + store
+	ct := "text/plain"
+	if mode == "json" {
+		ct = "application/json"
+	}
+	resp, err := client.Post(url, ct, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	return nil
+}
+
+func fetchEstimate(client *http.Client, base, store string) (float64, error) {
+	resp, err := client.Get(base + "/v1/estimate?store=" + store)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var est struct {
+		AllTime float64 `json:"all_time"`
+	}
+	if err := json.Unmarshal(body, &est); err != nil {
+		return 0, err
+	}
+	return est.AllTime, nil
+}
+
+// scrapeMetrics fetches /metrics and returns base-name sums: labeled
+// series collapse into their family total, which is what a
+// before/after delta wants.
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		series := line[:sp]
+		if br := strings.IndexByte(series, '{'); br >= 0 {
+			series = series[:br]
+		}
+		out[series] += v
+	}
+	return out, nil
+}
+
+func serverDelta(before, after map[string]float64, wall time.Duration) serverSide {
+	if before == nil || after == nil {
+		return serverSide{}
+	}
+	keys := after["knwd_ingest_keys_total"] - before["knwd_ingest_keys_total"]
+	return serverSide{
+		Scraped:            true,
+		IngestKeysDelta:    keys,
+		IngestBytesDelta:   after["knwd_ingest_bytes_total"] - before["knwd_ingest_bytes_total"],
+		IngestReqsDelta:    after["knwd_http_requests_total"] - before["knwd_http_requests_total"],
+		StoreEntries:       after["knwd_store_entries"],
+		KeysPerSecObserved: keys / wall.Seconds(),
+	}
+}
+
+// --- small math ------------------------------------------------------
+
+func atomicOr(addr *uint64, mask uint64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&mask == mask || atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			return
+		}
+	}
+}
+
+func popcount(bs []uint64) int {
+	n := 0
+	for _, w := range bs {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// quantile reads the q-quantile from an ascending-sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

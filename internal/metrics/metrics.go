@@ -1,0 +1,469 @@
+// Package metrics is a zero-dependency instrumentation registry for
+// knwd: counters, gauges, and histograms with Prometheus text
+// exposition (format 0.0.4), small enough to keep the module
+// dependency-free and fast enough to sit on the ingest hot path.
+//
+// Design points:
+//
+//   - All mutation is lock-free (sync/atomic); a counter increment is
+//     one atomic add, a histogram observation one add per of three
+//     words. Only series creation (Vec.With on a new label set) and
+//     exposition take locks.
+//   - Every method is nil-receiver safe: a component whose registry is
+//     nil instruments itself with nil handles and pays a single
+//     predictable branch per operation instead of scattering nil
+//     checks through call sites.
+//   - Exposition is deterministic — families sorted by name, series by
+//     label values — so tests can diff scrapes and scrape parsers stay
+//     simple.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d (which may be negative) to the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into cumulative buckets with an exact
+// sum, the Prometheus histogram model: quantiles are derived at query
+// time from the bucket counts.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Bucket index by linear scan: bound lists are short (≤ ~20) and a
+	// scan over a contiguous slice beats binary search at that size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// DefBuckets are the default latency buckets (seconds), Prometheus's
+// conventional spread: 1ms request handling through 10s outliers.
+var DefBuckets = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// ExponentialBuckets returns n bounds starting at start, each factor
+// times the last — byte-size and duration spreads.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// --- labeled families ----------------------------------------------
+
+// CounterVec is a family of Counters keyed by label values.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the given label values (created on
+// first use). The number of values must match the family's label
+// names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.seriesFor(values).(*Counter)
+}
+
+// HistogramVec is a family of Histograms keyed by label values.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values (created on
+// first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.fam.seriesFor(values).(*Histogram)
+}
+
+// --- registry -------------------------------------------------------
+
+// family is one exposition block: a metric name with its help, type,
+// label schema, and live series.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]any // label-values key → *Counter / *Gauge / *Histogram
+	order  []string       // insertion-keyed; sorted at exposition
+
+	fn     func() float64 // GaugeFunc callback (labels unused)
+	mk     func() any     // vec series constructor
+	bounds []float64      // histogram bounds (for vec constructor docs)
+	single any            // the one series of an unlabeled metric
+}
+
+func (f *family) seriesKey(values []string) string {
+	return strings.Join(values, "\x00")
+}
+
+func (f *family) seriesFor(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := f.seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := f.mk()
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// The zero value is not usable; call NewRegistry. A nil *Registry is
+// safe: every New* constructor returns a nil handle whose methods
+// no-op.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) register(f *family) *family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[f.name]; dup {
+		panic("metrics: duplicate registration of " + f.name)
+	}
+	r.fams[f.name] = f
+	return f
+}
+
+// NewCounter registers an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: "counter", single: c})
+	return c
+}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: "gauge", single: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape
+// time — clock-derived values (ages, uptimes) without an updater
+// goroutine.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&family{name: name, help: help, typ: "gauge", fn: fn})
+}
+
+// NewHistogram registers an unlabeled histogram with the given upper
+// bounds (+Inf implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := newHistogram(bounds)
+	r.register(&family{name: name, help: help, typ: "histogram", single: h})
+	return h
+}
+
+// NewCounterVec registers a counter family with the given label names.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	f := r.register(&family{
+		name: name, help: help, typ: "counter", labels: labels,
+		series: make(map[string]any),
+		mk:     func() any { return &Counter{} },
+	})
+	return &CounterVec{fam: f}
+}
+
+// NewHistogramVec registers a histogram family with the given bounds
+// and label names.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	bcopy := append([]float64(nil), bounds...)
+	f := r.register(&family{
+		name: name, help: help, typ: "histogram", labels: labels,
+		series: make(map[string]any),
+		bounds: bcopy,
+		mk:     func() any { return newHistogram(bcopy) },
+	})
+	return &HistogramVec{fam: f}
+}
+
+// --- exposition -----------------------------------------------------
+
+// WriteText renders every family in Prometheus text exposition format
+// 0.0.4, families sorted by name and series by label values.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.writeText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry as
+// text/plain; version=0.0.4 — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+func (f *family) writeText(b *strings.Builder) {
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	switch {
+	case f.fn != nil:
+		writeSample(b, f.name, "", f.fn())
+	case f.single != nil:
+		writeSeries(b, f.name, "", f.single)
+	default:
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		series := make([]any, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		for i, k := range keys {
+			writeSeries(b, f.name, f.labelPairs(k), series[i])
+		}
+	}
+}
+
+// labelPairs renders `name="v1",name2="v2"` for a series key.
+func (f *family) labelPairs(key string) string {
+	values := strings.Split(key, "\x00")
+	var b strings.Builder
+	for i, name := range f.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func writeSeries(b *strings.Builder, name, labels string, s any) {
+	switch s := s.(type) {
+	case *Counter:
+		writeSampleUint(b, name, labels, s.Value())
+	case *Gauge:
+		writeSample(b, name, labels, s.Value())
+	case *Histogram:
+		cum := uint64(0)
+		for i, bound := range s.bounds {
+			cum += s.counts[i].Load()
+			writeSampleUint(b, name+"_bucket", joinLabels(labels, `le="`+formatFloat(bound)+`"`), cum)
+		}
+		cum += s.counts[len(s.bounds)].Load()
+		writeSampleUint(b, name+"_bucket", joinLabels(labels, `le="+Inf"`), cum)
+		writeSample(b, name+"_sum", labels, s.Sum())
+		writeSampleUint(b, name+"_count", labels, s.Count())
+	}
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func writeSampleUint(b *strings.Builder, name, labels string, v uint64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(v, 10))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

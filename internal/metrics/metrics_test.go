@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("knw_test_total", "a test counter")
+	g := r.NewGauge("knw_test_gauge", "a test gauge")
+	c.Add(41)
+	c.Inc()
+	g.Set(2.5)
+	g.Add(-0.5)
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP knw_test_total a test counter\n",
+		"# TYPE knw_test_total counter\n",
+		"knw_test_total 42\n",
+		"# TYPE knw_test_gauge gauge\n",
+		"knw_test_gauge 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 42 {
+		t.Errorf("counter value = %d, want 42", c.Value())
+	}
+}
+
+func TestCounterVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("knw_requests_total", "requests", "route", "code")
+	v.With("/v1/ingest", "200").Add(3)
+	v.With("/v1/ingest", "400").Inc()
+	v.With("/v1/estimate", "200").Inc()
+	// Same labels resolve to the same series.
+	v.With("/v1/ingest", "200").Inc()
+
+	out := render(t, r)
+	for _, want := range []string{
+		`knw_requests_total{route="/v1/ingest",code="200"} 4`,
+		`knw_requests_total{route="/v1/ingest",code="400"} 1`,
+		`knw_requests_total{route="/v1/estimate",code="200"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("knw_lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`knw_lat_seconds_bucket{le="0.01"} 1`,
+		`knw_lat_seconds_bucket{le="0.1"} 3`,
+		`knw_lat_seconds_bucket{le="1"} 4`,
+		`knw_lat_seconds_bucket{le="+Inf"} 5`,
+		`knw_lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.05+0.5+5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.NewGaugeFunc("knw_age_seconds", "age", func() float64 { return v })
+	if !strings.Contains(render(t, r), "knw_age_seconds 7\n") {
+		t.Error("gauge func value missing")
+	}
+	v = 8
+	if !strings.Contains(render(t, r), "knw_age_seconds 8\n") {
+		t.Error("gauge func should be read at scrape time")
+	}
+}
+
+// TestNilRegistrySafe: a nil registry hands out nil instruments whose
+// methods all no-op — uninstrumented components need no branches.
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.NewCounter("a", "")
+	g := r.NewGauge("b", "")
+	h := r.NewHistogram("c", "", DefBuckets)
+	cv := r.NewCounterVec("d", "", "x")
+	hv := r.NewHistogramVec("e", "", DefBuckets, "x")
+	r.NewGaugeFunc("f", "", func() float64 { return 1 })
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	cv.With("y").Inc()
+	hv.With("y").Observe(1)
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+}
+
+// TestExpositionDeterministic: families and series render in sorted
+// order regardless of registration/creation order.
+func TestExpositionDeterministic(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("zz_total", "", "k")
+	r.NewCounter("aa_total", "")
+	v.With("b").Inc()
+	v.With("a").Inc()
+	out := render(t, r)
+	if !strings.Contains(out, "# TYPE aa_total counter\naa_total 0\n# TYPE zz_total counter\n"+
+		`zz_total{k="a"} 1`+"\n"+`zz_total{k="b"} 1`+"\n") {
+		t.Errorf("exposition not deterministic:\n%s", out)
+	}
+	if out != render(t, r) {
+		t.Error("two renders of an unchanged registry differ")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("esc_total", "", "k")
+	v.With("a\"b\\c\nd").Inc()
+	if want := `esc_total{k="a\"b\\c\nd"} 1`; !strings.Contains(render(t, r), want) {
+		t.Errorf("escaped label missing %q:\n%s", want, render(t, r))
+	}
+}
+
+// TestConcurrentInstruments hammers every instrument type from many
+// goroutines; run under -race this is the data-race gate, and the
+// totals must still be exact.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h_seconds", "", DefBuckets)
+	v := r.NewCounterVec("v_total", "", "i")
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := strconv.Itoa(w % 3)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+				v.With(lbl).Inc()
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race with writers.
+	for i := 0; i < 10; i++ {
+		render(t, r)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	sum := uint64(0)
+	for i := 0; i < 3; i++ {
+		sum += v.With(strconv.Itoa(i)).Value()
+	}
+	if sum != workers*per {
+		t.Errorf("vec total = %d, want %d", sum, workers*per)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("ExponentialBuckets = %v, want %v", got, want)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	r := NewRegistry()
+	r.NewCounter("dup_total", "")
+	r.NewCounter("dup_total", "")
+}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// serviceMetrics are the HTTP-layer instruments. Store-layer
+// instruments (entries, rotations, checkpoints) live in store/ and
+// share the same registry, so one GET /metrics scrape covers the whole
+// daemon.
+type serviceMetrics struct {
+	requests      *metrics.CounterVec   // route, code
+	latency       *metrics.HistogramVec // route
+	ingestKeys    *metrics.Counter      // keys accepted over HTTP
+	ingestBytes   *metrics.Counter      // raw ingest body bytes read
+	snapshotBytes *metrics.Counter      // envelope bytes served by GET /v1/snapshot
+}
+
+func newServiceMetrics(reg *metrics.Registry) serviceMetrics {
+	return serviceMetrics{
+		requests: reg.NewCounterVec("knwd_http_requests_total",
+			"HTTP requests by route and status code.", "route", "code"),
+		latency: reg.NewHistogramVec("knwd_http_request_seconds",
+			"HTTP request handling latency.", metrics.DefBuckets, "route"),
+		ingestKeys: reg.NewCounter("knwd_ingest_keys_total",
+			"Keys accepted through POST /v1/ingest."),
+		ingestBytes: reg.NewCounter("knwd_ingest_bytes_total",
+			"Request body bytes read by POST /v1/ingest."),
+		snapshotBytes: reg.NewCounter("knwd_snapshot_bytes_total",
+			"Envelope bytes served by GET /v1/snapshot."),
+	}
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle mounts h on the mux wrapped with per-route request counting
+// and latency observation. route is the metric label (the pattern
+// without its method).
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.met.requests.With(route, strconv.Itoa(sw.code)).Inc()
+		s.met.latency.With(route).Observe(time.Since(start).Seconds())
+	})
+}

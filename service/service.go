@@ -19,6 +19,8 @@
 //	PUT  /v1/snapshot  body = an envelope; replaces the named store's
 //	                   all-time sketch (409 on mismatch)
 //	GET  /v1/stores    → JSON {"stores": [...], "kind": "..."}
+//	GET  /metrics      → Prometheus text exposition (service + store
+//	                   instruments; see internal/metrics)
 //	GET  /healthz      → 200 once serving
 package service
 
@@ -30,11 +32,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
 	knw "repro"
+	"repro/internal/metrics"
 	"repro/store"
 )
 
@@ -56,6 +58,14 @@ type Config struct {
 	CheckpointEvery time.Duration
 	// Logf receives operational log lines. Nil discards them.
 	Logf func(format string, args ...any)
+	// Metrics is the instrument registry /metrics serves. Nil means the
+	// Server creates its own. The store shares it (unless Store.Metrics
+	// is already set), so one scrape covers both layers.
+	Metrics *metrics.Registry
+	// OnListen, when non-nil, is called once with the bound listener
+	// address right after Run's net.Listen succeeds — the readiness
+	// hook behind knwd's -ready-file flag.
+	OnListen func(net.Addr)
 }
 
 // Server is the knwd HTTP service: a store, its handlers, and the
@@ -64,7 +74,9 @@ type Server struct {
 	cfg   Config
 	st    *store.Store
 	mux   *http.ServeMux
-	bufs  sync.Pool // pooled request-body scratch (merge, restore, ingest)
+	reg   *metrics.Registry
+	met   serviceMetrics
+	bufs  sync.Pool // pooled request-body scratch (merge, restore)
 	snaps sync.Pool // pooled *[]byte envelope scratch for snapshot responses
 }
 
@@ -77,11 +89,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Store.Metrics == nil {
+		cfg.Store.Metrics = cfg.Metrics
+	}
 	st, err := store.New(cfg.Store)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, st: st}
+	s := &Server{cfg: cfg, st: st, reg: cfg.Metrics, met: newServiceMetrics(cfg.Metrics)}
 	s.bufs.New = func() any { return new(bytes.Buffer) }
 	s.snaps.New = func() any { return new([]byte) }
 	if cfg.CheckpointDir != "" {
@@ -94,17 +112,21 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
-	s.mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
-	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
-	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshotGet)
-	s.mux.HandleFunc("PUT /v1/snapshot", s.handleSnapshotPut)
-	s.mux.HandleFunc("GET /v1/stores", s.handleStores)
+	s.handle("POST /v1/ingest", "/v1/ingest", s.handleIngest)
+	s.handle("GET /v1/estimate", "/v1/estimate", s.handleEstimate)
+	s.handle("POST /v1/merge", "/v1/merge", s.handleMerge)
+	s.handle("GET /v1/snapshot", "/v1/snapshot", s.handleSnapshotGet)
+	s.handle("PUT /v1/snapshot", "/v1/snapshot", s.handleSnapshotPut)
+	s.handle("GET /v1/stores", "/v1/stores", s.handleStores)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
 	return s, nil
 }
+
+// Metrics exposes the registry (embedding, tests).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Store exposes the underlying registry (tests, in-process embedding).
 func (s *Server) Store() *store.Store { return s.st }
@@ -133,6 +155,9 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 }
 
 func (s *Server) serve(ctx context.Context, ln net.Listener) error {
+	if s.cfg.OnListen != nil {
+		s.cfg.OnListen(ln.Addr())
+	}
 	hs := &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -168,44 +193,12 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 
 // --- handlers -------------------------------------------------------
 
-// ingestRequest is the JSON body form of POST /v1/ingest.
+// ingestRequest is the JSON body form of POST /v1/ingest. A body may
+// carry any number of these documents (NDJSON or concatenated); each
+// routes to its own store. See ingest.go for the streaming consumer.
 type ingestRequest struct {
 	Store string   `json:"store"`
 	Keys  []string `json:"keys"`
-}
-
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("store")
-	var keys []string
-	ct := r.Header.Get("Content-Type")
-	if strings.HasPrefix(ct, "application/json") {
-		var req ingestRequest
-		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding JSON body: %w", err))
-			return
-		}
-		if req.Store != "" {
-			name = req.Store
-		}
-		keys = req.Keys
-	} else {
-		buf, done := s.readBody(w, r)
-		if !done {
-			return
-		}
-		defer s.putBuf(buf)
-		for _, line := range strings.Split(buf.String(), "\n") {
-			if line = strings.TrimSuffix(line, "\r"); line != "" {
-				keys = append(keys, line)
-			}
-		}
-	}
-	if err := s.st.Ingest(name, keys); err != nil {
-		s.failStore(w, err)
-		return
-	}
-	s.reply(w, http.StatusOK, map[string]any{"store": name, "ingested": len(keys)})
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -243,6 +236,7 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	*p = env
+	s.met.snapshotBytes.Add(uint64(len(env)))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", fmt.Sprint(len(env)))
 	_, _ = w.Write(env)
@@ -286,29 +280,40 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer
 	buf := s.getBuf()
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
 		s.putBuf(buf)
-		status := http.StatusBadRequest
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			status = http.StatusRequestEntityTooLarge
-		}
-		s.fail(w, status, fmt.Errorf("reading body: %w", err))
+		s.fail(w, readStatus(err), fmt.Errorf("reading body: %w", err))
 		return nil, false
 	}
 	return buf, true
 }
 
-// failStore maps store/knw errors to status codes: unknown stores are
-// 404, kind/settings mismatches (foreign envelopes) are 409, anything
-// else — bad names, corrupt payloads — is 400.
-func (s *Server) failStore(w http.ResponseWriter, err error) {
+// readStatus maps a request-body read failure to a status: oversize
+// bodies are 413, every other mid-stream failure (client abort,
+// truncated chunked encoding, malformed JSON) is a 400 — always with a
+// JSON error body, never a bare 500.
+func readStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// storeStatus maps store/knw errors to status codes: unknown stores
+// are 404, kind/settings mismatches (foreign envelopes) are 409,
+// anything else — bad names, corrupt payloads — is 400.
+func storeStatus(err error) int {
 	switch {
 	case errors.Is(err, store.ErrNotFound):
-		s.fail(w, http.StatusNotFound, err)
+		return http.StatusNotFound
 	case errors.Is(err, knw.ErrIncompatible):
-		s.fail(w, http.StatusConflict, err)
+		return http.StatusConflict
 	default:
-		s.fail(w, http.StatusBadRequest, err)
+		return http.StatusBadRequest
 	}
+}
+
+func (s *Server) failStore(w http.ResponseWriter, err error) {
+	s.fail(w, storeStatus(err), err)
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	knw "repro"
 	"repro/internal/binenc"
@@ -51,17 +52,24 @@ var ckptBufs = sync.Pool{New: func() any { return new([]byte) }}
 // under its own lock: the file is per-entry consistent, which is the
 // granularity ingestion already has.
 func (s *Store) Checkpoint(dir string) error {
+	start := time.Now()
+	size, err := s.checkpoint(dir)
+	s.noteCheckpoint(start, size, err)
+	return err
+}
+
+func (s *Store) checkpoint(dir string) (int, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return 0, err
 	}
 	buf := ckptBufs.Get().(*[]byte)
 	defer ckptBufs.Put(buf)
 	var err error
 	*buf, err = s.appendCheckpoint((*buf)[:0])
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return writeFileAtomic(filepath.Join(dir, CheckpointFile), *buf)
+	return len(*buf), writeFileAtomic(filepath.Join(dir, CheckpointFile), *buf)
 }
 
 // appendCheckpoint encodes the whole store to buf.

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// storeMetrics are the store-layer instruments. All handles are
+// nil-safe (see internal/metrics), so an unconfigured store pays one
+// predictable branch per operation and registers nothing.
+type storeMetrics struct {
+	entries      *metrics.Gauge   // live registry entries
+	ingestedKeys *metrics.Counter // keys accepted by Ingest/IngestHashed
+	rotations    *metrics.Counter // window buckets recycled
+	ckptSeconds  *metrics.Histogram
+	ckptBytes    *metrics.Gauge // size of the last checkpoint file
+	ckptTotal    *metrics.Counter
+	ckptErrors   *metrics.Counter
+}
+
+// initMetrics registers the store instruments on reg (nil disables
+// instrumentation) and installs the scrape-time checkpoint-age gauge.
+func (s *Store) initMetrics(reg *metrics.Registry) {
+	s.met = storeMetrics{
+		entries: reg.NewGauge("knwd_store_entries",
+			"Number of named sketch entries in the registry."),
+		ingestedKeys: reg.NewCounter("knwd_store_ingested_keys_total",
+			"Keys accepted into store entries (all-time sketches)."),
+		rotations: reg.NewCounter("knwd_store_window_rotations_total",
+			"Window ring buckets recycled by lazy rotation."),
+		ckptSeconds: reg.NewHistogram("knwd_store_checkpoint_seconds",
+			"Wall time of full-store checkpoint writes.",
+			metrics.ExponentialBuckets(0.001, 2, 13)), // 1ms .. ~4s
+		ckptBytes: reg.NewGauge("knwd_store_checkpoint_bytes",
+			"Size of the most recent checkpoint file."),
+		ckptTotal: reg.NewCounter("knwd_store_checkpoints_total",
+			"Completed checkpoint writes."),
+		ckptErrors: reg.NewCounter("knwd_store_checkpoint_errors_total",
+			"Checkpoint writes that failed."),
+	}
+	reg.NewGaugeFunc("knwd_store_checkpoint_age_seconds",
+		"Seconds since the last successful checkpoint (-1 before the first).",
+		func() float64 {
+			last := s.lastCkpt.Load()
+			if last == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, last)).Seconds()
+		})
+}
+
+// noteCheckpoint records one checkpoint attempt's outcome.
+func (s *Store) noteCheckpoint(start time.Time, bytes int, err error) {
+	if err != nil {
+		s.met.ckptErrors.Inc()
+		return
+	}
+	s.met.ckptSeconds.Observe(time.Since(start).Seconds())
+	s.met.ckptBytes.Set(float64(bytes))
+	s.met.ckptTotal.Inc()
+	s.lastCkpt.Store(time.Now().UnixNano())
+}

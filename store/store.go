@@ -14,9 +14,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	knw "repro"
+	"repro/internal/metrics"
 )
 
 // ErrNotFound is returned by read operations on names that have never
@@ -76,6 +78,10 @@ type Config struct {
 	// Now overrides the clock used for window rotation (tests). Nil
 	// means time.Now.
 	Now func() time.Time
+	// Metrics, when non-nil, receives the store-layer instruments
+	// (entry count, ingested keys, window rotations, checkpoint
+	// duration/size/age). Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Store is the sharded, concurrency-safe sketch registry.
@@ -85,6 +91,8 @@ type Store struct {
 	template knw.Estimator
 	now      func() time.Time
 	shards   [registryShards]registryShard
+	met      storeMetrics
+	lastCkpt atomic.Int64 // unix nanos of the last successful checkpoint
 }
 
 type registryShard struct {
@@ -137,6 +145,7 @@ func New(cfg Config) (*Store, error) {
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*entry)
 	}
+	s.initMetrics(cfg.Metrics)
 	return s, nil
 }
 
@@ -204,6 +213,7 @@ func (s *Store) lookup(name string, create bool) (*entry, error) {
 	}
 	e = s.newEntry()
 	sh.m[name] = e
+	s.met.entries.Add(1)
 	return e, nil
 }
 
@@ -272,9 +282,10 @@ func (s *Store) Ingest(name string, keys []string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.window != nil {
-		e.window.rotate(s.now())
+		s.met.rotations.Add(uint64(e.window.rotate(s.now())))
 	}
 	e.keyed.AddBatch(keys)
+	s.met.ingestedKeys.Add(uint64(len(keys)))
 	return nil
 }
 
@@ -288,9 +299,10 @@ func (s *Store) IngestHashed(name string, keys []uint64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.window != nil {
-		e.window.rotate(s.now())
+		s.met.rotations.Add(uint64(e.window.rotate(s.now())))
 	}
 	(&fanout{e: e}).AddBatch(keys)
+	s.met.ingestedKeys.Add(uint64(len(keys)))
 	return nil
 }
 
@@ -323,7 +335,7 @@ func (s *Store) Estimate(name string) (Estimate, error) {
 		SpaceBits: e.total.SpaceBits(),
 	}
 	if e.window != nil {
-		e.window.rotate(s.now())
+		s.met.rotations.Add(uint64(e.window.rotate(s.now())))
 		out.Windowed = true
 		out.Window = e.window.estimate()
 		out.WindowSpan = s.cfg.Window.Span().String()

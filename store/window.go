@@ -51,19 +51,21 @@ func (w *windowRing) current() knw.Estimator { return w.buckets[w.cur] }
 // rotate advances the ring to now's interval index, recycling one
 // bucket per elapsed interval (all of them after a gap of ≥ N
 // intervals). Buckets are recycled with Reset, which keeps their hash
-// draws, so a recycled bucket stays mergeable with its ring mates.
-func (w *windowRing) rotate(now time.Time) {
+// draws, so a recycled bucket stays mergeable with its ring mates. It
+// returns the number of buckets recycled (the store's rotation
+// metric).
+func (w *windowRing) rotate(now time.Time) int {
 	e := now.UnixNano() / int64(w.interval)
 	if !w.started {
 		w.started = true
 		w.epoch = e
-		return
+		return 0
 	}
 	steps := e - w.epoch
 	if steps <= 0 {
 		// Same interval, or a clock step backwards: keep writing to the
 		// current bucket rather than resurrecting expired ones.
-		return
+		return 0
 	}
 	n := int64(len(w.buckets))
 	if steps > n {
@@ -74,6 +76,7 @@ func (w *windowRing) rotate(now time.Time) {
 		w.recycle(w.cur)
 	}
 	w.epoch = e
+	return int(steps)
 }
 
 // recycle empties bucket i for reuse as the new current bucket.
