@@ -1,0 +1,211 @@
+// Package cluster turns N knwd processes into one logical sketch
+// service. It is the scale-out layer the paper's mergeability makes
+// nearly free: a KNW envelope is a tiny lossless summary of a key
+// stream, so any node can ingest any slice of the keyspace and a union
+// of envelopes is exactly as accurate as a single sketch over the whole
+// stream.
+//
+// The design is deliberately static and symmetric:
+//
+//   - Membership is a fixed peer list shared by every node (the -peers
+//     flag). A consistent-hash ring over the sorted list — vnodes
+//     points per member — assigns each ingested key to R owner nodes
+//     (the replication factor). Every node computes identical
+//     ownership from the list alone; there is no coordinator, no
+//     gossip, no metadata service.
+//   - Writes route. POST /v1/cluster/ingest hashes each key onto the
+//     ring, applies locally owned keys directly to the node's own
+//     store, and fans the rest out to owner peers over the existing
+//     single-node POST /v1/ingest API with per-peer buffered batches
+//     and retry/backoff. Plain /v1/ingest never re-forwards, so
+//     forwarding can never loop.
+//   - Reads gather. GET /v1/cluster/estimate scatter-gathers snapshot
+//     envelopes from every peer, opens them with knw.Open, unions them
+//     into the local contribution via knw.MergeInto, and reports the
+//     merged estimate. Keys replicated on several nodes count once —
+//     union semantics — so replication costs no accuracy.
+//   - Partial failure degrades, never errors. An ingest that loses
+//     fewer than R peers still lands every key on at least one owner
+//     (owner sets are R distinct members) and answers 200. A gather
+//     that loses peers serves the union of what answered — at minimum
+//     the stale local view — with the X-KNW-Partial header naming the
+//     unreachable peers.
+//
+// All peers must share sketch kind, options, and seed (knwd's -seed
+// flag): mergeability is what the whole layer stands on, and a
+// misconfigured peer's envelopes are rejected as 409s by the
+// compatibility check rather than silently corrupting the union.
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/store"
+)
+
+// PartialHeader is set on cluster responses assembled without every
+// peer: the value is the comma-separated list of unreachable peers.
+const PartialHeader = "X-KNW-Partial"
+
+// Config configures a cluster Router.
+type Config struct {
+	// Self is this node's own base URL exactly as it appears in Peers.
+	Self string
+	// Peers is the full static member list (including Self), as base
+	// URLs ("http://10.0.0.1:7070"). Order does not matter: the ring is
+	// built over the sorted list, so all nodes agree.
+	Peers []string
+	// Replication is the number of owner nodes per key, in
+	// [1, len(Peers)]. Default 1 (partitioning without redundancy).
+	Replication int
+	// Vnodes is the number of ring points per member (default 64).
+	Vnodes int
+	// FlushKeys is the per-peer forward buffer threshold: a peer's
+	// pending batch is flushed once it holds this many keys (default
+	// 4096, matching the single-node ingest batch).
+	FlushKeys int
+	// Attempts is how many times a forward batch is tried before the
+	// peer is declared failed for the request (default 3).
+	Attempts int
+	// Backoff is the delay before the first retry, doubling per attempt
+	// (default 50ms).
+	Backoff time.Duration
+	// Timeout bounds each forward or gather request (default 5s).
+	// Ignored when Client is set.
+	Timeout time.Duration
+	// Client overrides the HTTP client used for peer traffic.
+	Client *http.Client
+	// Logf receives operational log lines. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Replication == 0 {
+		out.Replication = 1
+	}
+	if out.Vnodes == 0 {
+		out.Vnodes = defaultVnodes
+	}
+	if out.FlushKeys == 0 {
+		out.FlushKeys = 4096
+	}
+	if out.Attempts == 0 {
+		out.Attempts = 3
+	}
+	if out.Backoff == 0 {
+		out.Backoff = 50 * time.Millisecond
+	}
+	if out.Timeout == 0 {
+		out.Timeout = 5 * time.Second
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// Router is one node's view of the cluster: the ring, the local store,
+// and the HTTP plumbing for forwarding and gathering.
+type Router struct {
+	cfg    Config
+	local  *store.Store
+	ring   *ring
+	self   int // member index of cfg.Self
+	client *http.Client
+	met    routerMetrics
+}
+
+// routerMetrics are the cluster-layer instruments, labeled by peer URL
+// where a peer is involved. All handles are nil-safe.
+type routerMetrics struct {
+	forwardKeys    *metrics.CounterVec // peer
+	forwardErrors  *metrics.CounterVec // peer
+	forwardRetries *metrics.CounterVec // peer
+	forwardSeconds *metrics.HistogramVec
+	gatherSeconds  *metrics.Histogram
+	gatherPartial  *metrics.Counter
+	routedKeys     *metrics.Counter
+	localKeys      *metrics.Counter
+}
+
+// New validates the configuration, builds the ring, and returns the
+// node's Router. st is the node's own store — the same registry the
+// single-node API serves — and reg (which may be nil) receives the
+// cluster instruments.
+func New(cfg Config, st *store.Store, reg *metrics.Registry) (*Router, error) {
+	if st == nil {
+		return nil, fmt.Errorf("cluster: nil store")
+	}
+	cfg = cfg.withDefaults()
+	r, err := newRing(cfg.Peers, cfg.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	self := r.index(cfg.Self)
+	if self < 0 {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", cfg.Self, cfg.Peers)
+	}
+	if cfg.Replication < 1 || cfg.Replication > len(r.members) {
+		return nil, fmt.Errorf("cluster: replication %d outside [1, %d]", cfg.Replication, len(r.members))
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * len(r.members),
+				MaxIdleConnsPerHost: 8,
+			},
+		}
+	}
+	rt := &Router{cfg: cfg, local: st, ring: r, self: self, client: client}
+	rt.initMetrics(reg)
+	return rt, nil
+}
+
+func (rt *Router) initMetrics(reg *metrics.Registry) {
+	rt.met = routerMetrics{
+		forwardKeys: reg.NewCounterVec("knwd_cluster_forward_keys_total",
+			"Keys delivered to peer nodes by the ingest router.", "peer"),
+		forwardErrors: reg.NewCounterVec("knwd_cluster_forward_errors_total",
+			"Forward batches abandoned after exhausting retries.", "peer"),
+		forwardRetries: reg.NewCounterVec("knwd_cluster_forward_retries_total",
+			"Forward batch retry attempts.", "peer"),
+		forwardSeconds: reg.NewHistogramVec("knwd_cluster_forward_seconds",
+			"Latency of forward batches to peers (successful attempts).",
+			metrics.DefBuckets, "peer"),
+		gatherSeconds: reg.NewHistogram("knwd_cluster_gather_seconds",
+			"Wall time of full scatter-gather estimate assemblies.",
+			metrics.DefBuckets),
+		gatherPartial: reg.NewCounter("knwd_cluster_gather_partial_total",
+			"Scatter-gather estimates served without every peer."),
+		routedKeys: reg.NewCounter("knwd_cluster_routed_keys_total",
+			"Keys accepted by POST /v1/cluster/ingest."),
+		localKeys: reg.NewCounter("knwd_cluster_local_keys_total",
+			"Routed key-replicas owned by this node itself."),
+	}
+}
+
+// Members returns the canonical (sorted) member list.
+func (rt *Router) Members() []string { return append([]string(nil), rt.ring.members...) }
+
+// Replication returns the configured replication factor.
+func (rt *Router) Replication() int { return rt.cfg.Replication }
+
+// Self returns this node's member URL.
+func (rt *Router) Self() string { return rt.cfg.Self }
+
+// peerList renders member indexes as a comma-separated URL list (the
+// X-KNW-Partial header value).
+func (rt *Router) peerList(idx []int) string {
+	urls := make([]string, len(idx))
+	for i, m := range idx {
+		urls[i] = rt.ring.members[m]
+	}
+	return strings.Join(urls, ",")
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+)
+
+// session is one cluster-ingest request's routing state for a single
+// target store: locally owned keys batched for the node's own store,
+// plus one pending buffer per peer, flushed to the peer's single-node
+// ingest API whenever it fills and once more when the request body is
+// exhausted.
+//
+// A key's R owners are R distinct members, so as long as fewer than R
+// peers fail the request, every key has landed on at least one owner
+// and the ingest is reported as a (possibly partial) success; only ≥ R
+// failed peers can have lost a key entirely, and that is the one case
+// routed ingest reports as an error.
+type session struct {
+	rt    *Router
+	store string
+
+	received int      // keys consumed from the request body
+	localBuf []string // pending keys owned by self
+	local    int      // keys applied to the local store
+	pending  [][]string
+	sent     []int  // per-member keys delivered
+	lost     []int  // per-member keys abandoned after retries
+	failed   []bool // member declared unreachable this request
+
+	owners []int // scratch for ring.owners
+}
+
+func (rt *Router) newSession(store string) *session {
+	n := len(rt.ring.members)
+	return &session{
+		rt:      rt,
+		store:   store,
+		pending: make([][]string, n),
+		sent:    make([]int, n),
+		lost:    make([]int, n),
+		failed:  make([]bool, n),
+	}
+}
+
+// route consumes one batch of keys: each key is hashed onto the ring
+// and appended to the buffers of its R owners, flushing any buffer
+// that reaches the threshold.
+func (s *session) route(keys []string) {
+	rt := s.rt
+	s.received += len(keys)
+	for _, key := range keys {
+		s.owners = rt.ring.owners(keyHash(key), rt.cfg.Replication, s.owners)
+		for _, m := range s.owners {
+			if m == rt.self {
+				s.localBuf = append(s.localBuf, key)
+				if len(s.localBuf) >= rt.cfg.FlushKeys {
+					s.flushLocal()
+				}
+				continue
+			}
+			s.pending[m] = append(s.pending[m], key)
+			if len(s.pending[m]) >= rt.cfg.FlushKeys {
+				s.flushPeer(m)
+			}
+		}
+	}
+}
+
+// finish flushes every remaining buffer and reports the outcome.
+func (s *session) finish() error {
+	s.flushLocal()
+	for m := range s.pending {
+		if len(s.pending[m]) > 0 {
+			s.flushPeer(m)
+		}
+	}
+	rt := s.rt
+	rt.met.routedKeys.Add(uint64(s.received))
+	rt.met.localKeys.Add(uint64(s.local))
+	return nil
+}
+
+func (s *session) flushLocal() {
+	if len(s.localBuf) == 0 {
+		return
+	}
+	if err := s.rt.local.Ingest(s.store, s.localBuf); err != nil {
+		// The handler validated the store name before routing, so the
+		// only way the local store can reject a batch is a programming
+		// error; count it against self like any other replica loss.
+		s.lost[s.rt.self] += len(s.localBuf)
+		s.failed[s.rt.self] = true
+		s.rt.cfg.Logf("cluster: local ingest of %d keys failed: %v", len(s.localBuf), err)
+	} else {
+		s.local += len(s.localBuf)
+		s.sent[s.rt.self] += len(s.localBuf)
+	}
+	s.localBuf = s.localBuf[:0]
+}
+
+// flushPeer delivers member m's pending batch; send does the work.
+func (s *session) flushPeer(m int) {
+	keys := s.pending[m]
+	s.pending[m] = keys[:0]
+	if len(keys) == 0 {
+		return
+	}
+	s.send(m, keys)
+}
+
+// createAll mirrors the single-node create-on-empty-body contract
+// cluster-wide: an ingest that carried no keys still creates the store
+// on every member, so a later estimate reports 0 instead of 404 no
+// matter which node it asks.
+func (s *session) createAll() {
+	for m := range s.rt.ring.members {
+		if m == s.rt.self {
+			if err := s.rt.local.Ingest(s.store, nil); err != nil {
+				s.failed[m] = true
+			}
+			continue
+		}
+		s.send(m, nil)
+	}
+}
+
+// send delivers one batch (empty = store creation) to member m over
+// the peer's plain /v1/ingest API (which never re-forwards), retrying
+// with exponential backoff. The body is the JSON document form, not
+// newline framing: JSON escaping keeps arbitrary key bytes — newlines,
+// CRs, empty strings — byte-identical on every replica, which the
+// union invariant depends on. A peer that exhausts its attempts is
+// marked failed for the rest of the request; its keys survive on the
+// batch's other owners.
+func (s *session) send(m int, keys []string) {
+	rt := s.rt
+	peer := rt.ring.members[m]
+	if s.failed[m] {
+		// Already unreachable this request: don't stall the stream
+		// re-timing-out per batch.
+		s.lost[m] += len(keys)
+		rt.met.forwardErrors.With(peer).Inc()
+		return
+	}
+	body, err := json.Marshal(ingestDoc{Store: s.store, Keys: keys})
+	if err != nil { // strings always marshal
+		panic("cluster: marshaling forward batch: " + err.Error())
+	}
+	backoff := rt.cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt < rt.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			rt.met.forwardRetries.With(peer).Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		t0 := time.Now()
+		err, permanent := rt.postBatch(peer, s.store, body)
+		if err == nil {
+			rt.met.forwardSeconds.With(peer).Observe(time.Since(t0).Seconds())
+			rt.met.forwardKeys.With(peer).Add(uint64(len(keys)))
+			s.sent[m] += len(keys)
+			return
+		}
+		lastErr = err
+		if permanent {
+			break
+		}
+	}
+	s.failed[m] = true
+	s.lost[m] += len(keys)
+	rt.met.forwardErrors.With(peer).Inc()
+	rt.cfg.Logf("cluster: forwarding %d keys to %s failed: %v", len(keys), peer, lastErr)
+}
+
+// postBatch sends one JSON batch document to a peer's single-node
+// ingest. The second return marks permanent failures (4xx: the peer is
+// up but rejects the request — retrying cannot help).
+func (rt *Router) postBatch(peer, storeName string, body []byte) (err error, permanent bool) {
+	u := peer + "/v1/ingest?store=" + url.QueryEscape(storeName)
+	resp, err := rt.client.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	err = fmt.Errorf("peer answered HTTP %d: %s", resp.StatusCode, msg)
+	return err, resp.StatusCode >= 400 && resp.StatusCode < 500
+}
+
+// result summarizes a finished session for the HTTP response.
+type ingestResult struct {
+	Store       string         `json:"store"`
+	Received    int            `json:"received"`
+	Replication int            `json:"replication"`
+	Local       int            `json:"local"`
+	Forwarded   map[string]int `json:"forwarded,omitempty"`
+	Lost        map[string]int `json:"lost,omitempty"`
+	Partial     bool           `json:"partial"`
+}
+
+func (s *session) result() (ingestResult, []int) {
+	out := ingestResult{
+		Store:       s.store,
+		Received:    s.received,
+		Replication: s.rt.cfg.Replication,
+		Local:       s.local,
+	}
+	var failedIdx []int
+	for m := range s.sent {
+		peer := s.rt.ring.members[m]
+		if m != s.rt.self && s.sent[m] > 0 {
+			if out.Forwarded == nil {
+				out.Forwarded = make(map[string]int)
+			}
+			out.Forwarded[peer] = s.sent[m]
+		}
+		if s.lost[m] > 0 {
+			if out.Lost == nil {
+				out.Lost = make(map[string]int)
+			}
+			out.Lost[peer] = s.lost[m]
+		}
+		if s.failed[m] {
+			failedIdx = append(failedIdx, m)
+		}
+	}
+	sort.Ints(failedIdx)
+	out.Partial = len(failedIdx) > 0
+	return out, failedIdx
+}

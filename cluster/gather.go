@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	knw "repro"
+	"repro/store"
+)
+
+// Estimate is the scatter-gather read-side report: the union estimate
+// over every reachable node's sketch for one store.
+type Estimate struct {
+	Store   string  `json:"store"`
+	AllTime float64 `json:"all_time"`
+	// Window fields are present only when this node's store is
+	// windowed; the window estimate is the union of every reachable
+	// node's live window ring.
+	Windowed bool    `json:"windowed"`
+	Window   float64 `json:"window,omitempty"`
+	// Nodes / NodesOK count cluster members and how many contributed.
+	Nodes   int `json:"nodes"`
+	NodesOK int `json:"nodes_ok"`
+	// Partial is set when any peer could not contribute; the response
+	// then carries the X-KNW-Partial header naming them.
+	Partial     bool     `json:"partial"`
+	FailedPeers []string `json:"failed_peers,omitempty"`
+	Replication int      `json:"replication"`
+}
+
+// errNoData distinguishes "no node holds this store" (404) from
+// transport-level gather failures.
+var errNoData = errors.New("cluster: store unknown on every reachable node")
+
+// gatherRes is one peer's contribution to a scatter-gather: its
+// snapshot envelope (nil when the peer does not hold the store) or the
+// failure that kept it from contributing.
+type gatherRes struct {
+	member int
+	env    []byte // all-time envelope; nil on 404
+	winEnv []byte // window envelope; nil when absent or unwindowed
+	err    error
+}
+
+// MergedEstimate assembles the cluster-wide estimate for name: the
+// local sketch plus every peer's snapshot envelope, opened and merged
+// in this process. Peers that do not hold the store contribute nothing
+// and are still counted healthy; peers that cannot be reached (or ship
+// incompatible envelopes) are reported in Estimate.FailedPeers, and
+// the merged result of everyone else — at minimum the stale local view
+// — is served instead of an error. The error return is reserved for
+// "no data anywhere": every reachable node 404ed (errors.Is
+// store.ErrNotFound) or the store name is invalid.
+func (rt *Router) MergedEstimate(name string) (Estimate, error) {
+	if err := store.ValidateName(name); err != nil {
+		return Estimate{}, err
+	}
+	t0 := time.Now()
+	windowed := rt.local.Window().Buckets > 0
+	out := Estimate{
+		Store:       name,
+		Windowed:    windowed,
+		Nodes:       len(rt.ring.members),
+		Replication: rt.cfg.Replication,
+	}
+
+	results := rt.scatter(name, windowed)
+
+	var total, window knw.Estimator
+	var failed []int
+	merge := func(acc *knw.Estimator, env []byte) error {
+		if env == nil {
+			return nil
+		}
+		est, err := knw.Open(env)
+		if err != nil {
+			return err
+		}
+		if *acc == nil {
+			*acc = est
+			return nil
+		}
+		return knw.MergeInto(*acc, est)
+	}
+	for _, res := range results {
+		if res.err == nil {
+			res.err = merge(&total, res.env)
+		}
+		if res.err == nil && windowed {
+			res.err = merge(&window, res.winEnv)
+		}
+		if res.err != nil {
+			failed = append(failed, res.member)
+			rt.cfg.Logf("cluster: gather %q from %s: %v", name, rt.ring.members[res.member], res.err)
+			continue
+		}
+		out.NodesOK++
+	}
+
+	out.Partial = len(failed) > 0
+	if out.Partial {
+		rt.met.gatherPartial.Inc()
+		for _, m := range failed {
+			out.FailedPeers = append(out.FailedPeers, rt.ring.members[m])
+		}
+	}
+	if total == nil {
+		if out.Partial {
+			// Nothing at all to serve — not even stale-local data.
+			return out, fmt.Errorf("cluster: no node could serve %q (unreachable: %v)", name, out.FailedPeers)
+		}
+		return out, fmt.Errorf("%w: %w %q", errNoData, store.ErrNotFound, name)
+	}
+	out.AllTime = total.Estimate()
+	if window != nil {
+		out.Window = window.Estimate()
+	}
+	rt.met.gatherSeconds.Observe(time.Since(t0).Seconds())
+	return out, nil
+}
+
+// scatter collects every member's envelopes for name concurrently: the
+// local store is read in-process, peers over GET /v1/snapshot.
+func (rt *Router) scatter(name string, windowed bool) []gatherRes {
+	results := make([]gatherRes, len(rt.ring.members))
+	var wg sync.WaitGroup
+	for m := range rt.ring.members {
+		results[m].member = m
+		if m == rt.self {
+			results[m] = rt.localSnapshot(m, name, windowed)
+			continue
+		}
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			results[m] = rt.fetchSnapshot(m, name, windowed)
+		}(m)
+	}
+	wg.Wait()
+	return results
+}
+
+// localSnapshot reads this node's own envelopes without HTTP.
+func (rt *Router) localSnapshot(m int, name string, windowed bool) gatherRes {
+	res := gatherRes{member: m}
+	env, err := rt.local.Snapshot(name, nil)
+	if errors.Is(err, store.ErrNotFound) {
+		return res
+	}
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.env = env
+	if windowed {
+		res.winEnv, err = rt.local.WindowSnapshot(name, nil)
+		if err != nil {
+			res.err = err
+		}
+	}
+	return res
+}
+
+// fetchSnapshot pulls one peer's envelopes for name. A 404 means the
+// peer holds no keys for the store — a healthy empty contribution.
+func (rt *Router) fetchSnapshot(m int, name string, windowed bool) gatherRes {
+	res := gatherRes{member: m}
+	peer := rt.ring.members[m]
+	env, found, err := rt.getSnapshot(peer, name, "")
+	if err != nil {
+		res.err = err
+		return res
+	}
+	if !found {
+		return res
+	}
+	res.env = env
+	if windowed {
+		res.winEnv, _, res.err = rt.getSnapshot(peer, name, "window")
+	}
+	return res
+}
+
+// getSnapshot GETs one envelope from a peer; found is false on 404.
+func (rt *Router) getSnapshot(peer, name, scope string) (env []byte, found bool, err error) {
+	u := peer + "/v1/snapshot?store=" + url.QueryEscape(name)
+	if scope != "" {
+		u += "&scope=" + scope
+	}
+	resp, err := rt.client.Get(u)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, false, fmt.Errorf("peer answered HTTP %d: %s", resp.StatusCode, msg)
+	}
+	env, err = io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, false, err
+	}
+	return env, true, nil
+}

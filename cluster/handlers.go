@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/httpx"
+	"repro/store"
+)
+
+// HTTP handlers for the /v1/cluster/... routes. The service layer
+// mounts them (service.Config.Cluster) so they ride the same mux,
+// metrics wrapper, and request accounting as the single-node API;
+// body limits and error mappings come from internal/httpx, shared
+// with the leaf ingest the router forwards to.
+
+// routeBatch is the scan granularity: keys per route() call.
+const routeBatch = 1024
+
+// ingestDoc is the JSON body form of POST /v1/cluster/ingest — the
+// same {"store","keys"} document stream POST /v1/ingest accepts, so
+// clients switch between single-node and routed ingest by path alone.
+// It is also the forward wire format (see session.send).
+type ingestDoc struct {
+	Store string   `json:"store"`
+	Keys  []string `json:"keys"`
+}
+
+// HandleIngest is POST /v1/cluster/ingest: body formats identical to
+// the single-node ingest (newline keys with ?store=, or a stream of
+// JSON documents), but every key is routed to its R ring owners
+// instead of landing only here. Empty bodies create the store on
+// every member, mirroring the single-node create-on-empty contract.
+//
+// Status: 200 when every key reached at least one owner (including
+// partial successes that lost fewer than R peers, flagged by
+// X-KNW-Partial and "partial": true); 502 once ≥ R peers failed, since
+// some keys may then have lost every owner. Mid-stream body failures
+// report the progress fields alongside the error — earlier batches
+// were already delivered, and re-sends are idempotent.
+func (rt *Router) HandleIngest(w http.ResponseWriter, r *http.Request) {
+	if httpx.IsJSON(r.Header.Get("Content-Type")) {
+		rt.ingestJSON(w, r)
+		return
+	}
+	rt.ingestLines(w, r)
+}
+
+func (rt *Router) ingestLines(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("store")
+	if err := store.ValidateName(name); err != nil {
+		httpx.Fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s := rt.newSession(name)
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes))
+	sc.Buffer(make([]byte, 64<<10), httpx.MaxKeyBytes)
+	batch := make([]string, 0, routeBatch)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		if len(line) == 0 {
+			continue
+		}
+		batch = append(batch, string(line))
+		if len(batch) == routeBatch {
+			s.route(batch)
+			batch = batch[:0]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Route what arrived before the failure (re-sends are idempotent
+		// for distinct counting), then report the error with the
+		// delivery counts so the client knows this was not a no-op.
+		s.route(batch)
+		rt.failIngest(w, httpx.ReadStatus(err), err, s)
+		return
+	}
+	s.route(batch)
+	if s.received == 0 {
+		s.createAll()
+	}
+	rt.finishIngest(w, s)
+}
+
+func (rt *Router) ingestJSON(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("store")
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes))
+	var order []*session
+	sessions := map[string]*session{}
+	for {
+		var doc ingestDoc
+		err := dec.Decode(&doc)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			rt.failIngest(w, httpx.ReadStatus(err), err, order...)
+			return
+		}
+		target := name
+		if doc.Store != "" {
+			target = doc.Store
+		}
+		if err := store.ValidateName(target); err != nil {
+			rt.failIngest(w, http.StatusBadRequest, err, order...)
+			return
+		}
+		s := sessions[target]
+		if s == nil {
+			s = rt.newSession(target)
+			sessions[target] = s
+			order = append(order, s)
+		}
+		s.route(doc.Keys)
+	}
+	if len(order) == 0 {
+		// Zero documents: create the ?store= target everywhere, exactly
+		// like the single-node JSON path (and a 400 on a bad name).
+		if err := store.ValidateName(name); err != nil {
+			httpx.Fail(w, http.StatusBadRequest, err)
+			return
+		}
+		s := rt.newSession(name)
+		s.createAll()
+		rt.finishIngest(w, s)
+		return
+	}
+	rt.finishIngest(w, order...)
+}
+
+// finishIngest flushes every session and writes the success response:
+// the single session's result, or the aggregate for multi-store
+// bodies.
+func (rt *Router) finishIngest(w http.ResponseWriter, sessions ...*session) {
+	res, failedIdx, worst := rt.settle(sessions)
+	status := http.StatusOK
+	if worst >= rt.cfg.Replication {
+		// A key's owners are R distinct members, so only ≥ R failures
+		// within one session can have dropped a key on every replica.
+		status = http.StatusBadGateway
+	}
+	if len(failedIdx) > 0 {
+		w.Header().Set(PartialHeader, rt.peerList(failedIdx))
+	}
+	httpx.Reply(w, status, res)
+}
+
+// failIngest flushes the sessions and reports a request failure along
+// with the partial-progress counts (the single-node failIngest
+// contract, cluster-shaped).
+func (rt *Router) failIngest(w http.ResponseWriter, status int, err error, sessions ...*session) {
+	res, failedIdx, _ := rt.settle(sessions)
+	if len(failedIdx) > 0 {
+		w.Header().Set(PartialHeader, rt.peerList(failedIdx))
+	}
+	httpx.Reply(w, status, map[string]any{
+		"error":       err.Error(),
+		"store":       res.Store,
+		"received":    res.Received,
+		"replication": res.Replication,
+		"local":       res.Local,
+		"forwarded":   res.Forwarded,
+		"lost":        res.Lost,
+		"partial":     res.Partial,
+	})
+}
+
+// settle finishes every session and folds their results: the single
+// session's own result, or the aggregate across stores. worst is the
+// largest per-session failed-peer count — the number the ≥ R
+// key-loss check applies to, since owner sets are per key.
+func (rt *Router) settle(sessions []*session) (ingestResult, []int, int) {
+	switch len(sessions) {
+	case 0:
+		return ingestResult{Replication: rt.cfg.Replication}, nil, 0
+	case 1:
+		sessions[0].finish()
+		res, failedIdx := sessions[0].result()
+		return res, failedIdx, len(failedIdx)
+	}
+	agg := ingestResult{Replication: rt.cfg.Replication, Store: "(multiple)"}
+	worst := 0
+	failedSet := map[int]bool{}
+	for _, s := range sessions {
+		s.finish()
+		res, failedIdx := s.result()
+		agg.Received += res.Received
+		agg.Local += res.Local
+		agg.Partial = agg.Partial || res.Partial
+		for _, m := range failedIdx {
+			failedSet[m] = true
+		}
+		if len(failedIdx) > worst {
+			worst = len(failedIdx)
+		}
+	}
+	failedIdx := make([]int, 0, len(failedSet))
+	for m := range failedSet {
+		failedIdx = append(failedIdx, m)
+	}
+	sort.Ints(failedIdx)
+	return agg, failedIdx, worst
+}
+
+// HandleEstimate is GET /v1/cluster/estimate: the scatter-gather union
+// estimate. Partial assemblies answer 200 with X-KNW-Partial; a store
+// unknown everywhere answers 404; a gather that produced nothing at
+// all (every node unreachable and no local data) answers 503.
+func (rt *Router) HandleEstimate(w http.ResponseWriter, r *http.Request) {
+	est, err := rt.MergedEstimate(r.URL.Query().Get("store"))
+	if est.Partial {
+		w.Header().Set(PartialHeader, strings.Join(est.FailedPeers, ","))
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			httpx.Fail(w, http.StatusNotFound, err)
+		case est.Partial:
+			httpx.Fail(w, http.StatusServiceUnavailable, err)
+		default:
+			httpx.Fail(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	httpx.Reply(w, http.StatusOK, est)
+}
+
+// HandleInfo is GET /v1/cluster/info: the node's static cluster view,
+// for operators and the examples/cluster demo.
+func (rt *Router) HandleInfo(w http.ResponseWriter, _ *http.Request) {
+	httpx.Reply(w, http.StatusOK, map[string]any{
+		"self":        rt.cfg.Self,
+		"members":     rt.ring.members,
+		"replication": rt.cfg.Replication,
+		"vnodes":      rt.cfg.Vnodes,
+	})
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// defaultVnodes is the number of ring points each member contributes.
+// 64 virtual nodes keep the per-member key share within a few percent
+// of fair for small static clusters without making ring construction
+// or lookup noticeable.
+const defaultVnodes = 64
+
+// ring is a static-membership consistent-hash ring: every member
+// contributes vnodes points at deterministic hash positions, and a
+// key's owners are the first R distinct members at or after the key's
+// hash, walking clockwise. Because the point set depends only on the
+// (sorted) member list and vnode count, every node that shares the
+// peer list computes identical ownership — no coordination, no
+// metadata exchange.
+type ring struct {
+	members []string // canonical (sorted) member URLs
+	points  []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int32
+}
+
+// newRing builds the ring over the member URLs. Members are sorted
+// first so peer lists given in any order produce the same ring.
+func newRing(members []string, vnodes int) (*ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: empty member list")
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate member %q", sorted[i])
+		}
+	}
+	r := &ring{
+		members: sorted,
+		points:  make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for m, url := range sorted {
+		for v := 0; v < vnodes; v++ {
+			h := pointHash(url, v)
+			r.points = append(r.points, ringPoint{hash: h, member: int32(m)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.member < b.member // deterministic tie-break
+	})
+	return r, nil
+}
+
+// index returns the member index of url, or -1.
+func (r *ring) index(url string) int {
+	i := sort.SearchStrings(r.members, url)
+	if i < len(r.members) && r.members[i] == url {
+		return i
+	}
+	return -1
+}
+
+// owners appends the first n distinct members clockwise from h to
+// buf[:0] and returns it — the replica set for a key hashing to h.
+// n is capped at the member count.
+func (r *ring) owners(h uint64, n int, buf []int) []int {
+	buf = buf[:0]
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; len(buf) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		m := int(p.member)
+		seen := false
+		for _, have := range buf {
+			if have == m {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			buf = append(buf, m)
+		}
+	}
+	return buf
+}
+
+// keyHash places a raw key on the ring: FNV-1a over the key bytes,
+// finished with an avalanche mix. The mix matters — ring position is
+// ordered by the HIGH bits of the hash, which raw FNV barely moves
+// for short suffix differences — and the function is deliberately
+// independent of the sketches' seeded ingestion hash, so routing
+// never correlates with sketch internals.
+func keyHash(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return mix64(h)
+}
+
+// pointHash places one virtual node on the ring: FNV-1a over the
+// member URL followed by the vnode index bytes, avalanche-finished so
+// one member's vnodes spread over the whole ring instead of
+// clustering (see keyHash).
+func pointHash(member string, vnode int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(member); i++ {
+		h = (h ^ uint64(member[i])) * 1099511628211
+	}
+	for s := uint(0); s < 32; s += 8 {
+		h = (h ^ uint64(byte(vnode>>s))) * 1099511628211
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: full-avalanche bit diffusion.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

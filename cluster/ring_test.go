@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func urls(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:7070", i+1)
+	}
+	return out
+}
+
+// TestRingDeterminism: the ring depends only on the member set, not
+// the order the peer list was written in — the property that lets
+// every node compute ownership locally.
+func TestRingDeterminism(t *testing.T) {
+	members := urls(5)
+	shuffled := []string{members[3], members[0], members[4], members[2], members[1]}
+	a, err := newRing(members, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newRing(shuffled, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf1, buf2 []int
+	for i := 0; i < 10_000; i++ {
+		h := keyHash(fmt.Sprintf("user-%d", i))
+		buf1 = a.owners(h, 2, buf1)
+		buf2 = b.owners(h, 2, buf2)
+		if len(buf1) != len(buf2) {
+			t.Fatalf("owner counts differ at key %d", i)
+		}
+		for j := range buf1 {
+			if a.members[buf1[j]] != b.members[buf2[j]] {
+				t.Fatalf("key %d: rings disagree on owner %d: %s vs %s",
+					i, j, a.members[buf1[j]], b.members[buf2[j]])
+			}
+		}
+	}
+}
+
+// TestRingOwnersDistinct: a key's R owners are R distinct members for
+// every R up to the cluster size — the invariant behind "fewer than R
+// failed peers cannot lose a key".
+func TestRingOwnersDistinct(t *testing.T) {
+	r, err := newRing(urls(4), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []int
+	for n := 1; n <= 6; n++ { // n > members must cap, not loop forever
+		want := min(n, 4)
+		for i := 0; i < 2000; i++ {
+			buf = r.owners(keyHash(fmt.Sprintf("k-%d", i)), n, buf)
+			if len(buf) != want {
+				t.Fatalf("owners(R=%d) returned %d members, want %d", n, len(buf), want)
+			}
+			seen := map[int]bool{}
+			for _, m := range buf {
+				if seen[m] {
+					t.Fatalf("owners(R=%d) repeated member %d for key %d", n, m, i)
+				}
+				seen[m] = true
+			}
+		}
+	}
+}
+
+// TestRingBalance: with vnodes smoothing, primary ownership of a
+// large keyspace should be within a factor ~2 of fair for every node.
+func TestRingBalance(t *testing.T) {
+	const members, keys = 5, 50_000
+	r, err := newRing(urls(members), defaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, members)
+	var buf []int
+	for i := 0; i < keys; i++ {
+		buf = r.owners(keyHash(fmt.Sprintf("user-%d", i)), 1, buf)
+		counts[buf[0]]++
+	}
+	fair := float64(keys) / members
+	for m, c := range counts {
+		if float64(c) < fair/2 || float64(c) > fair*2 {
+			t.Errorf("member %d owns %d of %d keys; fair share %.0f (outside [0.5x, 2x])",
+				m, c, keys, fair)
+		}
+	}
+}
+
+// TestRingValidation: duplicate members and empty lists are rejected;
+// unknown self is caught by New.
+func TestRingValidation(t *testing.T) {
+	if _, err := newRing(nil, 8); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := newRing([]string{"http://a", "http://a"}, 8); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	r, err := newRing(urls(3), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.index("http://nope"); got != -1 {
+		t.Errorf("index(unknown) = %d, want -1", got)
+	}
+	if got := r.index(urls(3)[1]); got < 0 {
+		t.Errorf("index(member) = %d, want >= 0", got)
+	}
+}

@@ -10,8 +10,15 @@
 //	     -window-buckets 6 -window-interval 10m \
 //	     -ready-file /run/knwd/ready
 //
-// See the repository README ("Running knwd") for the API and curl
-// examples.
+// Cluster mode joins N such daemons into one logical service (all
+// peers must share -kind, sketch options, and -seed):
+//
+//	knwd -listen :7070 -seed 1 -replication 2 \
+//	     -self http://10.0.0.1:7070 \
+//	     -peers http://10.0.0.1:7070,http://10.0.0.2:7070,http://10.0.0.3:7070
+//
+// See the repository README ("Running knwd", "Cluster mode") for the
+// API and curl examples.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	knw "repro"
+	"repro/cluster"
 	"repro/service"
 	"repro/store"
 )
@@ -47,6 +55,9 @@ func main() {
 		winBuckets   = flag.Int("window-buckets", 0, "window ring size (0 = windowing off)")
 		winInterval  = flag.Duration("window-interval", time.Minute, "width of one window bucket")
 		readyFile    = flag.String("ready-file", "", "write the bound listen address to this file once serving (readiness probe for scripts)")
+		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster member including this node (e.g. http://10.0.0.1:7070,...); empty = single-node mode")
+		selfURL      = flag.String("self", "", "this node's own base URL, exactly as it appears in -peers (required with -peers)")
+		replication  = flag.Int("replication", 1, "cluster replicas per key, in [1, len(peers)]")
 	)
 	flag.Parse()
 
@@ -79,12 +90,31 @@ func main() {
 		opts = append(opts, knw.WithShards(*shards))
 	}
 
+	var clusterCfg *cluster.Config
+	if *peers != "" {
+		if *selfURL == "" {
+			log.Fatal("knwd: -peers requires -self (this node's own URL from the peer list)")
+		}
+		if *seed == 0 {
+			// Merging across nodes is the whole point of cluster mode, and
+			// envelopes only merge under a shared seed.
+			log.Fatal("knwd: cluster mode requires an explicit -seed shared by every peer")
+		}
+		clusterCfg = &cluster.Config{
+			Self:        *selfURL,
+			Peers:       strings.Split(*peers, ","),
+			Replication: *replication,
+			Logf:        log.Printf,
+		}
+	}
+
 	srv, err := service.New(service.Config{
 		Store: store.Config{
 			Kind:    kind,
 			Options: opts,
 			Window:  store.Window{Buckets: *winBuckets, Interval: *winInterval},
 		},
+		Cluster:         clusterCfg,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		Logf:            log.Printf,

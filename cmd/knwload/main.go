@@ -10,6 +10,14 @@
 //	knwload -addr http://127.0.0.1:7070 -workers 8 -stores 4 \
 //	        -requests 400 -batch 2000 -dist zipf -out BENCH_pr4.json
 //
+// With -cluster it drives a whole knwd cluster instead: ingest
+// requests go to POST /v1/cluster/ingest round-robin over every node
+// (so routing and replication are on the measured path), and each
+// store's estimate is judged against the scatter-gathered
+// GET /v1/cluster/estimate:
+//
+//	knwload -cluster http://127.0.0.1:7070,http://127.0.0.1:7071,http://127.0.0.1:7072
+//
 // Key streams are drawn per worker from a zipf or uniform distribution
 // over a bounded keyspace — production streams re-see hot keys, which
 // is the regime distinct counting exists for — and every drawn key id
@@ -39,6 +47,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "http://127.0.0.1:7070", "knwd base URL")
+		clusterF = flag.String("cluster", "", "comma-separated base URLs of all cluster nodes: drive POST /v1/cluster/ingest round-robin across them and judge the merged GET /v1/cluster/estimate (overrides -addr)")
 		workers  = flag.Int("workers", 8, "concurrent load workers")
 		stores   = flag.Int("stores", 4, "tenant stores to spread load across")
 		prefix   = flag.String("store-prefix", "load/tenant", "store name prefix; stores are <prefix>-<i>")
@@ -63,6 +72,16 @@ func main() {
 		log.Fatal("knwload: -workers, -stores, -requests, -batch, -keyspace must be positive")
 	}
 
+	// Cluster mode: spread ingest requests round-robin over every node's
+	// routed endpoint and judge the scatter-gathered estimate, so the
+	// truth check covers routing + replication + merge, not one store.
+	addrs := []string{*addr}
+	ingestPath, estimatePath := "/v1/ingest", "/v1/estimate"
+	if *clusterF != "" {
+		addrs = strings.Split(*clusterF, ",")
+		ingestPath, estimatePath = "/v1/cluster/ingest", "/v1/cluster/estimate"
+	}
+
 	client := &http.Client{
 		Timeout: *timeout,
 		Transport: &http.Transport{
@@ -79,7 +98,7 @@ func main() {
 		seen[i] = make([]uint64, words)
 	}
 
-	before, err := scrapeMetrics(client, *addr)
+	before, err := scrapeAll(client, addrs)
 	if err != nil {
 		log.Printf("knwload: pre-run /metrics scrape failed (continuing without server deltas): %v", err)
 	}
@@ -133,7 +152,7 @@ func main() {
 				}
 				bytesSent.Add(int64(body.Len()))
 				t0 := time.Now()
-				err := postIngest(client, *addr, names[si], *mode, body.Bytes())
+				err := postIngest(client, addrs[r%len(addrs)]+ingestPath, names[si], *mode, body.Bytes())
 				lats = append(lats, time.Since(t0).Seconds()*1e3)
 				if err != nil {
 					errCount.Add(1)
@@ -152,7 +171,7 @@ func main() {
 	}
 	sort.Float64s(lats)
 
-	after, err := scrapeMetrics(client, *addr)
+	after, err := scrapeAll(client, addrs)
 	if err != nil {
 		log.Printf("knwload: post-run /metrics scrape failed: %v", err)
 	}
@@ -162,7 +181,7 @@ func main() {
 	var sumRel, maxRel float64
 	for i, name := range names {
 		truth := popcount(seen[i])
-		est, err := fetchEstimate(client, *addr, name)
+		est, err := fetchEstimate(client, addrs[i%len(addrs)]+estimatePath, name)
 		if err != nil {
 			log.Fatalf("knwload: estimate %s: %v", name, err)
 		}
@@ -182,7 +201,7 @@ func main() {
 		Bench:     "knwload",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		Config: benchConfig{
-			Addr: *addr, Workers: *workers, Stores: *stores, Requests: *requests,
+			Addr: *addr, Cluster: *clusterF, Workers: *workers, Stores: *stores, Requests: *requests,
 			Batch: *batch, Mode: *mode, Dist: *dist, ZipfS: *zipfS,
 			Keyspace: *keyspace, Seed: *seed,
 		},
@@ -225,6 +244,7 @@ func main() {
 
 type benchConfig struct {
 	Addr     string  `json:"addr"`
+	Cluster  string  `json:"cluster,omitempty"`
 	Workers  int     `json:"workers"`
 	Stores   int     `json:"stores"`
 	Requests int     `json:"requests"`
@@ -298,8 +318,8 @@ func encodeJSONBody(buf *bytes.Buffer, store string, ids []uint64) {
 	buf.WriteString("]}")
 }
 
-func postIngest(client *http.Client, base, store, mode string, body []byte) error {
-	url := base + "/v1/ingest?store=" + store
+func postIngest(client *http.Client, endpoint, store, mode string, body []byte) error {
+	url := endpoint + "?store=" + store
 	ct := "text/plain"
 	if mode == "json" {
 		ct = "application/json"
@@ -316,8 +336,8 @@ func postIngest(client *http.Client, base, store, mode string, body []byte) erro
 	return nil
 }
 
-func fetchEstimate(client *http.Client, base, store string) (float64, error) {
-	resp, err := client.Get(base + "/v1/estimate?store=" + store)
+func fetchEstimate(client *http.Client, endpoint, store string) (float64, error) {
+	resp, err := client.Get(endpoint + "?store=" + store)
 	if err != nil {
 		return 0, err
 	}
@@ -336,6 +356,24 @@ func fetchEstimate(client *http.Client, base, store string) (float64, error) {
 		return 0, err
 	}
 	return est.AllTime, nil
+}
+
+// scrapeAll sums /metrics across every node — in cluster mode each
+// node's leaf counters only see its own ring share, so the fleet-wide
+// sum is the number comparable to the keys the client sent (replicas
+// make it R× the sent count).
+func scrapeAll(client *http.Client, addrs []string) (map[string]float64, error) {
+	total := make(map[string]float64)
+	for _, a := range addrs {
+		m, err := scrapeMetrics(client, a)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a, err)
+		}
+		for k, v := range m {
+			total[k] += v
+		}
+	}
+	return total, nil
 }
 
 // scrapeMetrics fetches /metrics and returns base-name sums: labeled
@@ -380,7 +418,11 @@ func serverDelta(before, after map[string]float64, wall time.Duration) serverSid
 	if before == nil || after == nil {
 		return serverSide{}
 	}
-	keys := after["knwd_ingest_keys_total"] - before["knwd_ingest_keys_total"]
+	// Leaf HTTP ingest keys plus cluster-locally-applied replicas (the
+	// routed slices that never cross HTTP; zero in single-node mode):
+	// in cluster mode the sum is replication × keys sent.
+	keys := after["knwd_ingest_keys_total"] - before["knwd_ingest_keys_total"] +
+		after["knwd_cluster_local_keys_total"] - before["knwd_cluster_local_keys_total"]
 	return serverSide{
 		Scraped:            true,
 		IngestKeysDelta:    keys,

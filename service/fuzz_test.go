@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"testing"
+
+	knw "repro"
+	"repro/store"
+)
+
+// FuzzIngestStream drives arbitrary bodies through the streaming
+// ingest path (both the newline scanner and the NDJSON decoder), with
+// the body delivered in adversarially small read chunks so every
+// split-read refill boundary in the scanner is exercised. Invariants:
+// the handler never panics, always answers with a JSON body, and the
+// reported ingested count never exceeds the number of keys actually
+// present in the input.
+//
+// Run with: go test -fuzz=FuzzIngestStream ./service
+func FuzzIngestStream(f *testing.F) {
+	f.Add([]byte("alice\nbob\ncarol\n"), uint8(1), false)
+	f.Add([]byte("alice\r\nbob\r\n\r\n\ntrailing-unterminated"), uint8(3), false)
+	f.Add([]byte(`{"store":"t/m","keys":["a","b","c"]}`), uint8(5), true)
+	f.Add([]byte(`{"keys":["a"]}`+"\n"+`{"store":"u/m","keys":["b","c"]}`), uint8(2), true)
+	f.Add([]byte(`{"store":"t/m","keys":["a"]}garbage`), uint8(7), true)
+	f.Add([]byte{}, uint8(1), false)
+	f.Add([]byte("\n\n\n"), uint8(1), true)
+	f.Add(bytes.Repeat([]byte{0xff, '\n'}, 300), uint8(13), false)
+
+	f.Fuzz(func(t *testing.T, body []byte, chunk uint8, jsonMode bool) {
+		srv, err := New(Config{Store: store.Config{
+			Kind: knw.KindF0,
+			Options: []knw.Option{
+				knw.WithEpsilon(0.3), knw.WithCopies(1), knw.WithK(32),
+				knw.WithUniverseBits(16), knw.WithSeed(1),
+			},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := "text/plain"
+		if jsonMode {
+			ct = "application/json"
+		}
+		req := httptest.NewRequest("POST", "/v1/ingest?store=fuzz/t", &chunkReader{
+			data: body,
+			n:    int(chunk)%31 + 1,
+		})
+		req.Header.Set("Content-Type", ct)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req) // must not panic
+
+		var resp struct {
+			Ingested *int `json:"ingested"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("non-JSON response (HTTP %d): %q", rec.Code, rec.Body.Bytes())
+		}
+		if resp.Ingested == nil {
+			t.Fatalf("response missing ingested count (HTTP %d): %q", rec.Code, rec.Body.Bytes())
+		}
+		var limit int
+		if jsonMode {
+			limit = countJSONKeys(body)
+		} else {
+			limit = countLineKeys(body)
+		}
+		if *resp.Ingested > limit {
+			t.Fatalf("ingested %d > %d keys sent (json=%v, HTTP %d)",
+				*resp.Ingested, limit, jsonMode, rec.Code)
+		}
+	})
+}
+
+// chunkReader delivers its data at most n bytes per Read — the
+// split-read torture the streaming scanner must survive.
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := min(r.n, min(len(p), len(r.data)))
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// countLineKeys counts the non-empty newline-delimited keys in body,
+// mirroring the scanner's semantics (CR trimmed, final unterminated
+// line counts).
+func countLineKeys(body []byte) int {
+	n := 0
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(trimCR(line)) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// countJSONKeys upper-bounds the keys a JSON body can deliver: the sum
+// over every decodable document. The handler stops at the first bad
+// document, so its count can only be lower.
+func countJSONKeys(body []byte) int {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	n := 0
+	for {
+		var req ingestRequest
+		err := dec.Decode(&req)
+		if errors.Is(err, io.EOF) || err != nil {
+			return n
+		}
+		n += len(req.Keys)
+	}
+}

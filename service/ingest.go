@@ -7,9 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
 	"sync"
 
+	"repro/internal/httpx"
 	"repro/store"
 )
 
@@ -36,10 +36,9 @@ const (
 	ingestBatchKeys = 4096
 	// ingestChunkBytes is the pooled read-buffer size.
 	ingestChunkBytes = 64 << 10
-	// maxKeyBytes caps one newline-delimited key; a line longer than
-	// this fails the request rather than growing the buffer without
-	// bound.
-	maxKeyBytes = 1 << 20
+	// maxKeyBytes caps one newline-delimited key (shared with the
+	// cluster router's scanner; see internal/httpx).
+	maxKeyBytes = httpx.MaxKeyBytes
 )
 
 // ingestScanner is the pooled per-request scan state.
@@ -75,9 +74,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ingestLines(w, r, name)
 }
 
-func isJSON(contentType string) bool {
-	return strings.HasPrefix(contentType, "application/json")
-}
+func isJSON(contentType string) bool { return httpx.IsJSON(contentType) }
 
 // ingestLines streams a newline-delimited body into the named store.
 func (s *Server) ingestLines(w http.ResponseWriter, r *http.Request, name string) {

@@ -16,9 +16,13 @@
 //	POST /v1/merge     body = a peer sketch envelope; folds it into the
 //	                   named store (409 on kind/settings mismatch)
 //	GET  /v1/snapshot  → the named store's envelope bytes
+//	                   (&scope=window: the live window ring's union)
 //	PUT  /v1/snapshot  body = an envelope; replaces the named store's
 //	                   all-time sketch (409 on mismatch)
 //	GET  /v1/stores    → JSON {"stores": [...], "kind": "..."}
+//	POST /v1/cluster/ingest    cluster mode: route keys to ring owners
+//	GET  /v1/cluster/estimate  cluster mode: scatter-gather union
+//	GET  /v1/cluster/info      cluster mode: membership and settings
 //	GET  /metrics      → Prometheus text exposition (service + store
 //	                   instruments; see internal/metrics)
 //	GET  /healthz      → 200 once serving
@@ -27,7 +31,6 @@ package service
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -36,14 +39,15 @@ import (
 	"time"
 
 	knw "repro"
+	"repro/cluster"
+	"repro/internal/httpx"
 	"repro/internal/metrics"
 	"repro/store"
 )
 
-// maxBodyBytes bounds any request body (key batches, envelopes): a
-// merge of a large sharded sketch fits comfortably; unbounded uploads
-// do not.
-const maxBodyBytes = 64 << 20
+// maxBodyBytes bounds any request body; shared with the cluster
+// router so the routed and leaf ingest paths can never drift apart.
+const maxBodyBytes = httpx.MaxBodyBytes
 
 // Config configures a Server.
 type Config struct {
@@ -66,18 +70,26 @@ type Config struct {
 	// address right after Run's net.Listen succeeds — the readiness
 	// hook behind knwd's -ready-file flag.
 	OnListen func(net.Addr)
+	// Cluster, when non-nil, mounts the /v1/cluster/... routes: this
+	// node joins the described static cluster, routing ingested keys to
+	// their ring owners and scatter-gathering estimates (see package
+	// cluster). The plain /v1/ingest route stays strictly local — it is
+	// the leaf API cluster forwarding itself targets, so routed traffic
+	// can never loop.
+	Cluster *cluster.Config
 }
 
 // Server is the knwd HTTP service: a store, its handlers, and the
 // checkpoint loop.
 type Server struct {
-	cfg   Config
-	st    *store.Store
-	mux   *http.ServeMux
-	reg   *metrics.Registry
-	met   serviceMetrics
-	bufs  sync.Pool // pooled request-body scratch (merge, restore)
-	snaps sync.Pool // pooled *[]byte envelope scratch for snapshot responses
+	cfg    Config
+	st     *store.Store
+	mux    *http.ServeMux
+	reg    *metrics.Registry
+	met    serviceMetrics
+	router *cluster.Router // non-nil iff Config.Cluster was given
+	bufs   sync.Pool       // pooled request-body scratch (merge, restore)
+	snaps  sync.Pool       // pooled *[]byte envelope scratch for snapshot responses
 }
 
 // New builds a Server and, when a checkpoint directory is configured,
@@ -122,8 +134,22 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
+	if cfg.Cluster != nil {
+		rt, err := cluster.New(*cfg.Cluster, st, cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.router = rt
+		s.handle("POST /v1/cluster/ingest", "/v1/cluster/ingest", rt.HandleIngest)
+		s.handle("GET /v1/cluster/estimate", "/v1/cluster/estimate", rt.HandleEstimate)
+		s.handle("GET /v1/cluster/info", "/v1/cluster/info", rt.HandleInfo)
+	}
 	return s, nil
 }
+
+// Cluster returns the node's cluster router (nil on single-node
+// servers) — in-process access for tests and embeddings.
+func (s *Server) Cluster() *cluster.Router { return s.router }
 
 // Metrics exposes the registry (embedding, tests).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
@@ -230,7 +256,19 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	// request instead of reallocating the envelope each time.
 	p := s.snaps.Get().(*[]byte)
 	defer s.snaps.Put(p)
-	env, err := s.st.Snapshot(r.URL.Query().Get("store"), (*p)[:0])
+	var env []byte
+	var err error
+	switch scope := r.URL.Query().Get("scope"); scope {
+	case "", "all":
+		env, err = s.st.Snapshot(r.URL.Query().Get("store"), (*p)[:0])
+	case "window":
+		// The union-of-the-live-ring envelope: what cluster peers gather
+		// to serve windowed estimates without shipping bucket state.
+		env, err = s.st.WindowSnapshot(r.URL.Query().Get("store"), (*p)[:0])
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown snapshot scope %q", scope))
+		return
+	}
 	if err != nil {
 		s.failStore(w, err)
 		return
@@ -286,17 +324,9 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer
 	return buf, true
 }
 
-// readStatus maps a request-body read failure to a status: oversize
-// bodies are 413, every other mid-stream failure (client abort,
-// truncated chunked encoding, malformed JSON) is a 400 — always with a
-// JSON error body, never a bare 500.
-func readStatus(err error) int {
-	var tooLarge *http.MaxBytesError
-	if errors.As(err, &tooLarge) {
-		return http.StatusRequestEntityTooLarge
-	}
-	return http.StatusBadRequest
-}
+// readStatus maps a request-body read failure to a status (shared
+// with the cluster router; see internal/httpx).
+func readStatus(err error) int { return httpx.ReadStatus(err) }
 
 // storeStatus maps store/knw errors to status codes: unknown stores
 // are 404, kind/settings mismatches (foreign envelopes) are 409,
@@ -317,11 +347,9 @@ func (s *Server) failStore(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
-	s.reply(w, status, map[string]any{"error": err.Error()})
+	httpx.Fail(w, status, err)
 }
 
 func (s *Server) reply(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	httpx.Reply(w, status, v)
 }

@@ -1,0 +1,139 @@
+package knw_test
+
+// Statistical acceptance test for the paper's headline guarantee:
+//
+//	Pr[ |estimate − F0| > ε·F0 ] ≤ δ
+//
+// Nothing else in the suite checks the (ε, δ) form directly — the
+// accuracy tests assert single pinned-seed runs land inside a band,
+// which can neither detect a miscalibrated failure probability nor a
+// subtly biased estimator. Here we run each sketch across many
+// independent seeds and compare the *empirical failure rate* against
+// δ, with binomial slack so the test is deterministic to run yet
+// sharp enough that a real calibration bug trips it: the observed
+// failure count of a correct sketch is far below the δ·N budget
+// (median-of-copies amplification overshoots), while an estimator
+// whose error rate actually exceeds δ lands above budget + 3σ with
+// overwhelming probability. (Harness sanity was checked during
+// development by deliberately biasing estimates by (1+2ε), which
+// fails every table row.)
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	knw "repro"
+)
+
+// statTrials is the number of independent sketch seeds per table row.
+const statTrials = 200
+
+// statSettings are the (ε, δ) rows the guarantee is checked at.
+var statSettings = []struct{ eps, delta float64 }{
+	{0.10, 0.05},
+	{0.15, 0.10},
+	{0.20, 0.02},
+}
+
+// failureBudget is the largest acceptable failure count for N trials
+// at failure probability δ: the mean δ·N plus three binomial standard
+// deviations. A correct estimator's rate sits well under δ; one whose
+// true rate exceeds δ overshoots this bound with probability → 1.
+func failureBudget(trials int, delta float64) int {
+	n := float64(trials)
+	return int(math.Floor(delta*n + 3*math.Sqrt(n*delta*(1-delta))))
+}
+
+// TestEpsilonDeltaGuaranteeF0: for each (ε, δ) row, the fraction of
+// 200 independent F0 sketches estimating outside (1 ± ε)·F0 must stay
+// within the δ budget. The stream (including duplicates) is identical
+// across trials; independence comes entirely from the sketch seeds,
+// exactly the probability space the theorem quantifies over.
+func TestEpsilonDeltaGuaranteeF0(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep skipped in -short mode")
+	}
+	const truth = 3000
+	keys := make([]uint64, 0, truth+truth/2)
+	for i := uint64(0); i < truth; i++ {
+		keys = append(keys, i)
+	}
+	for i := uint64(0); i < truth/2; i++ { // duplicates: distinctness, not counting
+		keys = append(keys, i)
+	}
+	for _, s := range statSettings {
+		s := s
+		t.Run(fmt.Sprintf("eps=%g_delta=%g", s.eps, s.delta), func(t *testing.T) {
+			failures := 0
+			for trial := 0; trial < statTrials; trial++ {
+				sk := knw.NewF0(
+					knw.WithEpsilon(s.eps), knw.WithDelta(s.delta),
+					knw.WithSeed(int64(1000*trial+7)),
+				)
+				sk.AddBatch(keys)
+				est := sk.Estimate()
+				if math.IsNaN(est) || math.Abs(est-truth) > s.eps*truth {
+					failures++
+				}
+			}
+			if budget := failureBudget(statTrials, s.delta); failures > budget {
+				t.Errorf("F0(ε=%g, δ=%g): %d/%d estimates outside (1±ε)·F0; budget %d (δ·N+3σ) — (ε,δ) guarantee violated",
+					s.eps, s.delta, failures, statTrials, budget)
+			} else {
+				t.Logf("F0(ε=%g, δ=%g): %d/%d failures (budget %d)",
+					s.eps, s.delta, failures, statTrials, budget)
+			}
+		})
+	}
+}
+
+// TestEpsilonDeltaGuaranteeL0 is the turnstile counterpart: streams
+// with real deletions, truth = the number of keys whose net frequency
+// is non-zero. Every trial inserts truth+removed keys and fully
+// deletes `removed` of them, so the sketch must see through the
+// deletions to pass.
+func TestEpsilonDeltaGuaranteeL0(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep skipped in -short mode")
+	}
+	const (
+		truth   = 2000
+		removed = 500
+	)
+	inserted := make([]uint64, 0, truth+removed)
+	for i := uint64(0); i < truth+removed; i++ {
+		inserted = append(inserted, i)
+	}
+	deleted := make([]uint64, 0, removed)
+	negOnes := make([]int64, 0, removed)
+	for i := uint64(truth); i < truth+removed; i++ {
+		deleted = append(deleted, i)
+		negOnes = append(negOnes, -1)
+	}
+	for _, s := range statSettings {
+		s := s
+		t.Run(fmt.Sprintf("eps=%g_delta=%g", s.eps, s.delta), func(t *testing.T) {
+			failures := 0
+			for trial := 0; trial < statTrials; trial++ {
+				sk := knw.NewL0(
+					knw.WithEpsilon(s.eps), knw.WithDelta(s.delta),
+					knw.WithSeed(int64(1000*trial+13)),
+				)
+				sk.UpdateBatch(inserted, nil) // all +1
+				sk.UpdateBatch(deleted, negOnes)
+				est := sk.Estimate()
+				if math.IsNaN(est) || math.Abs(est-truth) > s.eps*truth {
+					failures++
+				}
+			}
+			if budget := failureBudget(statTrials, s.delta); failures > budget {
+				t.Errorf("L0(ε=%g, δ=%g): %d/%d estimates outside (1±ε)·L0; budget %d (δ·N+3σ) — (ε,δ) guarantee violated",
+					s.eps, s.delta, failures, statTrials, budget)
+			} else {
+				t.Logf("L0(ε=%g, δ=%g): %d/%d failures (budget %d)",
+					s.eps, s.delta, failures, statTrials, budget)
+			}
+		})
+	}
+}

@@ -128,12 +128,36 @@ func (e *entry) appendCheckpoint(w *binenc.Writer, name string) error {
 // frames into the file buffer.
 var envBufs = sync.Pool{New: func() any { return new([]byte) }}
 
+// ErrCorruptCheckpoint is wrapped by every LoadCheckpoint failure that
+// stems from truncated or malformed checkpoint bytes (as opposed to a
+// kind/options/seed mismatch, which wraps knw.ErrIncompatible).
+// Callers test for it with errors.Is to distinguish "the file is
+// damaged, restore from a replica" from "this daemon is configured
+// differently from the one that wrote the file".
+var ErrCorruptCheckpoint = errors.New("store: corrupt checkpoint")
+
+// ckptEntry is one fully decoded, validated checkpoint entry, staged
+// before installation so a failure partway through the file never
+// leaves a partially restored registry behind.
+type ckptEntry struct {
+	name     string
+	total    knw.Estimator
+	windowed bool
+	started  bool
+	epoch    int64
+	cur      int
+	buckets  []knw.Estimator // nil when the ring is dropped (shape changed)
+}
+
 // LoadCheckpoint restores the checkpoint written by Checkpoint into
 // the store, replacing any same-named entries. A missing checkpoint
-// file is not an error (the store simply starts empty); a checkpoint
-// whose sketches mismatch the store's kind/options/seed returns an
-// error wrapping knw.ErrIncompatible, and corrupt bytes a decode
-// error — never a panic. It returns the number of entries restored.
+// file is not an error (the store simply starts empty). Loading is
+// all-or-nothing: the whole file is decoded and validated before any
+// entry is installed, so a truncated or bit-flipped checkpoint returns
+// an error wrapping ErrCorruptCheckpoint (or knw.ErrIncompatible for
+// mismatched sketch configurations) and leaves the store exactly as it
+// was — never a partial registry, never a panic. It returns the number
+// of entries restored.
 //
 // Window rings restore only when the store's window config matches the
 // file's bucket count; otherwise the entry keeps its all-time sketch
@@ -146,88 +170,135 @@ func (s *Store) LoadCheckpoint(dir string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	staged, err := s.decodeCheckpoint(data)
+	if err != nil {
+		return 0, err
+	}
+	for i := range staged {
+		s.installEntry(&staged[i])
+	}
+	return len(staged), nil
+}
+
+// decodeCheckpoint decodes and validates every entry of a checkpoint
+// file without touching the registry.
+func (s *Store) decodeCheckpoint(data []byte) ([]ckptEntry, error) {
 	r := binenc.Reader{Buf: data}
 	r.Expect(ckptMagic, "checkpoint magic")
 	if v := r.Uvarint(); r.Err() == nil && v != ckptVersion {
-		return 0, fmt.Errorf("store: unsupported checkpoint version %d", v)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptCheckpoint, v)
 	}
 	count := r.Uvarint()
 	if err := r.Err(); err != nil {
-		return 0, fmt.Errorf("store: corrupt checkpoint header: %w", err)
+		return nil, fmt.Errorf("%w: bad header: %v", ErrCorruptCheckpoint, err)
 	}
 	if count > 1<<20 {
-		return 0, fmt.Errorf("store: checkpoint claims %d entries", count)
+		return nil, fmt.Errorf("%w: header claims %d entries", ErrCorruptCheckpoint, count)
 	}
-	restored := 0
+	staged := make([]ckptEntry, 0, count)
+	prev := ""
 	for i := uint64(0); i < count; i++ {
-		if err := s.loadEntry(&r); err != nil {
-			return restored, err
+		ent, err := s.decodeEntry(&r)
+		if err != nil {
+			return nil, err
 		}
-		restored++
+		// Checkpoint writes entries in sorted name order, so anything
+		// else (duplicates included) is damage, not data.
+		if i > 0 && ent.name <= prev {
+			return nil, fmt.Errorf("%w: entry %q out of order after %q", ErrCorruptCheckpoint, ent.name, prev)
+		}
+		prev = ent.name
+		staged = append(staged, ent)
 	}
 	if err := r.Err(); err != nil {
-		return restored, fmt.Errorf("store: corrupt checkpoint: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
 	}
 	if len(r.Buf) != 0 {
-		return restored, fmt.Errorf("store: %d trailing bytes in checkpoint", len(r.Buf))
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptCheckpoint, len(r.Buf))
 	}
-	return restored, nil
+	return staged, nil
 }
 
-// loadEntry decodes and installs one checkpoint entry.
-func (s *Store) loadEntry(r *binenc.Reader) error {
-	name := string(r.BytesView())
+// decodeEntry decodes and validates one checkpoint entry.
+func (s *Store) decodeEntry(r *binenc.Reader) (ckptEntry, error) {
+	var ent ckptEntry
+	ent.name = string(r.BytesView())
 	envTotal := r.BytesView()
-	windowed := r.Bool()
+	ent.windowed = r.Bool()
 	if err := r.Err(); err != nil {
-		return fmt.Errorf("store: corrupt checkpoint entry: %w", err)
+		return ent, fmt.Errorf("%w: bad entry frame: %v", ErrCorruptCheckpoint, err)
+	}
+	if err := ValidateName(ent.name); err != nil {
+		return ent, fmt.Errorf("%w: entry name: %v", ErrCorruptCheckpoint, err)
 	}
 	total, err := s.openCompatible(envTotal)
 	if err != nil {
-		return fmt.Errorf("store: checkpoint entry %q: %w", name, err)
+		return ent, wrapEntryErr(ent.name, err)
 	}
-	e, err := s.lookup(name, true)
-	if err != nil {
-		return err
+	ent.total = total
+	if !ent.windowed {
+		return ent, nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.total = total
-	e.keyed = knw.NewKeyed[string](&fanout{e: e})
-	if !windowed {
-		return nil
-	}
-	started := r.Bool()
-	epoch := r.Varint()
+	ent.started = r.Bool()
+	ent.epoch = r.Varint()
 	cur := r.Uvarint()
 	buckets := r.Uvarint()
 	if err := r.Err(); err != nil {
-		return fmt.Errorf("store: corrupt checkpoint window header for %q: %w", name, err)
+		return ent, fmt.Errorf("%w: bad window header for %q: %v", ErrCorruptCheckpoint, ent.name, err)
 	}
 	if buckets > 1024 || cur >= max(buckets, 1) {
-		return fmt.Errorf("store: corrupt checkpoint window header for %q", name)
+		return ent, fmt.Errorf("%w: bad window header for %q", ErrCorruptCheckpoint, ent.name)
 	}
-	restore := e.window != nil && uint64(len(e.window.buckets)) == buckets
+	ent.cur = int(cur)
+	restore := s.cfg.Window.enabled() && uint64(s.cfg.Window.Buckets) == buckets
+	if restore {
+		ent.buckets = make([]knw.Estimator, 0, buckets)
+	}
 	for i := uint64(0); i < buckets; i++ {
 		env := r.BytesView()
 		if err := r.Err(); err != nil {
-			return fmt.Errorf("store: corrupt checkpoint window for %q: %w", name, err)
+			return ent, fmt.Errorf("%w: bad window frame for %q: %v", ErrCorruptCheckpoint, ent.name, err)
 		}
 		if !restore {
 			continue // window config changed; drop the saved ring
 		}
 		b, err := s.openCompatible(env)
 		if err != nil {
-			return fmt.Errorf("store: checkpoint window bucket for %q: %w", name, err)
+			return ent, wrapEntryErr(ent.name, err)
 		}
-		e.window.buckets[i] = b
+		ent.buckets = append(ent.buckets, b)
 	}
-	if restore {
-		e.window.started = started
-		e.window.epoch = epoch
-		e.window.cur = int(cur)
+	return ent, nil
+}
+
+// wrapEntryErr classifies an envelope-open failure: configuration
+// mismatches keep their knw.ErrIncompatible identity, everything else
+// (undecodable bytes) is corruption.
+func wrapEntryErr(name string, err error) error {
+	if errors.Is(err, knw.ErrIncompatible) {
+		return fmt.Errorf("store: checkpoint entry %q: %w", name, err)
 	}
-	return nil
+	return fmt.Errorf("%w: entry %q: %v", ErrCorruptCheckpoint, name, err)
+}
+
+// installEntry swaps a staged checkpoint entry into the registry.
+func (s *Store) installEntry(ent *ckptEntry) {
+	e, err := s.lookup(ent.name, true)
+	if err != nil {
+		// decodeEntry validated the name; lookup cannot fail here.
+		panic("store: installing validated checkpoint entry: " + err.Error())
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.total = ent.total
+	e.keyed = knw.NewKeyed[string](&fanout{e: e})
+	if ent.buckets == nil || e.window == nil {
+		return
+	}
+	copy(e.window.buckets, ent.buckets)
+	e.window.started = ent.started
+	e.window.epoch = ent.epoch
+	e.window.cur = ent.cur
 }
 
 // openCompatible opens an envelope and verifies it matches the store's

@@ -1,0 +1,175 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	knw "repro"
+)
+
+// writeCheckpointBytes drops raw bytes where LoadCheckpoint will look.
+func writeCheckpointBytes(t *testing.T, data []byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, CheckpointFile), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// realCheckpoint builds a store with several entries (one windowed
+// ring mid-rotation) and returns its checkpoint bytes plus the config
+// that can read them back. The sketches are deliberately tiny (one
+// 32-counter copy): the corruption sweep below reloads the file once
+// per flipped bit position, so file size is the test's running time.
+func realCheckpoint(t *testing.T) ([]byte, Config, map[string]Estimate) {
+	t.Helper()
+	now := time.Unix(1_700_000_000, 0)
+	cfg := Config{
+		Kind: knw.KindF0,
+		Options: []knw.Option{
+			knw.WithEpsilon(0.3), knw.WithCopies(1), knw.WithK(32),
+			knw.WithUniverseBits(16), knw.WithSeed(1),
+		},
+		Window: Window{Buckets: 3, Interval: time.Minute},
+		Now:    func() time.Time { return now },
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"a/m", "b/m", "c/m"} {
+		if err := s.Ingest(name, keys(name, 0, 500*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = now.Add(time.Minute)
+	if err := s.Ingest("a/m", keys("late", 0, 200)); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := s.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, CheckpointFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Estimate{}
+	for _, name := range s.Names() {
+		want[name], _ = s.Estimate(name)
+	}
+	return data, cfg, want
+}
+
+// TestLoadCheckpointTruncated: every truncation of a real checkpoint
+// must fail with the typed corruption error and leave the registry
+// completely empty — no partially restored entries, ever.
+func TestLoadCheckpointTruncated(t *testing.T) {
+	data, cfg, _ := realCheckpoint(t)
+	cuts := []int{0, 1, 2, len(data) / 4, len(data) / 2, 3 * len(data) / 4, len(data) - 1}
+	for _, cut := range cuts {
+		dir := writeCheckpointBytes(t, data[:cut])
+		fresh, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := fresh.LoadCheckpoint(dir)
+		if err == nil {
+			t.Errorf("truncation to %d/%d bytes loaded cleanly", cut, len(data))
+			continue
+		}
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Errorf("truncation to %d bytes: error not typed ErrCorruptCheckpoint: %v", cut, err)
+		}
+		if n != 0 || fresh.Len() != 0 {
+			t.Errorf("truncation to %d bytes: partial registry survived (n=%d, Len=%d): %v",
+				cut, n, fresh.Len(), fresh.Names())
+		}
+	}
+
+	// Trailing garbage is corruption too, not silently ignored.
+	dir := writeCheckpointBytes(t, append(append([]byte{}, data...), 0xEE, 0xEE))
+	fresh, _ := New(cfg)
+	if _, err := fresh.LoadCheckpoint(dir); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("trailing bytes: got %v, want ErrCorruptCheckpoint", err)
+	}
+	if fresh.Len() != 0 {
+		t.Errorf("trailing bytes: partial registry survived (Len=%d)", fresh.Len())
+	}
+}
+
+// TestLoadCheckpointBitFlips: flipping any single bit of a real
+// checkpoint either still decodes to a complete registry (flips inside
+// counter state change values, not structure) or fails atomically with
+// a typed error and an untouched store — never a partial registry,
+// never a panic, never an untyped error.
+func TestLoadCheckpointBitFlips(t *testing.T) {
+	data, cfg, _ := realCheckpoint(t)
+	// Every 13th byte keeps the sweep dense but the test fast; the
+	// stride is coprime with the varint framing so flips land in
+	// headers, name frames, envelope frames, and sketch payloads alike.
+	for pos := 0; pos < len(data); pos += 13 {
+		for _, mask := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), data...)
+			mut[pos] ^= mask
+			dir := writeCheckpointBytes(t, mut)
+			fresh, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := fresh.LoadCheckpoint(dir)
+			if err == nil {
+				if n != 3 || fresh.Len() != 3 {
+					t.Fatalf("flip at %d/%#02x: clean load but registry has %d/%d entries",
+						pos, mask, n, fresh.Len())
+				}
+				continue
+			}
+			if !errors.Is(err, ErrCorruptCheckpoint) && !errors.Is(err, knw.ErrIncompatible) {
+				t.Errorf("flip at %d/%#02x: untyped error %v", pos, mask, err)
+			}
+			if n != 0 || fresh.Len() != 0 {
+				t.Errorf("flip at %d/%#02x: partial registry survived (n=%d, Len=%d)",
+					pos, mask, n, fresh.Len())
+			}
+		}
+	}
+}
+
+// TestLoadCheckpointReplacesCleanly: a successful load over a store
+// that already has entries replaces the same-named ones (the restart
+// path New takes), proving staging installs everything it decoded.
+func TestLoadCheckpointReplacesCleanly(t *testing.T) {
+	data, cfg, want := realCheckpoint(t)
+	dir := writeCheckpointBytes(t, data)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest("a/m", keys("pre", 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || s.Len() != 3 {
+		t.Fatalf("restored %d entries into Len()=%d, want 3/3", n, s.Len())
+	}
+	// Restores are byte-exact sketch replacements: every estimate
+	// (window state included) matches the checkpointed store, and a/m's
+	// 50 pre-load keys are gone, not merged in.
+	for name, w := range want {
+		got, err := s.Estimate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("%s: restored estimate %+v != checkpointed %+v", name, got, w)
+		}
+	}
+}

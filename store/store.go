@@ -25,6 +25,10 @@ import (
 // been written.
 var ErrNotFound = errors.New("store: unknown store")
 
+// ErrNotWindowed is returned by WindowSnapshot on stores built without
+// a window configuration.
+var ErrNotWindowed = errors.New("store: store is not windowed")
+
 // registryShards is the shard count of the name→entry map. Entry
 // lookup is a read-lock on one shard; only first-write creation takes
 // a write lock.
@@ -383,6 +387,28 @@ func (s *Store) Snapshot(name string, buf []byte) ([]byte, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return appendSketch(buf, e.total)
+}
+
+// WindowSnapshot appends the union of name's live window ring as a
+// single self-describing envelope — the windowed counterpart of
+// Snapshot. A peer merges it like any other envelope, so cluster
+// scatter-gather can union windowed estimates across nodes without
+// shipping the full per-bucket ring state (which only checkpoints
+// need). The ring is rotated to the store clock first, so the envelope
+// never contains expired buckets. It returns ErrNotWindowed for
+// unwindowed stores and ErrNotFound for never-written names.
+func (s *Store) WindowSnapshot(name string, buf []byte) ([]byte, error) {
+	e, err := s.lookup(name, false)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.window == nil {
+		return nil, fmt.Errorf("%w (%q)", ErrNotWindowed, name)
+	}
+	s.met.rotations.Add(uint64(e.window.rotate(s.now())))
+	return appendSketch(buf, e.window.merged())
 }
 
 // Restore replaces name's all-time sketch with the envelope's,

@@ -88,9 +88,10 @@ func (w *windowRing) recycle(i int) {
 	w.buckets[i] = w.fresh()
 }
 
-// estimate merges the live ring into the scratch sketch and reports
-// its estimate — the distinct count over the trailing window.
-func (w *windowRing) estimate() float64 {
+// merged folds the live ring into the scratch sketch and returns it —
+// the union sketch over the trailing window. The scratch is reused
+// across calls and is only valid until the next merged call.
+func (w *windowRing) merged() knw.Estimator {
 	if w.scratch == nil {
 		w.scratch = w.fresh()
 	}
@@ -106,8 +107,11 @@ func (w *windowRing) estimate() float64 {
 			panic("store: window bucket diverged from ring: " + err.Error())
 		}
 	}
-	return w.scratch.Estimate()
+	return w.scratch
 }
+
+// estimate reports the distinct count over the trailing window.
+func (w *windowRing) estimate() float64 { return w.merged().Estimate() }
 
 // spaceBits sums the ring's accounted state.
 func (w *windowRing) spaceBits() int {

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	knw "repro"
+)
+
+// Window-ring edge cases: rotation landing exactly on a bucket
+// boundary, the clock stepping backwards, and gaps long enough to
+// expire every bucket. All drive the ring through the store with a
+// fake clock; bucket occupancy is asserted through the windowed
+// estimate and the rotation counter.
+
+// windowTestStore builds a windowed store whose clock the test owns.
+// The returned setter moves absolute time (in intervals from epoch 0).
+func windowTestStore(t *testing.T, buckets int, interval time.Duration) (*Store, func(float64)) {
+	t.Helper()
+	// Start exactly ON a bucket boundary so "landing on a boundary"
+	// cases are exercised by integer steps.
+	base := time.Unix(0, 0).Add(1_000_000 * interval)
+	now := base
+	cfg := Config{
+		Kind:    knw.KindF0,
+		Options: []knw.Option{knw.WithEpsilon(0.05), knw.WithSeed(1)},
+		Window:  Window{Buckets: buckets, Interval: interval},
+		Now:     func() time.Time { return now },
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, func(intervals float64) {
+		now = base.Add(time.Duration(intervals * float64(interval)))
+	}
+}
+
+// step is one scripted action against the windowed store.
+type step struct {
+	at         float64 // clock position, in intervals since the base boundary
+	ingest     []string
+	wantWindow float64 // expected windowed estimate after the action (-1: skip)
+	tol        float64 // relative tolerance on wantWindow (0 means exact)
+}
+
+func runSteps(t *testing.T, buckets int, steps []step) {
+	t.Helper()
+	s, setClock := windowTestStore(t, buckets, time.Minute)
+	for i, st := range steps {
+		setClock(st.at)
+		if st.ingest != nil {
+			if err := s.Ingest("t/m", st.ingest); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+		if st.wantWindow < 0 {
+			continue
+		}
+		est, err := s.Estimate("t/m")
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if st.tol == 0 {
+			if est.Window != st.wantWindow {
+				t.Fatalf("step %d (t=%.2f): window = %.1f, want exactly %.1f",
+					i, st.at, est.Window, st.wantWindow)
+			}
+			continue
+		}
+		within(t, "window estimate", est.Window, st.wantWindow, st.tol)
+	}
+}
+
+// TestWindowBoundaryRotation: ingests landing exactly on bucket
+// boundaries go to the NEW bucket (epoch semantics: a boundary instant
+// belongs to the interval it opens), and each boundary crossing
+// advances the ring by exactly one bucket.
+func TestWindowBoundaryRotation(t *testing.T) {
+	runSteps(t, 3, []step{
+		// t=0: exactly on a boundary; first write starts the ring.
+		{at: 0, ingest: keys("a", 0, 1000), wantWindow: 1000, tol: 0.25},
+		// t=1.0 exactly: one rotation; both buckets live.
+		{at: 1.0, ingest: keys("b", 0, 1000), wantWindow: 2000, tol: 0.25},
+		// t=2.0 exactly: second rotation; three buckets live (ring full).
+		{at: 2.0, ingest: keys("c", 0, 1000), wantWindow: 3000, tol: 0.25},
+		// t=3.0 exactly: the ring wraps — bucket "a" is recycled, so the
+		// window drops to b+c+d.
+		{at: 3.0, ingest: keys("d", 0, 1000), wantWindow: 3000, tol: 0.25},
+		// Still inside interval 3 (t=3.999…): no further rotation, "b"
+		// still live.
+		{at: 3.9999, ingest: keys("e", 0, 1000), wantWindow: 4000, tol: 0.25},
+		// t=4.0 exactly: "b" expires.
+		{at: 4.0, wantWindow: 3000, tol: 0.25},
+	})
+}
+
+// TestWindowClockBackwards: a clock step backwards must not rotate,
+// must not resurrect expired buckets, and the ring must pick up where
+// it left off once the clock passes its high-water mark again.
+func TestWindowClockBackwards(t *testing.T) {
+	runSteps(t, 3, []step{
+		{at: 0, ingest: keys("a", 0, 1000), wantWindow: 1000, tol: 0.25},
+		{at: 1.0, ingest: keys("b", 0, 1000), wantWindow: 2000, tol: 0.25},
+		// Clock jumps 2 intervals back (NTP step, VM resume). Writes keep
+		// landing in the CURRENT bucket; nothing rotates, nothing expires.
+		{at: -1.0, ingest: keys("c", 0, 1000), wantWindow: 3000, tol: 0.25},
+		// Still behind the high-water mark: same story.
+		{at: 0.5, ingest: keys("d", 0, 500), wantWindow: 3500, tol: 0.25},
+		// Clock recovers past the mark: exactly one rotation (epoch 1→2),
+		// everything written during the rewind is in the bucket that was
+		// current the whole time — the window keeps all 4000 keys.
+		{at: 2.0, ingest: keys("e", 0, 500), wantWindow: 4000, tol: 0.25},
+		// Two more intervals: the pre-rewind bucket "a" and the rewind
+		// bucket (b+c+d) expire; only e's and later buckets remain.
+		{at: 4.0, wantWindow: 500, tol: 0.3},
+	})
+}
+
+// TestWindowFullExpiry: gaps of exactly N, more than N, and hugely
+// more than N intervals all drain the whole window (and only the
+// window — the all-time total survives), without over-rotating.
+func TestWindowFullExpiry(t *testing.T) {
+	cases := []struct {
+		name string
+		gap  float64 // intervals between last write and the read
+	}{
+		{"exactly N", 3.0},
+		{"N plus one", 4.0},
+		{"enormous gap", 1e6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, setClock := windowTestStore(t, 3, time.Minute)
+			if err := s.Ingest("t/m", keys("a", 0, 2000)); err != nil {
+				t.Fatal(err)
+			}
+			setClock(tc.gap)
+			est, err := s.Estimate("t/m")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.Window != 0 {
+				t.Fatalf("window after %s gap = %.1f, want exactly 0", tc.name, est.Window)
+			}
+			within(t, "all-time survives expiry", est.AllTime, 2000, 0.25)
+
+			// The drained ring keeps working: a fresh write is visible.
+			if err := s.Ingest("t/m", keys("b", 0, 300)); err != nil {
+				t.Fatal(err)
+			}
+			est, _ = s.Estimate("t/m")
+			within(t, "window after re-ingest", est.Window, 300, 0.3)
+		})
+	}
+}
+
+// TestWindowRotationCounter: the rotation metric advances by exactly
+// the number of recycled buckets — one per elapsed interval, capped at
+// the ring size for long gaps, zero for backwards steps.
+func TestWindowRotationCounter(t *testing.T) {
+	ring := newWindowRing(Window{Buckets: 3, Interval: time.Minute}, func() knw.Estimator {
+		return knw.NewF0(knw.WithEpsilon(0.3), knw.WithCopies(1), knw.WithSeed(1))
+	})
+	at := func(iv int64) time.Time { return time.Unix(0, iv*int64(time.Minute)) }
+	steps := []struct {
+		iv   int64
+		want int
+	}{
+		{100, 0},  // first observation starts the ring, no recycling
+		{100, 0},  // same interval
+		{101, 1},  // boundary crossing
+		{99, 0},   // backwards: no rotation
+		{101, 0},  // back to the high-water interval: still nothing new
+		{104, 3},  // +3 intervals
+		{1000, 3}, // gap ≫ N: capped at ring size
+	}
+	for i, st := range steps {
+		if got := ring.rotate(at(st.iv)); got != st.want {
+			t.Fatalf("step %d (interval %d): rotate = %d, want %d", i, st.iv, got, st.want)
+		}
+	}
+}
