@@ -13,12 +13,16 @@
 //     (the replication factor). Every node computes identical
 //     ownership from the list alone; there is no coordinator, no
 //     gossip, no metadata service.
-//   - Writes route. POST /v1/cluster/ingest hashes each key onto the
-//     ring, applies locally owned keys directly to the node's own
-//     store, and fans the rest out to owner peers over the existing
-//     single-node POST /v1/ingest API with per-peer buffered batches
-//     and retry/backoff. Plain /v1/ingest never re-forwards, so
-//     forwarding can never loop.
+//   - Writes route. POST /v1/cluster/ingest hashes each key once
+//     through the store's pinned sketch hash, places mix64(hash) on
+//     the ring, applies locally owned keys directly to the node's own
+//     store, and fans the rest out to owner peers as binary frames of
+//     pre-hashed keys (internal/frame) over the existing single-node
+//     POST /v1/ingest API, with per-peer buffered batches and
+//     retry/backoff. Plain /v1/ingest never re-forwards, so forwarding
+//     can never loop — and since every replica ingests the same
+//     uint64s, replication is byte-identical no matter which codec the
+//     client used.
 //   - Reads gather. GET /v1/cluster/estimate scatter-gathers snapshot
 //     envelopes from every peer, opens them with knw.Open, unions them
 //     into the local contribution via knw.MergeInto, and reports the

@@ -36,7 +36,7 @@ type node struct {
 // built so every node knows the full peer URL list up front — the same
 // order of operations a deployment has (addresses first, daemons
 // second).
-func startCluster(t *testing.T, n, replication int, window store.Window) []*node {
+func startCluster(t *testing.T, n, replication int, window store.Window, storeOpts ...func(*store.Config)) []*node {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	peers := make([]string, n)
@@ -50,12 +50,16 @@ func startCluster(t *testing.T, n, replication int, window store.Window) []*node
 	}
 	nodes := make([]*node, n)
 	for i := range nodes {
+		stCfg := store.Config{
+			Kind:    knw.KindConcurrentF0,
+			Options: []knw.Option{knw.WithEpsilon(testEps), knw.WithSeed(1)},
+			Window:  window,
+		}
+		for _, opt := range storeOpts {
+			opt(&stCfg)
+		}
 		srv, err := service.New(service.Config{
-			Store: store.Config{
-				Kind:    knw.KindConcurrentF0,
-				Options: []knw.Option{knw.WithEpsilon(testEps), knw.WithSeed(1)},
-				Window:  window,
-			},
+			Store: stCfg,
 			Cluster: &cluster.Config{
 				Self:        peers[i],
 				Peers:       peers,

@@ -2,13 +2,15 @@ package cluster
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"sort"
 	"time"
+
+	"repro/internal/frame"
+	"repro/internal/httpx"
 )
 
 // session is one cluster-ingest request's routing state for a single
@@ -16,6 +18,17 @@ import (
 // plus one pending buffer per peer, flushed to the peer's single-node
 // ingest API whenever it fills and once more when the request body is
 // exhausted.
+//
+// Keys travel pre-hashed. Whatever codec the client used, the router
+// hashes each key through the local store's pinned hash
+// (store.HashKey) — or accepts the client's hash from a binary frame —
+// places mix64(hash) on the ring, and forwards uint64s to peers as
+// binary frames (internal/frame). One hash per key for the whole
+// cluster hop, no JSON re-encoding, and every replica ingests the
+// exact same uint64 — so the three ingest codecs replicate
+// byte-identically. Placement from the sketch hash is safe for the
+// same reason forwarding it is: all peers are required to share the
+// store seed (see the package comment), so they agree on both.
 //
 // A key's R owners are R distinct members, so as long as fewer than R
 // peers fail the request, every key has landed on at least one owner
@@ -27,14 +40,15 @@ type session struct {
 	store string
 
 	received int      // keys consumed from the request body
-	localBuf []string // pending keys owned by self
+	localBuf []uint64 // pending key hashes owned by self
 	local    int      // keys applied to the local store
-	pending  [][]string
+	pending  [][]uint64
 	sent     []int  // per-member keys delivered
 	lost     []int  // per-member keys abandoned after retries
 	failed   []bool // member declared unreachable this request
 
-	owners []int // scratch for ring.owners
+	owners []int  // scratch for ring.owners
+	body   []byte // scratch for frame encoding
 }
 
 func (rt *Router) newSession(store string) *session {
@@ -42,33 +56,50 @@ func (rt *Router) newSession(store string) *session {
 	return &session{
 		rt:      rt,
 		store:   store,
-		pending: make([][]string, n),
+		pending: make([][]uint64, n),
 		sent:    make([]int, n),
 		lost:    make([]int, n),
 		failed:  make([]bool, n),
 	}
 }
 
-// route consumes one batch of keys: each key is hashed onto the ring
-// and appended to the buffers of its R owners, flushing any buffer
-// that reaches the threshold.
+// route consumes one batch of string keys: each is hashed once through
+// the local store's pinned hash, then routed like a pre-hashed key.
 func (s *session) route(keys []string) {
-	rt := s.rt
-	s.received += len(keys)
 	for _, key := range keys {
-		s.owners = rt.ring.owners(keyHash(key), rt.cfg.Replication, s.owners)
-		for _, m := range s.owners {
-			if m == rt.self {
-				s.localBuf = append(s.localBuf, key)
-				if len(s.localBuf) >= rt.cfg.FlushKeys {
-					s.flushLocal()
-				}
-				continue
+		s.routeOne(s.rt.local.HashKey(key))
+	}
+	s.received += len(keys)
+}
+
+// routeHashed consumes one batch of pre-hashed keys (the binary frame
+// path — the client already ran the shared hash).
+func (s *session) routeHashed(keys []uint64) {
+	for _, h := range keys {
+		s.routeOne(h)
+	}
+	s.received += len(keys)
+}
+
+// routeOne appends one key hash to the buffers of its R owners,
+// flushing any buffer that reaches the threshold. Ring placement is
+// mix64(h): the sketch hash is already universe-folded (possibly far
+// narrower than 64 bits), and ring position sorts by high bits, so the
+// avalanche re-spread is what keeps placement uniform.
+func (s *session) routeOne(h uint64) {
+	rt := s.rt
+	s.owners = rt.ring.owners(mix64(h), rt.cfg.Replication, s.owners)
+	for _, m := range s.owners {
+		if m == rt.self {
+			s.localBuf = append(s.localBuf, h)
+			if len(s.localBuf) >= rt.cfg.FlushKeys {
+				s.flushLocal()
 			}
-			s.pending[m] = append(s.pending[m], key)
-			if len(s.pending[m]) >= rt.cfg.FlushKeys {
-				s.flushPeer(m)
-			}
+			continue
+		}
+		s.pending[m] = append(s.pending[m], h)
+		if len(s.pending[m]) >= rt.cfg.FlushKeys {
+			s.flushPeer(m)
 		}
 	}
 }
@@ -91,7 +122,7 @@ func (s *session) flushLocal() {
 	if len(s.localBuf) == 0 {
 		return
 	}
-	if err := s.rt.local.Ingest(s.store, s.localBuf); err != nil {
+	if err := s.rt.local.IngestHashed(s.store, s.localBuf); err != nil {
 		// The handler validated the store name before routing, so the
 		// only way the local store can reject a batch is a programming
 		// error; count it against self like any other replica loss.
@@ -122,7 +153,7 @@ func (s *session) flushPeer(m int) {
 func (s *session) createAll() {
 	for m := range s.rt.ring.members {
 		if m == s.rt.self {
-			if err := s.rt.local.Ingest(s.store, nil); err != nil {
+			if err := s.rt.local.IngestHashed(s.store, nil); err != nil {
 				s.failed[m] = true
 			}
 			continue
@@ -133,13 +164,13 @@ func (s *session) createAll() {
 
 // send delivers one batch (empty = store creation) to member m over
 // the peer's plain /v1/ingest API (which never re-forwards), retrying
-// with exponential backoff. The body is the JSON document form, not
-// newline framing: JSON escaping keeps arbitrary key bytes — newlines,
-// CRs, empty strings — byte-identical on every replica, which the
-// union invariant depends on. A peer that exhausts its attempts is
-// marked failed for the rest of the request; its keys survive on the
-// batch's other owners.
-func (s *session) send(m int, keys []string) {
+// with exponential backoff. The body is a binary frame of the key
+// hashes: pre-hashed uint64s are byte-identical on every replica by
+// construction — no text escaping to fumble — and the peer's zero-
+// alloc frame path ingests them without touching key bytes. A peer
+// that exhausts its attempts is marked failed for the rest of the
+// request; its keys survive on the batch's other owners.
+func (s *session) send(m int, keys []uint64) {
 	rt := s.rt
 	peer := rt.ring.members[m]
 	if s.failed[m] {
@@ -149,10 +180,8 @@ func (s *session) send(m int, keys []string) {
 		rt.met.forwardErrors.With(peer).Inc()
 		return
 	}
-	body, err := json.Marshal(ingestDoc{Store: s.store, Keys: keys})
-	if err != nil { // strings always marshal
-		panic("cluster: marshaling forward batch: " + err.Error())
-	}
+	s.body = frame.AppendHeader(s.body[:0])
+	s.body = frame.AppendDoc(s.body, s.store, keys)
 	backoff := rt.cfg.Backoff
 	var lastErr error
 	for attempt := 0; attempt < rt.cfg.Attempts; attempt++ {
@@ -162,7 +191,7 @@ func (s *session) send(m int, keys []string) {
 			backoff *= 2
 		}
 		t0 := time.Now()
-		err, permanent := rt.postBatch(peer, s.store, body)
+		err, permanent := rt.postBatch(peer, s.store, s.body)
 		if err == nil {
 			rt.met.forwardSeconds.With(peer).Observe(time.Since(t0).Seconds())
 			rt.met.forwardKeys.With(peer).Add(uint64(len(keys)))
@@ -180,12 +209,12 @@ func (s *session) send(m int, keys []string) {
 	rt.cfg.Logf("cluster: forwarding %d keys to %s failed: %v", len(keys), peer, lastErr)
 }
 
-// postBatch sends one JSON batch document to a peer's single-node
-// ingest. The second return marks permanent failures (4xx: the peer is
-// up but rejects the request — retrying cannot help).
+// postBatch sends one frame to a peer's single-node ingest. The second
+// return marks permanent failures (4xx: the peer is up but rejects the
+// request — retrying cannot help).
 func (rt *Router) postBatch(peer, storeName string, body []byte) (err error, permanent bool) {
 	u := peer + "/v1/ingest?store=" + url.QueryEscape(storeName)
-	resp, err := rt.client.Post(u, "application/json", bytes.NewReader(body))
+	resp, err := rt.client.Post(u, httpx.FrameContentType, bytes.NewReader(body))
 	if err != nil {
 		return err, false
 	}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/frame"
 	"repro/internal/httpx"
 	"repro/store"
 )
@@ -25,17 +26,18 @@ const routeBatch = 1024
 // ingestDoc is the JSON body form of POST /v1/cluster/ingest — the
 // same {"store","keys"} document stream POST /v1/ingest accepts, so
 // clients switch between single-node and routed ingest by path alone.
-// It is also the forward wire format (see session.send).
+// (Peer forwarding itself travels as binary frames; see session.send.)
 type ingestDoc struct {
 	Store string   `json:"store"`
 	Keys  []string `json:"keys"`
 }
 
 // HandleIngest is POST /v1/cluster/ingest: body formats identical to
-// the single-node ingest (newline keys with ?store=, or a stream of
-// JSON documents), but every key is routed to its R ring owners
-// instead of landing only here. Empty bodies create the store on
-// every member, mirroring the single-node create-on-empty contract.
+// the single-node ingest (newline keys with ?store=, a stream of JSON
+// documents, or a binary frame of pre-hashed keys), but every key is
+// routed to its R ring owners instead of landing only here. Empty
+// bodies create the store on every member, mirroring the single-node
+// create-on-empty contract.
 //
 // Status: 200 when every key reached at least one owner (including
 // partial successes that lost fewer than R peers, flagged by
@@ -44,11 +46,83 @@ type ingestDoc struct {
 // report the progress fields alongside the error — earlier batches
 // were already delivered, and re-sends are idempotent.
 func (rt *Router) HandleIngest(w http.ResponseWriter, r *http.Request) {
-	if httpx.IsJSON(r.Header.Get("Content-Type")) {
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case httpx.IsFrame(ct):
+		rt.ingestFrames(w, r)
+	case httpx.IsJSON(ct):
 		rt.ingestJSON(w, r)
+	default:
+		rt.ingestLines(w, r)
+	}
+}
+
+// ingestFrames routes a binary frame body (internal/frame): docs carry
+// pre-hashed keys, so routing skips the hash entirely and places each
+// key by its client-computed value — which matches the string codecs'
+// placement because client and cluster share the sketch seed. Docs
+// with an empty name target ?store=; a header-only frame creates the
+// ?store= target on every member.
+func (rt *Router) ingestFrames(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("store")
+	fr := frame.NewReader(http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes), make([]byte, 64<<10))
+	if err := fr.ReadHeader(); err != nil {
+		httpx.Fail(w, httpx.ReadStatus(err), err)
 		return
 	}
-	rt.ingestLines(w, r)
+	var order []*session
+	sessions := map[string]*session{}
+	batch := make([]uint64, routeBatch)
+	for {
+		nameView, _, err := fr.NextDoc()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			rt.failIngest(w, httpx.ReadStatus(err), err, order...)
+			return
+		}
+		target := name
+		if len(nameView) > 0 {
+			target = string(nameView)
+		}
+		if err := store.ValidateName(target); err != nil {
+			rt.failIngest(w, http.StatusBadRequest, err, order...)
+			return
+		}
+		s := sessions[target]
+		if s == nil {
+			s = rt.newSession(target)
+			sessions[target] = s
+			order = append(order, s)
+		}
+		for {
+			n, err := fr.Keys(batch)
+			if n > 0 {
+				s.routeHashed(batch[:n])
+			}
+			if err != nil {
+				rt.failIngest(w, httpx.ReadStatus(err), err, order...)
+				return
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+	if len(order) == 0 {
+		// Header-only frame: create the ?store= target everywhere,
+		// exactly like the zero-document JSON stream.
+		if err := store.ValidateName(name); err != nil {
+			httpx.Fail(w, http.StatusBadRequest, err)
+			return
+		}
+		s := rt.newSession(name)
+		s.createAll()
+		rt.finishIngest(w, s)
+		return
+	}
+	rt.finishIngest(w, order...)
 }
 
 func (rt *Router) ingestLines(w http.ResponseWriter, r *http.Request) {

@@ -99,12 +99,14 @@ func (r *ring) owners(h uint64, n int, buf []int) []int {
 	return buf
 }
 
-// keyHash places a raw key on the ring: FNV-1a over the key bytes,
-// finished with an avalanche mix. The mix matters — ring position is
-// ordered by the HIGH bits of the hash, which raw FNV barely moves
-// for short suffix differences — and the function is deliberately
-// independent of the sketches' seeded ingestion hash, so routing
-// never correlates with sketch internals.
+// keyHash maps a raw key to a well-spread ring position: FNV-1a over
+// the key bytes, finished with an avalanche mix. The mix matters —
+// ring position is ordered by the HIGH bits of the hash, which raw
+// FNV barely moves for short suffix differences. The live routing
+// path no longer uses it (placement is mix64 over the store's sketch
+// hash, so pre-hashed binary frames and string codecs place keys
+// identically; see session.routeOne); it remains the seed-free
+// keyspace generator for ring distribution tests.
 func keyHash(key string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {

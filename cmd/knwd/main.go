@@ -55,6 +55,7 @@ func main() {
 		winBuckets   = flag.Int("window-buckets", 0, "window ring size (0 = windowing off)")
 		winInterval  = flag.Duration("window-interval", time.Minute, "width of one window bucket")
 		readyFile    = flag.String("ready-file", "", "write the bound listen address to this file once serving (readiness probe for scripts)")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling; do not expose publicly)")
 		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster member including this node (e.g. http://10.0.0.1:7070,...); empty = single-node mode")
 		selfURL      = flag.String("self", "", "this node's own base URL, exactly as it appears in -peers (required with -peers)")
 		replication  = flag.Int("replication", 1, "cluster replicas per key, in [1, len(peers)]")
@@ -117,6 +118,7 @@ func main() {
 		Cluster:         clusterCfg,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		Pprof:           *pprofOn,
 		Logf:            log.Printf,
 		OnListen: func(addr net.Addr) {
 			// The ready file appears only after the listener is bound, so

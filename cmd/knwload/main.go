@@ -3,12 +3,19 @@
 // running knwd, measures client-side latency quantiles and throughput,
 // scrapes the daemon's /metrics before and after the run, checks each
 // store's estimate against the true cardinality it generated, and
-// writes the whole result as machine-readable JSON (the BENCH_pr4.json
+// writes the whole result as machine-readable JSON (the BENCH_pr*.json
 // artifact the CI bench job uploads).
 //
 //	knwd -listen 127.0.0.1:7070 -seed 1 &
 //	knwload -addr http://127.0.0.1:7070 -workers 8 -stores 4 \
-//	        -requests 400 -batch 2000 -dist zipf -out BENCH_pr4.json
+//	        -requests 400 -batch 2000 -dist zipf -out BENCH.json
+//
+// -codec picks the request body format: newline (text, one key per
+// line), json (document stream), or binary (length-prefixed frames of
+// pre-hashed keys — internal/frame). Binary is the fast path the
+// daemon ingests without allocating; it requires -sketch-seed and
+// -universe-bits to match the server's -seed and -universe-bits, since
+// the client runs the sketch hash itself.
 //
 // With -cluster it drives a whole knwd cluster instead: ingest
 // requests go to POST /v1/cluster/ingest round-robin over every node
@@ -42,6 +49,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	knw "repro"
+	"repro/internal/frame"
+	"repro/internal/httpx"
 )
 
 func main() {
@@ -53,17 +64,23 @@ func main() {
 		prefix   = flag.String("store-prefix", "load/tenant", "store name prefix; stores are <prefix>-<i>")
 		requests = flag.Int("requests", 400, "total ingest requests to send")
 		batch    = flag.Int("batch", 2000, "keys per ingest request")
-		mode     = flag.String("mode", "newline", "ingest body format: newline or json")
+		mode     = flag.String("mode", "", "deprecated alias for -codec")
+		codec    = flag.String("codec", "newline", "ingest body format: newline, json, or binary (pre-hashed frames)")
 		dist     = flag.String("dist", "zipf", "key distribution: zipf or uniform")
 		zipfS    = flag.Float64("zipf-s", 1.1, "zipf exponent (>1)")
 		keyspace = flag.Uint64("keyspace", 200_000, "distinct key ids per store")
 		seed     = flag.Int64("seed", 1, "generator seed (deterministic streams)")
+		skSeed   = flag.Int64("sketch-seed", 1, "server sketch seed for -codec binary (must match knwd -seed)")
+		uBits    = flag.Uint("universe-bits", 32, "server key-universe width for -codec binary (must match knwd -universe-bits)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
-		out      = flag.String("out", "BENCH_pr4.json", "output JSON path (empty = stdout only)")
+		out      = flag.String("out", "BENCH.json", "output JSON path (empty = stdout only)")
 	)
 	flag.Parse()
-	if *mode != "newline" && *mode != "json" {
-		log.Fatalf("knwload: -mode must be newline or json, got %q", *mode)
+	if *mode != "" {
+		*codec = *mode
+	}
+	if *codec != "newline" && *codec != "json" && *codec != "binary" {
+		log.Fatalf("knwload: -codec must be newline, json, or binary, got %q", *codec)
 	}
 	if *dist != "zipf" && *dist != "uniform" {
 		log.Fatalf("knwload: -dist must be zipf or uniform, got %q", *dist)
@@ -98,6 +115,21 @@ func main() {
 		seen[i] = make([]uint64, words)
 	}
 
+	// Binary codec: hash the whole (bounded) keyspace once up front.
+	// The generator's job is to saturate the server, not to model a
+	// client's hashing budget — and on a shared core every cycle spent
+	// hashing here is a cycle stolen from the daemon being measured.
+	var hashes []uint64
+	if *codec == "binary" {
+		hasher := knw.NewHasher[[]byte](*skSeed, *uBits)
+		hashes = make([]uint64, *keyspace)
+		var keyBuf []byte
+		for id := range hashes {
+			keyBuf = strconv.AppendUint(append(keyBuf[:0], "user-"...), uint64(id), 10)
+			hashes[id] = hasher.Hash(keyBuf)
+		}
+	}
+
 	before, err := scrapeAll(client, addrs)
 	if err != nil {
 		log.Printf("knwload: pre-run /metrics scrape failed (continuing without server deltas): %v", err)
@@ -128,7 +160,14 @@ func main() {
 			}
 			lats := make([]float64, 0, *requests / *workers + 1)
 			ids := make([]uint64, *batch)
-			var body bytes.Buffer
+			var (
+				body   bytes.Buffer
+				hashed []uint64 // binary codec: pre-hashed batch
+				fbuf   []byte   // binary codec: frame scratch
+			)
+			if *codec == "binary" {
+				hashed = make([]uint64, *batch)
+			}
 			for {
 				r := int(next.Add(1)) - 1
 				if r >= *requests {
@@ -141,9 +180,19 @@ func main() {
 					atomicOr(&seen[si][id/64], 1<<(id%64))
 				}
 				body.Reset()
-				if *mode == "json" {
+				switch *codec {
+				case "json":
 					encodeJSONBody(&body, names[si], ids)
-				} else {
+				case "binary":
+					// Ship the precomputed sketch hashes as one frame doc —
+					// identical to what the server would hash from the string.
+					for i, id := range ids {
+						hashed[i] = hashes[id]
+					}
+					fbuf = frame.AppendHeader(fbuf[:0])
+					fbuf = frame.AppendDoc(fbuf, names[si], hashed)
+					body.Write(fbuf)
+				default:
 					for _, id := range ids {
 						body.WriteString("user-")
 						body.WriteString(strconv.FormatUint(id, 10))
@@ -152,7 +201,7 @@ func main() {
 				}
 				bytesSent.Add(int64(body.Len()))
 				t0 := time.Now()
-				err := postIngest(client, addrs[r%len(addrs)]+ingestPath, names[si], *mode, body.Bytes())
+				err := postIngest(client, addrs[r%len(addrs)]+ingestPath, names[si], *codec, body.Bytes())
 				lats = append(lats, time.Since(t0).Seconds()*1e3)
 				if err != nil {
 					errCount.Add(1)
@@ -202,7 +251,7 @@ func main() {
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		Config: benchConfig{
 			Addr: *addr, Cluster: *clusterF, Workers: *workers, Stores: *stores, Requests: *requests,
-			Batch: *batch, Mode: *mode, Dist: *dist, ZipfS: *zipfS,
+			Batch: *batch, Mode: *codec, Dist: *dist, ZipfS: *zipfS,
 			Keyspace: *keyspace, Seed: *seed,
 		},
 		WallSeconds:          wall.Seconds(),
@@ -318,11 +367,14 @@ func encodeJSONBody(buf *bytes.Buffer, store string, ids []uint64) {
 	buf.WriteString("]}")
 }
 
-func postIngest(client *http.Client, endpoint, store, mode string, body []byte) error {
+func postIngest(client *http.Client, endpoint, store, codec string, body []byte) error {
 	url := endpoint + "?store=" + store
 	ct := "text/plain"
-	if mode == "json" {
+	switch codec {
+	case "json":
 		ct = "application/json"
+	case "binary":
+		ct = httpx.FrameContentType
 	}
 	resp, err := client.Post(url, ct, bytes.NewReader(body))
 	if err != nil {

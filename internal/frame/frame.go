@@ -1,0 +1,264 @@
+// Package frame is the binary ingest framing: a length-prefixed,
+// pre-hashed key stream that decodes with zero per-key allocations.
+// It is the third ingest Content-Type beside newline text and NDJSON
+// (application/x-knw-frame; see internal/httpx), and the wire format
+// the cluster forwarder ships to peers.
+//
+// Grammar (uvarints as in internal/binenc):
+//
+//	uvarint magic   ("KNWF" = 0x4b4e5746)
+//	uvarint version (1)
+//	zero or more docs, until EOF:
+//	  uvarint name length (0 = use the request's ?store= target)
+//	  name bytes
+//	  uvarint key count
+//	  key count × 8-byte little-endian uint64
+//
+// Keys are pre-hashed: the sender has already run the store's seeded
+// hash (knw.NewHasher with the store's seed and universe bits — the
+// documented wire contract of hasher.go), so the receiver feeds them
+// straight into IngestHashed without touching the key bytes. Fixed
+// 8-byte keys rather than varints keep the decode a single
+// LittleEndian.Uint64 per key — no branch, no copy, no allocation —
+// and make frame sizes predictable for batch planning.
+//
+// A frame that ends exactly on a doc boundary is complete; ending
+// anywhere else is truncation, reported as an error wrapping
+// io.ErrUnexpectedEOF. Docs may repeat a name; repeats append.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// Magic and Version head every frame.
+	Magic   = 0x4b4e5746 // "KNWF"
+	Version = 1
+	// MaxNameBytes bounds a doc's name length claim so corrupt frames
+	// cannot grow the scan buffer without bound. The store's own name
+	// limit (256) is far below this; the slack keeps the codec
+	// independent of store policy.
+	MaxNameBytes = 1 << 12
+	// KeyBytes is the fixed encoding width of one pre-hashed key.
+	KeyBytes = 8
+)
+
+// ErrFrame wraps every malformed-frame failure (bad magic, oversized
+// name claim, truncated structure) so callers can classify frame
+// damage apart from transport errors.
+var ErrFrame = errors.New("frame: malformed ingest frame")
+
+// AppendHeader appends the frame header to buf.
+func AppendHeader(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, Magic)
+	return binary.AppendUvarint(buf, Version)
+}
+
+// AppendDoc appends one doc — name, count, fixed-width keys — to buf.
+// An empty keys slice encodes a zero-count doc (store creation).
+func AppendDoc(buf []byte, name string, keys []uint64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, k)
+	}
+	return buf
+}
+
+// Reader incrementally decodes a frame from src through a fixed scan
+// buffer: fill, decode what is complete, compact, repeat. The caller
+// owns the buffer (pool it across requests); nothing else allocates on
+// the key path.
+type Reader struct {
+	src io.Reader
+	buf []byte
+	r   int // next undecoded byte
+	w   int // end of valid bytes
+	err error
+
+	nameBuf   []byte // stable copy of the current doc's name
+	remaining uint64 // keys left in the current doc
+}
+
+// NewReader decodes a frame from src using buf as the scan buffer. buf
+// must hold at least one key (8 bytes); 64 KiB is a good size.
+func NewReader(src io.Reader, buf []byte) *Reader {
+	if len(buf) < 2*KeyBytes {
+		buf = make([]byte, 64<<10)
+	}
+	return &Reader{src: src, buf: buf}
+}
+
+// ReadHeader consumes and validates the frame magic and version.
+func (fr *Reader) ReadHeader() error {
+	magic, err := fr.uvarint()
+	if err != nil {
+		return fr.fail(err, "reading magic")
+	}
+	if magic != Magic {
+		return fr.set(fmt.Errorf("%w: bad magic %#x", ErrFrame, magic))
+	}
+	version, err := fr.uvarint()
+	if err != nil {
+		return fr.fail(err, "reading version")
+	}
+	if version != Version {
+		return fr.set(fmt.Errorf("%w: unsupported version %d", ErrFrame, version))
+	}
+	return nil
+}
+
+// NextDoc advances to the next doc and returns its name and key count.
+// The name aliases reader-owned scratch and is only valid until the
+// next NextDoc call — convert or consume it first. At a clean end of
+// frame it returns io.EOF; mid-structure truncation is an error
+// wrapping io.ErrUnexpectedEOF. The previous doc's keys must be fully
+// drained (Keys until 0) first.
+func (fr *Reader) NextDoc() (name []byte, count uint64, err error) {
+	if fr.err != nil {
+		return nil, 0, fr.err
+	}
+	if fr.remaining > 0 {
+		return nil, 0, fr.set(fmt.Errorf("%w: NextDoc with %d keys undrained", ErrFrame, fr.remaining))
+	}
+	// A frame may end here, and only here: EOF before the first byte of
+	// a doc is the end of the stream, not damage.
+	if fr.r == fr.w {
+		if ferr := fr.fill(); ferr != nil {
+			if errors.Is(ferr, io.EOF) {
+				return nil, 0, io.EOF
+			}
+			return nil, 0, fr.set(ferr)
+		}
+	}
+	nameLen, err := fr.uvarint()
+	if err != nil {
+		return nil, 0, fr.fail(err, "reading doc name length")
+	}
+	if nameLen > MaxNameBytes {
+		return nil, 0, fr.set(fmt.Errorf("%w: name length %d exceeds %d", ErrFrame, nameLen, MaxNameBytes))
+	}
+	if err := fr.ensure(int(nameLen)); err != nil {
+		return nil, 0, fr.fail(err, "reading doc name")
+	}
+	// Stage the name in reader-owned scratch: reading the count below
+	// may compact the scan buffer, which would shift a direct view. One
+	// bounded copy per doc, never per key.
+	fr.nameBuf = append(fr.nameBuf[:0], fr.buf[fr.r:fr.r+int(nameLen)]...)
+	fr.r += int(nameLen)
+	count, err = fr.uvarint()
+	if err != nil {
+		return nil, 0, fr.fail(err, "reading key count")
+	}
+	fr.remaining = count
+	return fr.nameBuf, count, nil
+}
+
+// Keys decodes up to len(dst) of the current doc's keys into dst and
+// returns how many it wrote. A return of 0 with a nil error means the
+// doc is exhausted (call NextDoc). Truncation mid-key stream is an
+// error wrapping io.ErrUnexpectedEOF.
+func (fr *Reader) Keys(dst []uint64) (int, error) {
+	if fr.err != nil {
+		return 0, fr.err
+	}
+	if fr.remaining == 0 || len(dst) == 0 {
+		return 0, nil
+	}
+	want := uint64(len(dst))
+	if want > fr.remaining {
+		want = fr.remaining
+	}
+	// Decode whatever whole keys are already buffered; refill only when
+	// the buffer has none, so a full buffer drains in one tight loop.
+	if fr.w-fr.r < KeyBytes {
+		if err := fr.ensure(KeyBytes); err != nil {
+			return 0, fr.fail(err, "reading keys")
+		}
+	}
+	if have := uint64((fr.w - fr.r) / KeyBytes); want > have {
+		want = have
+	}
+	n := int(want)
+	for i := 0; i < n; i++ {
+		dst[i] = binary.LittleEndian.Uint64(fr.buf[fr.r:])
+		fr.r += KeyBytes
+	}
+	fr.remaining -= want
+	return n, nil
+}
+
+// uvarint decodes one varint, refilling as needed.
+func (fr *Reader) uvarint() (uint64, error) {
+	for {
+		v, n := binary.Uvarint(fr.buf[fr.r:fr.w])
+		if n > 0 {
+			fr.r += n
+			return v, nil
+		}
+		if n < 0 {
+			return 0, fmt.Errorf("%w: varint overflow", ErrFrame)
+		}
+		if err := fr.fill(); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// ensure makes at least n undecoded bytes available at buf[r:w],
+// compacting first and growing the buffer only for oversize names.
+func (fr *Reader) ensure(n int) error {
+	for fr.w-fr.r < n {
+		if err := fr.fill(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fill compacts the buffer and reads more from src. It returns io.EOF
+// only when zero new bytes will ever arrive.
+func (fr *Reader) fill() error {
+	if fr.r > 0 {
+		fr.w = copy(fr.buf, fr.buf[fr.r:fr.w])
+		fr.r = 0
+	}
+	if fr.w == len(fr.buf) {
+		// Only names can require contiguous bytes beyond the initial
+		// size, and MaxNameBytes bounds them.
+		fr.buf = append(fr.buf, make([]byte, len(fr.buf))...)[:2*len(fr.buf)]
+	}
+	n, err := fr.src.Read(fr.buf[fr.w:])
+	fr.w += n
+	if n > 0 {
+		return nil
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// fail converts an EOF that interrupts a structure into unexpected-EOF
+// corruption and sticks the error.
+func (fr *Reader) fail(err error, what string) error {
+	if errors.Is(err, io.EOF) {
+		err = io.ErrUnexpectedEOF
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		err = fmt.Errorf("%w: truncated while %s: %w", ErrFrame, what, io.ErrUnexpectedEOF)
+	}
+	return fr.set(err)
+}
+
+func (fr *Reader) set(err error) error {
+	if fr.err == nil {
+		fr.err = err
+	}
+	return fr.err
+}

@@ -1,0 +1,178 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// chunkReader returns at most n bytes per Read — the split-read
+// torture harness for the incremental decoder.
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := min(min(c.n, len(c.data)), len(p))
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+// decode drains a whole frame into (name, keys) pairs.
+func decode(t *testing.T, src io.Reader, bufSize int) (names []string, batches [][]uint64) {
+	t.Helper()
+	fr := NewReader(src, make([]byte, bufSize))
+	if err := fr.ReadHeader(); err != nil {
+		t.Fatalf("ReadHeader: %v", err)
+	}
+	var dst [3]uint64 // deliberately tiny: forces multi-call draining
+	for {
+		name, count, err := fr.NextDoc()
+		if errors.Is(err, io.EOF) {
+			return names, batches
+		}
+		if err != nil {
+			t.Fatalf("NextDoc: %v", err)
+		}
+		names = append(names, string(name))
+		keys := make([]uint64, 0, count)
+		for {
+			n, err := fr.Keys(dst[:])
+			if err != nil {
+				t.Fatalf("Keys: %v", err)
+			}
+			if n == 0 {
+				break
+			}
+			keys = append(keys, dst[:n]...)
+		}
+		if uint64(len(keys)) != count {
+			t.Fatalf("doc %q: drained %d keys, header claimed %d", name, len(keys), count)
+		}
+		batches = append(batches, keys)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	docs := []struct {
+		name string
+		keys []uint64
+	}{
+		{"tenant/a", []uint64{1, 2, 3, 0xffffffffffffffff, 0}},
+		{"", []uint64{42}}, // empty name: defer to ?store=
+		{"tenant/b", nil},  // zero-count doc: store creation
+		{"tenant/a", []uint64{7, 7, 7, 8, 9, 10, 11, 12, 13}},
+	}
+	buf := AppendHeader(nil)
+	for _, d := range docs {
+		buf = AppendDoc(buf, d.name, d.keys)
+	}
+	// Every read-chunk size from pathological to generous, and a scan
+	// buffer near its minimum, must produce identical decodes.
+	for _, chunk := range []int{1, 2, 7, 64, 1 << 20} {
+		for _, scan := range []int{16, 64, 4096} {
+			names, batches := decode(t, &chunkReader{data: buf, n: chunk}, scan)
+			if len(names) != len(docs) {
+				t.Fatalf("chunk=%d scan=%d: %d docs, want %d", chunk, scan, len(names), len(docs))
+			}
+			for i, d := range docs {
+				if names[i] != d.name {
+					t.Fatalf("chunk=%d scan=%d doc %d: name %q, want %q", chunk, scan, i, names[i], d.name)
+				}
+				if len(batches[i]) != len(d.keys) {
+					t.Fatalf("chunk=%d scan=%d doc %d: %d keys, want %d", chunk, scan, i, len(batches[i]), len(d.keys))
+				}
+				for j, k := range d.keys {
+					if batches[i][j] != k {
+						t.Fatalf("chunk=%d scan=%d doc %d key %d: %#x, want %#x", chunk, scan, i, j, batches[i][j], k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFrameEmpty(t *testing.T) {
+	names, batches := decode(t, bytes.NewReader(AppendHeader(nil)), 64)
+	if len(names) != 0 || len(batches) != 0 {
+		t.Fatalf("header-only frame decoded %d docs", len(names))
+	}
+}
+
+func TestFrameBadHeader(t *testing.T) {
+	fr := NewReader(bytes.NewReader([]byte{0x00, 0x01}), make([]byte, 64))
+	if err := fr.ReadHeader(); !errors.Is(err, ErrFrame) {
+		t.Fatalf("bad magic: err = %v, want ErrFrame", err)
+	}
+	fr = NewReader(bytes.NewReader(nil), make([]byte, 64))
+	if err := fr.ReadHeader(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("empty body: err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	full := AppendDoc(AppendHeader(nil), "tenant/a", []uint64{1, 2, 3, 4})
+	// Every proper prefix that cuts inside the doc must surface
+	// truncation, never a clean EOF or a hang.
+	headerLen := len(AppendHeader(nil))
+	for cut := headerLen + 1; cut < len(full); cut++ {
+		fr := NewReader(bytes.NewReader(full[:cut]), make([]byte, 32))
+		if err := fr.ReadHeader(); err != nil {
+			t.Fatalf("cut=%d: header: %v", cut, err)
+		}
+		var sawErr error
+		for sawErr == nil {
+			_, _, err := fr.NextDoc()
+			if err != nil {
+				sawErr = err
+				break
+			}
+			var dst [8]uint64
+			for {
+				n, err := fr.Keys(dst[:])
+				if err != nil {
+					sawErr = err
+					break
+				}
+				if n == 0 {
+					break
+				}
+			}
+		}
+		if !errors.Is(sawErr, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: err = %v, want unexpected EOF", cut, sawErr)
+		}
+	}
+}
+
+func TestFrameOversizeNameRejected(t *testing.T) {
+	buf := AppendHeader(nil)
+	buf = AppendDoc(buf, string(make([]byte, MaxNameBytes+1)), nil)
+	fr := NewReader(bytes.NewReader(buf), make([]byte, 64))
+	if err := fr.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fr.NextDoc(); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversize name: err = %v, want ErrFrame", err)
+	}
+}
+
+func TestFrameUndrainedDocRejected(t *testing.T) {
+	buf := AppendDoc(AppendHeader(nil), "a", []uint64{1, 2})
+	fr := NewReader(bytes.NewReader(buf), make([]byte, 64))
+	if err := fr.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fr.NextDoc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fr.NextDoc(); !errors.Is(err, ErrFrame) {
+		t.Fatalf("NextDoc with undrained keys: err = %v, want ErrFrame", err)
+	}
+}

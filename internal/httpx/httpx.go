@@ -21,12 +21,21 @@ const (
 	// MaxKeyBytes caps one newline-delimited key; a line longer than
 	// this fails the request rather than growing buffers without bound.
 	MaxKeyBytes = 1 << 20
+	// FrameContentType selects the binary ingest frame body format:
+	// length-prefixed docs of pre-hashed uint64 keys (internal/frame).
+	FrameContentType = "application/x-knw-frame"
 )
 
 // IsJSON reports whether a Content-Type selects the JSON ingest body
 // format.
 func IsJSON(contentType string) bool {
 	return strings.HasPrefix(contentType, "application/json")
+}
+
+// IsFrame reports whether a Content-Type selects the binary ingest
+// frame body format.
+func IsFrame(contentType string) bool {
+	return strings.HasPrefix(contentType, FrameContentType)
 }
 
 // ReadStatus maps a request-body read failure to a status: oversize

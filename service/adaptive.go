@@ -1,0 +1,62 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// batchSizer adapts the ingest flush batch size to the store's
+// observed drain latency, AIMD-style: while full-batch flushes stay
+// fast, the batch grows additively (fewer slot claims and metric
+// updates per key); once flushes slow past the upper band — lock-free
+// ingest still serializes on the entry drain eventually, and oversized
+// batches stretch read-barrier tail latency — it halves. One sizer
+// serves the whole server: every ingest route observes into it and
+// reads the shared size, so the server converges on one operating
+// point instead of per-connection guesses.
+type batchSizer struct {
+	size atomic.Int64
+}
+
+const (
+	// batchStart is the initial flush batch size, the PR-4 fixed value.
+	batchStart = 4096
+	// batchMin / batchMax bound adaptation: below ~512 keys per flush
+	// the per-batch overhead dominates again; above 64k one flush can
+	// hold a read barrier for milliseconds.
+	batchMin = 512
+	batchMax = 64 << 10
+	// batchStep is the additive growth per fast flush.
+	batchStep = 512
+	// batchGrowBelow / batchShrinkAbove are the latency bands: flushes
+	// faster than the lower bound grow the batch, slower than the upper
+	// bound shrink it, and the band between is stable.
+	batchGrowBelow   = time.Millisecond
+	batchShrinkAbove = 4 * time.Millisecond
+)
+
+func newBatchSizer() *batchSizer {
+	b := &batchSizer{}
+	b.size.Store(batchStart)
+	return b
+}
+
+// get returns the current flush batch size.
+func (b *batchSizer) get() int { return int(b.size.Load()) }
+
+// observe records one flush of n keys taking d. Partial batches
+// (n below the size in force) carry no signal about the batch size and
+// are ignored. Concurrent observers race benignly: CAS keeps the size
+// in bounds, and a lost update is just one skipped step.
+func (b *batchSizer) observe(n int, d time.Duration) {
+	cur := b.size.Load()
+	if int64(n) < cur {
+		return
+	}
+	switch {
+	case d < batchGrowBelow && cur < batchMax:
+		b.size.CompareAndSwap(cur, min(cur+batchStep, batchMax))
+	case d > batchShrinkAbove && cur > batchMin:
+		b.size.CompareAndSwap(cur, max(cur/2, batchMin))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/httpx"
 	"repro/store"
@@ -30,9 +31,9 @@ import (
 // idempotent for distinct counting — and the error response reports
 // how many keys were ingested before the failure.
 const (
-	// ingestBatchKeys is the flush granularity: large enough to
-	// amortize the store's per-batch lock and hash-chunk pipeline,
-	// small enough that per-connection memory stays modest.
+	// ingestBatchKeys is the pooled key-buffer capacity (the initial
+	// flush granularity; the live flush size adapts around it — see
+	// adaptive.go).
 	ingestBatchKeys = 4096
 	// ingestChunkBytes is the pooled read-buffer size.
 	ingestChunkBytes = 64 << 10
@@ -60,6 +61,10 @@ func (sc *ingestScanner) release() {
 		// pin megabytes in the pool forever.
 		sc.buf = make([]byte, ingestChunkBytes)
 	}
+	if cap(sc.keys) > 4*ingestBatchKeys {
+		// Same for batches the adaptive sizer grew toward batchMax.
+		sc.keys = make([]string, 0, ingestBatchKeys)
+	}
 	clear(sc.keys) // drop string references so flushed keys can be collected
 	sc.keys = sc.keys[:0]
 	ingestScanners.Put(sc)
@@ -67,11 +72,15 @@ func (sc *ingestScanner) release() {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("store")
-	if isJSON(r.Header.Get("Content-Type")) {
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case httpx.IsFrame(ct):
+		s.ingestFrame(w, r, name)
+	case isJSON(ct):
 		s.ingestJSON(w, r, name)
-		return
+	default:
+		s.ingestLines(w, r, name)
 	}
-	s.ingestLines(w, r, name)
 }
 
 func isJSON(contentType string) bool { return httpx.IsJSON(contentType) }
@@ -93,9 +102,11 @@ func (s *Server) ingestLines(w http.ResponseWriter, r *http.Request, name string
 		if len(sc.keys) == 0 {
 			return nil
 		}
+		t0 := time.Now()
 		if err := s.st.Ingest(name, sc.keys); err != nil {
 			return err
 		}
+		s.batch.observe(len(sc.keys), time.Since(t0))
 		total += len(sc.keys)
 		s.met.ingestKeys.Add(uint64(len(sc.keys)))
 		clear(sc.keys)
@@ -125,7 +136,7 @@ func (s *Server) ingestLines(w http.ResponseWriter, r *http.Request, name string
 			}
 			if key := trimCR(data[:nl]); len(key) > 0 {
 				sc.keys = append(sc.keys, string(key))
-				if len(sc.keys) == ingestBatchKeys {
+				if len(sc.keys) >= s.batch.get() {
 					if ferr := flush(); ferr != nil {
 						s.failIngest(w, storeStatus(ferr), ferr, total)
 						return

@@ -9,9 +9,11 @@
 // API (all store names come from the required ?store= query parameter
 // unless noted):
 //
-//	POST /v1/ingest    newline-delimited keys, or JSON
-//	                   {"store": "...", "keys": [...]} (the JSON body
-//	                   may carry the store name itself)
+//	POST /v1/ingest    newline-delimited keys; JSON
+//	                   {"store": "...", "keys": [...]} documents (the
+//	                   JSON body may carry the store name itself); or
+//	                   binary frames of pre-hashed keys (Content-Type
+//	                   application/x-knw-frame, see internal/frame)
 //	GET  /v1/estimate  → JSON store.Estimate
 //	POST /v1/merge     body = a peer sketch envelope; folds it into the
 //	                   named store (409 on kind/settings mismatch)
@@ -35,6 +37,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -77,6 +80,11 @@ type Config struct {
 	// the leaf API cluster forwarding itself targets, so routed traffic
 	// can never loop.
 	Cluster *cluster.Config
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the service
+	// mux (knwd's -pprof flag), so the ingest hot path can be profiled
+	// in place. Off by default: the endpoints expose goroutine dumps
+	// and heap contents, which do not belong on an open ingest port.
+	Pprof bool
 }
 
 // Server is the knwd HTTP service: a store, its handlers, and the
@@ -88,6 +96,7 @@ type Server struct {
 	reg    *metrics.Registry
 	met    serviceMetrics
 	router *cluster.Router // non-nil iff Config.Cluster was given
+	batch  *batchSizer     // adaptive ingest flush batch size
 	bufs   sync.Pool       // pooled request-body scratch (merge, restore)
 	snaps  sync.Pool       // pooled *[]byte envelope scratch for snapshot responses
 }
@@ -111,9 +120,13 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, st: st, reg: cfg.Metrics, met: newServiceMetrics(cfg.Metrics)}
+	s := &Server{cfg: cfg, st: st, reg: cfg.Metrics, met: newServiceMetrics(cfg.Metrics),
+		batch: newBatchSizer()}
 	s.bufs.New = func() any { return new(bytes.Buffer) }
 	s.snaps.New = func() any { return new([]byte) }
+	cfg.Metrics.NewGaugeFunc("knwd_ingest_batch_size",
+		"Current adaptive ingest flush batch size (keys per store flush).",
+		func() float64 { return float64(s.batch.get()) })
 	if cfg.CheckpointDir != "" {
 		n, err := st.LoadCheckpoint(cfg.CheckpointDir)
 		if err != nil {
@@ -143,6 +156,13 @@ func New(cfg Config) (*Server, error) {
 		s.handle("POST /v1/cluster/ingest", "/v1/cluster/ingest", rt.HandleIngest)
 		s.handle("GET /v1/cluster/estimate", "/v1/cluster/estimate", rt.HandleEstimate)
 		s.handle("GET /v1/cluster/info", "/v1/cluster/info", rt.HandleInfo)
+	}
+	if cfg.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return s, nil
 }
@@ -208,6 +228,9 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 			defer cancel()
 			serr := hs.Shutdown(shutCtx)
 			<-errc // Serve has returned http.ErrServerClosed
+			// Stop the store's epoch loop and drain pending deltas so
+			// the final checkpoint captures every acknowledged write.
+			s.st.Close()
 			if err := s.Checkpoint(); err != nil {
 				return fmt.Errorf("service: final checkpoint: %w", err)
 			}

@@ -85,7 +85,7 @@ func (s *Store) appendCheckpoint(buf []byte) ([]byte, error) {
 			// Entries are never deleted; a name from Names() resolves.
 			return nil, err
 		}
-		if err := e.appendCheckpoint(&w, name); err != nil {
+		if err := e.appendCheckpoint(s, &w, name); err != nil {
 			return nil, err
 		}
 	}
@@ -93,9 +93,10 @@ func (s *Store) appendCheckpoint(buf []byte) ([]byte, error) {
 }
 
 // appendCheckpoint encodes one entry under its lock.
-func (e *entry) appendCheckpoint(w *binenc.Writer, name string) error {
+func (e *entry) appendCheckpoint(s *Store, w *binenc.Writer, name string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	s.drainLocked(e) // checkpoints must carry every acknowledged write
 	w.Bytes([]byte(name))
 	env := envBufs.Get().(*[]byte)
 	defer envBufs.Put(env)
@@ -290,8 +291,12 @@ func (s *Store) installEntry(ent *ckptEntry) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Same contract as Restore: deltas pending at install time belong
+	// to the pre-restore state, not the checkpointed one — and
+	// persistent slots must not re-merge it later.
+	s.drainLocked(e)
+	s.discardSlotsLocked(e)
 	e.total = ent.total
-	e.keyed = knw.NewKeyed[string](&fanout{e: e})
 	if ent.buckets == nil || e.window == nil {
 		return
 	}

@@ -1,0 +1,295 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	knw "repro"
+)
+
+// The delta/epoch machinery (delta.go) is what makes Ingest lock-free:
+// writers append to private per-entry slots and the canonical sketches
+// only advance at flush time or behind a read barrier. These tests pin
+// the three promises that layer makes: reads always see their own
+// completed writes, explicit Flush fully drains the backlog with
+// deterministic window attribution, and checkpoints taken mid-epoch
+// capture pending keys.
+
+// TestReadYourWrites: an Estimate immediately after Ingest — no Flush,
+// no background loop (fake clock disables it) — must already include
+// the ingested keys, and the read barrier must clear the backlog.
+func TestReadYourWrites(t *testing.T) {
+	cfg := testConfig()
+	cfg.Now = func() time.Time { return time.Unix(1_700_000_000, 0) }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest("t/m", keys("k", 0, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PendingKeys(); got != 3000 {
+		t.Fatalf("PendingKeys before read = %d, want 3000", got)
+	}
+	est, err := s.Estimate("t/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "estimate after un-flushed ingest", est.AllTime, 3000, 0.25)
+	if got := s.PendingKeys(); got != 0 {
+		t.Fatalf("PendingKeys after read barrier = %d, want 0", got)
+	}
+}
+
+// TestFlushWindowAttribution drives a deterministic clock through
+// ingest→Flush cycles and checks drain-time bucket attribution: a
+// batch flushed while bucket i was current must expire with bucket i,
+// even though the canonical merge happened at Flush, not at write.
+func TestFlushWindowAttribution(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	cfg := testConfig()
+	cfg.Window = Window{Buckets: 3, Interval: time.Minute}
+	cfg.Now = func() time.Time { return now }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch A in bucket 0, flushed there; batch B one interval later.
+	if err := s.Ingest("t/m", keys("a", 0, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if got := s.PendingKeys(); got != 0 {
+		t.Fatalf("PendingKeys after Flush = %d, want 0", got)
+	}
+	now = now.Add(time.Minute)
+	if err := s.Ingest("t/m", keys("b", 0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	// Advance until batch A's bucket has fallen off the 3-bucket ring
+	// but batch B's has not: only B remains windowed, both all-time.
+	now = now.Add(2 * time.Minute)
+	est, err := s.Estimate("t/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "all-time after expiry", est.AllTime, 3000, 0.25)
+	within(t, "window after expiry", est.Window, 1000, 0.25)
+}
+
+// TestCheckpointDuringEpoch: a checkpoint taken while keys are still
+// pending in delta slots must capture them — the capture path drains
+// behind the entry lock — so a restore of that file reproduces the
+// pre-checkpoint estimates exactly.
+func TestCheckpointDuringEpoch(t *testing.T) {
+	cfg := testConfig()
+	cfg.Now = func() time.Time { return time.Unix(1_700_000_000, 0) }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest("t/m", keys("k", 0, 4000)); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// No Flush: the 4000 keys ride into the checkpoint via the capture
+	// barrier alone.
+	if err := s.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Estimate("t/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s2.LoadCheckpoint(dir); err != nil || n != 1 {
+		t.Fatalf("LoadCheckpoint = (%d, %v), want (1, nil)", n, err)
+	}
+	got, err := s2.Estimate("t/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AllTime != want.AllTime {
+		t.Fatalf("restored estimate %.1f != source %.1f", got.AllTime, want.AllTime)
+	}
+}
+
+// TestIngestHashedMatchesIngest pins the pre-hashing contract the
+// binary frame codec and the cluster forwarder stand on:
+// IngestHashed(HashKey(k)) must leave the exact same sketch state as
+// Ingest(k) — snapshots byte-identical, not merely close.
+func TestIngestHashedMatchesIngest(t *testing.T) {
+	a, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	ks := keys("k", 0, 5000)
+	hashed := make([]uint64, len(ks))
+	for i, k := range ks {
+		hashed[i] = b.HashKey(k)
+	}
+	if err := a.Ingest("t/m", ks); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.IngestHashed("t/m", hashed); err != nil {
+		t.Fatal(err)
+	}
+	snapA, err := a.Snapshot("t/m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapB, err := b.Snapshot("t/m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapA, snapB) {
+		t.Fatal("Ingest and IngestHashed(HashKey) snapshots differ")
+	}
+}
+
+// TestDeltaIngestStress hammers ONE entry from 2×GOMAXPROCS writers
+// (mixing string and pre-hashed ingest) while readers estimate and the
+// background epoch loop flushes at 1ms — the full concurrent surface
+// of the slot protocol. Meant to run under -race; the final estimate
+// must account for every written key (union of w disjoint ranges).
+func TestDeltaIngestStress(t *testing.T) {
+	cfg := testConfig()
+	cfg.Kind = knw.KindConcurrentF0
+	cfg.EpochInterval = time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	writers := 2 * runtime.GOMAXPROCS(0)
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * perWriter
+			for b := 0; b < perWriter; b += 100 {
+				batch := keys("k", base+b, base+b+100)
+				if w%2 == 0 {
+					if err := s.Ingest("hot/entry", batch); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				hashed := make([]uint64, len(batch))
+				for i, k := range batch {
+					hashed[i] = s.HashKey(k)
+				}
+				if err := s.IngestHashed("hot/entry", hashed); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers force drain barriers to interleave with the
+	// epoch loop and the writers' slot claims.
+	stopRead := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+				s.Estimate("hot/entry")
+				s.Snapshot("hot/entry", nil)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stopRead)
+	rg.Wait()
+	est, err := s.Estimate("hot/entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "stress estimate", est.AllTime, float64(writers*perWriter), 0.25)
+	if got := s.PendingKeys(); got != 0 {
+		t.Fatalf("PendingKeys after final read = %d, want 0", got)
+	}
+}
+
+// TestCloseFlushesAndStaysUsable: Close stops the epoch loop after a
+// final flush but the store keeps working — ingest still lands and
+// read barriers still drain.
+func TestCloseFlushesAndStaysUsable(t *testing.T) {
+	s, err := New(testConfig()) // real clock: background loop running
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest("t/m", keys("k", 0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if got := s.PendingKeys(); got != 0 {
+		t.Fatalf("PendingKeys after Close = %d, want 0", got)
+	}
+	s.Close() // idempotent
+	if err := s.Ingest("t/m", keys("k", 1000, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.Estimate("t/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "estimate after Close", est.AllTime, 2000, 0.25)
+}
+
+// TestSlotOverflowNeverBlocks: more concurrent writers than delta
+// slots must still make progress (claim spins with Gosched, and the
+// drainer holds at most one slot at a time).
+func TestSlotOverflowNeverBlocks(t *testing.T) {
+	cfg := testConfig()
+	cfg.Kind = knw.KindConcurrentF0
+	cfg.EpochInterval = time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	writers := 4 * slotsPerEntry()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < 20; b++ {
+				name := fmt.Sprintf("w%d", w*1000+b)
+				if err := s.Ingest("one/entry", []string{name}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	est, err := s.Estimate("one/entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "overflow estimate", est.AllTime, float64(writers*20), 0.25)
+}

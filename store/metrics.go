@@ -17,6 +17,8 @@ type storeMetrics struct {
 	ckptBytes    *metrics.Gauge // size of the last checkpoint file
 	ckptTotal    *metrics.Counter
 	ckptErrors   *metrics.Counter
+	flushSeconds *metrics.Histogram // epoch drain wall time per entry
+	flushes      *metrics.Counter   // entry drains that merged keys
 }
 
 // initMetrics registers the store instruments on reg (nil disables
@@ -38,7 +40,32 @@ func (s *Store) initMetrics(reg *metrics.Registry) {
 			"Completed checkpoint writes."),
 		ckptErrors: reg.NewCounter("knwd_store_checkpoint_errors_total",
 			"Checkpoint writes that failed."),
+		flushSeconds: reg.NewHistogram("knwd_store_epoch_flush_seconds",
+			"Wall time of one entry's delta drain (slot claim + merges).",
+			metrics.ExponentialBuckets(0.00001, 2, 14)), // 10µs .. ~80ms
+		flushes: reg.NewCounter("knwd_store_epoch_flushes_total",
+			"Entry drains that merged at least one pending key."),
 	}
+	reg.NewGaugeFunc("knwd_store_epoch_flush_floor_keys",
+		"Adaptive per-entry pending-key floor below which epoch ticks defer draining.",
+		func() float64 { return float64(s.flushFloor.Load()) })
+	reg.NewGaugeFunc("knwd_store_pending_delta_keys",
+		"Keys accepted into delta slots but not yet merged into canonical sketches.",
+		func() float64 { return float64(s.pendingKeys.Load()) })
+	reg.NewGaugeFunc("knwd_store_epoch_lag_seconds",
+		"Age of the oldest undrained delta (0 when no deltas are pending).",
+		func() float64 {
+			if s.pendingKeys.Load() == 0 {
+				return 0
+			}
+			// The backlog started when the dirty list last became
+			// non-empty, or at the last flush pass if one ran since.
+			since := max(s.dirtySince.Load(), s.lastFlush.Load())
+			if since == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, since)).Seconds()
+		})
 	reg.NewGaugeFunc("knwd_store_checkpoint_age_seconds",
 		"Seconds since the last successful checkpoint (-1 before the first).",
 		func() float64 {

@@ -82,9 +82,17 @@ type Config struct {
 	// Now overrides the clock used for window rotation (tests). Nil
 	// means time.Now.
 	Now func() time.Time
+	// EpochInterval is the background delta-drain cadence (see
+	// delta.go). Zero means the default (10ms) with the real clock; when
+	// Now is overridden, zero disables the background loop so a test's
+	// fake clock is never read from another goroutine — reads still
+	// drain on demand, and tests can Flush explicitly. Negative disables
+	// the loop unconditionally.
+	EpochInterval time.Duration
 	// Metrics, when non-nil, receives the store-layer instruments
 	// (entry count, ingested keys, window rotations, checkpoint
-	// duration/size/age). Nil disables instrumentation.
+	// duration/size/age, epoch drain backlog/latency). Nil disables
+	// instrumentation.
 	Metrics *metrics.Registry
 }
 
@@ -97,6 +105,25 @@ type Store struct {
 	shards   [registryShards]registryShard
 	met      storeMetrics
 	lastCkpt atomic.Int64 // unix nanos of the last successful checkpoint
+
+	// Hashing identity, pinned at New: what clients pre-hashing keys on
+	// their side (the binary frame codec) must reproduce.
+	seed         int64
+	universeBits uint
+	hasher       knw.SeededHasher[string]
+
+	// Epoch drain state (delta.go).
+	slots        int  // delta slots per entry
+	persistSlots bool // slots survive drains (max-merge kinds, no window)
+	flushFloor   atomic.Int64
+	dirtyMu      sync.Mutex
+	dirty        []*entry
+	pendingKeys  atomic.Int64 // undrained keys across all entries
+	dirtySince   atomic.Int64 // unix nanos the dirty list became non-empty
+	lastFlush    atomic.Int64 // unix nanos of the last completed Flush pass
+	stop         chan struct{}
+	loopDone     chan struct{}
+	closeOnce    sync.Once
 }
 
 type registryShard struct {
@@ -104,17 +131,23 @@ type registryShard struct {
 	m  map[string]*entry
 }
 
-// entry is one named sketch: the all-time total, the typed ingestion
-// front-end, and the optional window ring. The entry mutex serializes
-// ingestion, rotation, estimation, merging, and checkpoint capture, so
-// the non-concurrent kinds (F0, L0) are as safe inside a store as the
-// sharded ones, and a windowed ingest lands atomically in both the
-// total and the current bucket.
+// entry is one named sketch: the all-time total, the optional window
+// ring, and the per-P delta slots ingestion writes through (delta.go).
+// The entry mutex serializes drains, rotation, estimation, merging,
+// and checkpoint capture — so the non-concurrent kinds (F0, L0) are as
+// safe inside a store as the sharded ones — while Ingest/IngestHashed
+// never take it: they only claim a delta slot.
 type entry struct {
 	mu     sync.Mutex
 	total  knw.Estimator
-	keyed  *knw.Keyed[string]
 	window *windowRing
+
+	slots      []deltaSlot
+	rr         atomic.Uint32 // round-robin slot-claim hint
+	pending    atomic.Int64  // keys in slots not yet drained
+	queued     atomic.Bool   // on the store's dirty list
+	writeStamp atomic.Int64  // store-clock nanos of the last windowed write
+	lastDrain  atomic.Int64  // real-clock nanos of the last drain (floor aging)
 }
 
 // New builds an empty store. The configured kind must serialize
@@ -146,12 +179,60 @@ func New(cfg Config) (*Store, error) {
 	}
 	s.opts = append(append([]knw.Option{}, cfg.Options...), knw.WithSeed(seeded.Seed()))
 	s.template = probe // never ingested into; used for compatibility checks
+	s.seed = seeded.Seed()
+	s.universeBits = 64
+	if u, ok := probe.(interface{ UniverseBits() uint }); ok {
+		s.universeBits = u.UniverseBits()
+	}
+	s.hasher = knw.NewHasher[string](s.seed, s.universeBits)
+	s.slots = slotsPerEntry()
+	// Max-merge kinds on unwindowed stores keep their delta slots across
+	// drains (see the drain-policy note in delta.go): re-merging a
+	// persistent slot is idempotent, and a slot that is never reset stops
+	// re-paying the sketch's expensive low-offset early life every epoch.
+	// Turnstile kinds merge by sum (re-merge double-counts) and windowed
+	// stores need true per-epoch deltas for bucket attribution, so both
+	// reset after every drain.
+	s.persistSlots = !cfg.Kind.Turnstile() && !cfg.Window.enabled()
+	s.flushFloor.Store(flushFloorMin)
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*entry)
 	}
 	s.initMetrics(cfg.Metrics)
+	if interval := s.epochInterval(); interval > 0 {
+		s.stop = make(chan struct{})
+		s.loopDone = make(chan struct{})
+		go s.run(interval)
+	}
 	return s, nil
 }
+
+// epochInterval resolves the background drain cadence: the configured
+// interval, the default under the real clock, off under a fake clock
+// (unless explicitly set) or a negative config.
+func (s *Store) epochInterval() time.Duration {
+	switch {
+	case s.cfg.EpochInterval > 0:
+		return s.cfg.EpochInterval
+	case s.cfg.EpochInterval < 0 || s.cfg.Now != nil:
+		return 0
+	default:
+		return defaultEpochInterval
+	}
+}
+
+// Seed returns the store's pinned sketch seed — with UniverseBits,
+// the hashing identity a pre-hashing client must reproduce.
+func (s *Store) Seed() int64 { return s.seed }
+
+// UniverseBits returns the store's key-universe width.
+func (s *Store) UniverseBits() uint { return s.universeBits }
+
+// HashKey maps a string key exactly as the store's ingest path does
+// (knw.NewHasher over the pinned seed and universe). IngestHashed on
+// the result is equivalent to Ingest on the key — the contract the
+// binary frame codec and the cluster forwarder stand on.
+func (s *Store) HashKey(key string) uint64 { return s.hasher.Hash(key) }
 
 // Kind returns the store's sketch kind.
 func (s *Store) Kind() knw.Kind { return s.cfg.Kind }
@@ -223,90 +304,73 @@ func (s *Store) lookup(name string, create bool) (*entry, error) {
 
 // newEntry builds an empty entry with the store defaults.
 func (s *Store) newEntry() *entry {
-	e := &entry{total: s.newSketch()}
+	e := &entry{total: s.newSketch(), slots: make([]deltaSlot, s.slots)}
 	if s.cfg.Window.enabled() {
 		e.window = newWindowRing(s.cfg.Window, s.newSketch)
 	}
-	// The Keyed front-end hashes once and fans out to the total and the
-	// current window bucket; it derives its hasher from the fanout's
-	// forwarded seed and universe, so every entry in the store hashes
-	// identically.
-	e.keyed = knw.NewKeyed[string](&fanout{e: e})
 	return e
 }
 
-// fanout is the Estimator the Keyed front-end wraps: batches land in
-// the entry's all-time total and, when windowing is on, the current
-// bucket — one hash pass, two sketch writes. Callers hold e.mu.
-type fanout struct{ e *entry }
-
-func (f *fanout) Add(key uint64) {
-	f.e.total.Add(key)
-	if f.e.window != nil {
-		f.e.window.current().Add(key)
-	}
-}
-
-func (f *fanout) AddBatch(keys []uint64) {
-	f.e.total.AddBatch(keys)
-	if f.e.window != nil {
-		f.e.window.current().AddBatch(keys)
-	}
-}
-
-func (f *fanout) Estimate() float64 { return f.e.total.Estimate() }
-func (f *fanout) SpaceBits() int    { return f.e.total.SpaceBits() }
-func (f *fanout) Name() string      { return f.e.total.Name() }
-
-// Seed / UniverseBits forward the total's hashing identity so the
-// Keyed front-end derives the same hasher a bare sketch would.
-func (f *fanout) Seed() int64 {
-	if s, ok := f.e.total.(interface{ Seed() int64 }); ok {
-		return s.Seed()
-	}
-	return 0
-}
-
-func (f *fanout) UniverseBits() uint {
-	if u, ok := f.e.total.(interface{ UniverseBits() uint }); ok {
-		return u.UniverseBits()
-	}
-	return 64
-}
-
 // Ingest records a batch of string keys under name, creating the store
-// entry on first write. Keys are hashed once through the entry's Keyed
-// front-end and batched into the all-time sketch and the current
-// window bucket.
+// entry on first write. The batch is hashed and appended to a private
+// per-P delta sketch — no entry lock — and merged into the canonical
+// total and current window bucket by the next epoch drain or read
+// barrier, whichever comes first (delta.go).
 func (s *Store) Ingest(name string, keys []string) error {
 	e, err := s.lookup(name, true)
 	if err != nil {
 		return err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.window != nil {
-		s.met.rotations.Add(uint64(e.window.rotate(s.now())))
+	if len(keys) == 0 {
+		return nil
 	}
-	e.keyed.AddBatch(keys)
+	if e.window != nil {
+		e.writeStamp.Store(s.now().UnixNano())
+	}
+	sl := e.claim()
+	if sl.sk == nil {
+		sl.sk = s.newSketch()
+		// The slot's Keyed derives its hasher from the slot sketch's
+		// pinned seed and universe, so every slot in the store hashes
+		// identically (and identically to Store.HashKey).
+		sl.keyed = knw.NewKeyed[string](sl.sk)
+	}
+	sl.keyed.AddBatch(keys)
+	sl.pending += len(keys)
+	e.pending.Add(int64(len(keys)))
+	s.pendingKeys.Add(int64(len(keys)))
+	sl.release()
 	s.met.ingestedKeys.Add(uint64(len(keys)))
+	s.markDirty(e)
 	return nil
 }
 
 // IngestHashed is Ingest for pre-hashed keys (clients that run the
-// store's Hasher on their side and ship uint64s; see Keyed.Hasher).
+// store's hash on their side — Store.HashKey, or knw.NewHasher with
+// the store's seed and universe — and ship uint64s).
 func (s *Store) IngestHashed(name string, keys []uint64) error {
 	e, err := s.lookup(name, true)
 	if err != nil {
 		return err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.window != nil {
-		s.met.rotations.Add(uint64(e.window.rotate(s.now())))
+	if len(keys) == 0 {
+		return nil
 	}
-	(&fanout{e: e}).AddBatch(keys)
+	if e.window != nil {
+		e.writeStamp.Store(s.now().UnixNano())
+	}
+	sl := e.claim()
+	if sl.sk == nil {
+		sl.sk = s.newSketch()
+		sl.keyed = knw.NewKeyed[string](sl.sk)
+	}
+	sl.sk.AddBatch(keys)
+	sl.pending += len(keys)
+	e.pending.Add(int64(len(keys)))
+	s.pendingKeys.Add(int64(len(keys)))
+	sl.release()
 	s.met.ingestedKeys.Add(uint64(len(keys)))
+	s.markDirty(e)
 	return nil
 }
 
@@ -332,6 +396,7 @@ func (s *Store) Estimate(name string) (Estimate, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	s.drainLocked(e) // read barrier: include this caller's completed writes
 	out := Estimate{
 		Store:     name,
 		Sketch:    e.total.Name(),
@@ -386,6 +451,7 @@ func (s *Store) Snapshot(name string, buf []byte) ([]byte, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	s.drainLocked(e) // envelopes must carry every acknowledged write
 	return appendSketch(buf, e.total)
 }
 
@@ -407,6 +473,7 @@ func (s *Store) WindowSnapshot(name string, buf []byte) ([]byte, error) {
 	if e.window == nil {
 		return nil, fmt.Errorf("%w (%q)", ErrNotWindowed, name)
 	}
+	s.drainLocked(e)
 	s.met.rotations.Add(uint64(e.window.rotate(s.now())))
 	return appendSketch(buf, e.window.merged())
 }
@@ -430,8 +497,13 @@ func (s *Store) Restore(name string, envelope []byte) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Fold pending deltas into the outgoing total first: writes
+	// acknowledged before the Restore belong to the replaced state, not
+	// the restored one. Then discard the slots — persistent ones retain
+	// history that must not leak into the restored sketch.
+	s.drainLocked(e)
+	s.discardSlotsLocked(e)
 	e.total = peer
-	e.keyed = knw.NewKeyed[string](&fanout{e: e})
 	return nil
 }
 
