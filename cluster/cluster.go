@@ -83,6 +83,12 @@ type Config struct {
 	Timeout time.Duration
 	// Client overrides the HTTP client used for peer traffic.
 	Client *http.Client
+	// GossipInterval enables anti-entropy replication (gossip.go): every
+	// interval the node syncs replica envelopes from random peers and
+	// serves merged-view estimates locally. Zero disables gossip.
+	GossipInterval time.Duration
+	// GossipFanout is how many random peers each round syncs (0 = all).
+	GossipFanout int
 	// Logf receives operational log lines. Nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -121,6 +127,7 @@ type Router struct {
 	ring   *ring
 	self   int // member index of cfg.Self
 	client *http.Client
+	gossip *gossiper // nil when Config.GossipInterval is zero
 	met    routerMetrics
 }
 
@@ -133,6 +140,7 @@ type routerMetrics struct {
 	forwardSeconds *metrics.HistogramVec
 	gatherSeconds  *metrics.Histogram
 	gatherPartial  *metrics.Counter
+	partialServed  *metrics.Counter
 	routedKeys     *metrics.Counter
 	localKeys      *metrics.Counter
 }
@@ -169,6 +177,9 @@ func New(cfg Config, st *store.Store, reg *metrics.Registry) (*Router, error) {
 	}
 	rt := &Router{cfg: cfg, local: st, ring: r, self: self, client: client}
 	rt.initMetrics(reg)
+	if cfg.GossipInterval > 0 {
+		rt.gossip = newGossiper(rt, reg)
+	}
 	return rt, nil
 }
 
@@ -188,6 +199,8 @@ func (rt *Router) initMetrics(reg *metrics.Registry) {
 			metrics.DefBuckets),
 		gatherPartial: reg.NewCounter("knwd_cluster_gather_partial_total",
 			"Scatter-gather estimates served without every peer."),
+		partialServed: reg.NewCounter("knwd_cluster_partial_estimates_total",
+			"Cluster estimates answered 200 from a partial gather (the stale-local fallback)."),
 		routedKeys: reg.NewCounter("knwd_cluster_routed_keys_total",
 			"Keys accepted by POST /v1/cluster/ingest."),
 		localKeys: reg.NewCounter("knwd_cluster_local_keys_total",

@@ -412,3 +412,188 @@ func TestConfigValidation(t *testing.T) {
 		t.Errorf("valid config rejected: %v", err)
 	}
 }
+
+// startGossipCluster is startCluster with anti-entropy gossip enabled.
+// The httptest harness never calls Server.Run (which owns the loop in
+// production), so the loop is started and stopped here.
+func startGossipCluster(t *testing.T, n, replication int, interval time.Duration) []*node {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*node, n)
+	for i := range nodes {
+		srv, err := service.New(service.Config{
+			Store: store.Config{
+				Kind:    knw.KindConcurrentF0,
+				Options: []knw.Option{knw.WithEpsilon(testEps), knw.WithSeed(1)},
+			},
+			Cluster: &cluster.Config{
+				Self:           peers[i],
+				Peers:          peers,
+				Replication:    replication,
+				GossipInterval: interval,
+				Backoff:        5 * time.Millisecond,
+				Timeout:        5 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &httptest.Server{
+			Listener: lns[i],
+			Config:   &http.Server{Handler: srv.Handler()},
+		}
+		hs.Start()
+		srv.Cluster().StartGossip()
+		nodes[i] = &node{srv: srv, hs: hs, url: peers[i]}
+		t.Cleanup(func() { srv.Cluster().StopGossip(); hs.Close() })
+	}
+	return nodes
+}
+
+// TestGossipEndToEnd drives the full service stack: routed ingest on
+// one node, background anti-entropy, then O(1) merged-view estimates
+// from every node's plain /v1/estimate — no scatter-gather on the read
+// path — plus the mode switch on /v1/cluster/estimate.
+func TestGossipEndToEnd(t *testing.T) {
+	const (
+		totalKeys = 60_000
+		interval  = 50 * time.Millisecond
+	)
+	nodes := startGossipCluster(t, 3, 1, interval)
+	if status, out := ingestLines(t, nodes[0].url, "acme/users", genKeys("user", 0, totalKeys)); status != http.StatusOK {
+		t.Fatalf("cluster ingest: HTTP %d: %s", status, out)
+	}
+
+	// Every node's /v1/estimate converges to the cluster-wide count via
+	// background gossip alone.
+	type localEst struct {
+		AllTime          float64 `json:"all_time"`
+		Mode             string  `json:"mode"`
+		Replicas         int     `json:"replicas"`
+		StalenessSeconds float64 `json:"staleness_seconds"`
+	}
+	getLocal := func(nd *node, query string) (localEst, http.Header, int) {
+		t.Helper()
+		resp, err := http.Get(nd.url + "/v1/estimate?store=acme/users" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		var est localEst
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &est); err != nil {
+				t.Fatalf("decoding: %v (%s)", err, body)
+			}
+		}
+		return est, resp.Header, resp.StatusCode
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < len(nodes); {
+		est, hdr, status := getLocal(nodes[i], "")
+		if status == http.StatusOK && math.Abs(est.AllTime-totalKeys)/totalKeys <= testEps {
+			if est.Mode != "local" {
+				t.Fatalf("node %d /v1/estimate mode = %q, want local", i, est.Mode)
+			}
+			if hdr.Get("X-KNW-Staleness") == "" {
+				t.Fatalf("node %d merged estimate missing the staleness header", i)
+			}
+			i++
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d never converged: HTTP %d, %.0f vs %d", i, status, est.AllTime, totalKeys)
+		}
+		time.Sleep(interval / 2)
+	}
+
+	// The staleness each node reports stays bounded by ~2x the interval
+	// while the loop runs (generous slack for a loaded CI box).
+	est, _, _ := getLocal(nodes[1], "")
+	if est.StalenessSeconds > 20*interval.Seconds() {
+		t.Fatalf("staleness %.3fs way over the gossip interval %v", est.StalenessSeconds, interval)
+	}
+
+	// view=shard bypasses the merged view: with 3 nodes and R=1 each
+	// shard holds roughly a third of the keys.
+	var shard struct {
+		AllTime float64 `json:"all_time"`
+	}
+	resp, err := http.Get(nodes[0].url + "/v1/estimate?store=acme/users&view=shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &shard); err != nil {
+		t.Fatal(err)
+	}
+	if shard.AllTime > 0.6*totalKeys || shard.AllTime == 0 {
+		t.Fatalf("view=shard estimate %.0f does not look like one shard of %d", shard.AllTime, totalKeys)
+	}
+
+	// /v1/cluster/estimate defaults to the merged view when gossip is
+	// on; mode=gather still scatter-gathers the same answer.
+	for _, q := range []string{"", "&mode=local", "&mode=gather"} {
+		resp, err := http.Get(nodes[2].url + "/v1/cluster/estimate?store=acme/users" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var doc map[string]any
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %q: HTTP %d: %s", q, resp.StatusCode, body)
+		}
+		if rel := math.Abs(doc["all_time"].(float64)-totalKeys) / totalKeys; rel > testEps {
+			t.Fatalf("mode %q: estimate %.0f vs %d", q, doc["all_time"].(float64), totalKeys)
+		}
+		wantLocal := q != "&mode=gather"
+		if isLocal := doc["mode"] == "local"; isLocal != wantLocal {
+			t.Fatalf("mode %q answered local=%v", q, isLocal)
+		}
+	}
+}
+
+// TestEstimateMergedViewNeedsGossip: without gossip, /v1/estimate stays
+// the shard-local answer and view=merged is a 400.
+func TestEstimateMergedViewNeedsGossip(t *testing.T) {
+	nodes := startCluster(t, 2, 1, store.Window{})
+	if status, out := ingestLines(t, nodes[0].url, "g/off", genKeys("k", 0, 100)); status != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d: %s", status, out)
+	}
+	resp, err := http.Get(nodes[0].url + "/v1/estimate?store=g/off&view=merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("view=merged without gossip: HTTP %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(nodes[0].url + "/v1/estimate?store=g/off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, merged := doc["mode"]; merged {
+		t.Fatalf("gossip-off /v1/estimate answered the merged view: %s", body)
+	}
+}

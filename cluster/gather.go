@@ -120,6 +120,12 @@ func (rt *Router) MergedEstimate(name string) (Estimate, error) {
 	if window != nil {
 		out.Window = window.Estimate()
 	}
+	if out.Partial {
+		// The stale-local fallback path: a 200 assembled without every
+		// peer. Counted separately from gatherPartial, which also covers
+		// partial gathers that ended in an error.
+		rt.met.partialServed.Inc()
+	}
 	rt.met.gatherSeconds.Observe(time.Since(t0).Seconds())
 	return out, nil
 }

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/frame"
@@ -284,11 +286,27 @@ func (rt *Router) settle(sessions []*session) (ingestResult, []int, int) {
 	return agg, failedIdx, worst
 }
 
-// HandleEstimate is GET /v1/cluster/estimate: the scatter-gather union
-// estimate. Partial assemblies answer 200 with X-KNW-Partial; a store
-// unknown everywhere answers 404; a gather that produced nothing at
-// all (every node unreachable and no local data) answers 503.
+// HandleEstimate is GET /v1/cluster/estimate. Two read modes:
+//
+//   - mode=gather: the scatter-gather union estimate. Partial
+//     assemblies answer 200 with X-KNW-Partial; a store unknown
+//     everywhere answers 404; a gather that produced nothing at all
+//     (every node unreachable and no local data) answers 503.
+//   - mode=local: the O(1) merged-view estimate over this node's own
+//     sketch plus its gossip replicas, with the X-KNW-Staleness
+//     header. Requires gossip replication (400 otherwise).
+//
+// The default is local when gossip is enabled (reads stop paying
+// fan-out the moment replication is on) and gather otherwise.
 func (rt *Router) HandleEstimate(w http.ResponseWriter, r *http.Request) {
+	switch mode := r.URL.Query().Get("mode"); {
+	case mode == "local" || (mode == "" && rt.gossip != nil):
+		rt.serveLocalEstimate(w, r)
+		return
+	case mode != "" && mode != "gather":
+		httpx.Fail(w, http.StatusBadRequest, fmt.Errorf("unknown estimate mode %q (local or gather)", mode))
+		return
+	}
 	est, err := rt.MergedEstimate(r.URL.Query().Get("store"))
 	if est.Partial {
 		w.Header().Set(PartialHeader, strings.Join(est.FailedPeers, ","))
@@ -307,13 +325,38 @@ func (rt *Router) HandleEstimate(w http.ResponseWriter, r *http.Request) {
 	httpx.Reply(w, http.StatusOK, est)
 }
 
+// serveLocalEstimate answers an estimate from the gossip merged view.
+func (rt *Router) serveLocalEstimate(w http.ResponseWriter, r *http.Request) {
+	est, err := rt.LocalEstimate(r.URL.Query().Get("store"))
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			httpx.Fail(w, http.StatusNotFound, err)
+		default:
+			httpx.Fail(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	w.Header().Set(StalenessHeader, strconv.FormatFloat(est.StalenessSeconds, 'f', 3, 64))
+	httpx.Reply(w, http.StatusOK, est)
+}
+
 // HandleInfo is GET /v1/cluster/info: the node's static cluster view,
 // for operators and the examples/cluster demo.
 func (rt *Router) HandleInfo(w http.ResponseWriter, _ *http.Request) {
-	httpx.Reply(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"self":        rt.cfg.Self,
 		"members":     rt.ring.members,
 		"replication": rt.cfg.Replication,
 		"vnodes":      rt.cfg.Vnodes,
-	})
+		"gossip":      rt.gossip != nil,
+	}
+	if rt.gossip != nil {
+		peers, replicas := rt.gossip.replicas.Stats()
+		out["gossip_interval"] = rt.cfg.GossipInterval.String()
+		out["gossip_peers"] = peers
+		out["gossip_replicas"] = replicas
+		out["staleness_seconds"] = rt.Staleness().Seconds()
+	}
+	httpx.Reply(w, http.StatusOK, out)
 }

@@ -59,6 +59,8 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster member including this node (e.g. http://10.0.0.1:7070,...); empty = single-node mode")
 		selfURL      = flag.String("self", "", "this node's own base URL, exactly as it appears in -peers (required with -peers)")
 		replication  = flag.Int("replication", 1, "cluster replicas per key, in [1, len(peers)]")
+		gossipEvery  = flag.Duration("gossip-interval", 0, "anti-entropy gossip interval (cluster mode); 0 disables gossip. With gossip on, estimates answer O(1) from the merged replica view, staleness bounded by ~2x this interval")
+		gossipFanout = flag.Int("gossip-fanout", 0, "peers synced per gossip round (0 = all peers every round)")
 	)
 	flag.Parse()
 
@@ -102,11 +104,15 @@ func main() {
 			log.Fatal("knwd: cluster mode requires an explicit -seed shared by every peer")
 		}
 		clusterCfg = &cluster.Config{
-			Self:        *selfURL,
-			Peers:       strings.Split(*peers, ","),
-			Replication: *replication,
-			Logf:        log.Printf,
+			Self:           *selfURL,
+			Peers:          strings.Split(*peers, ","),
+			Replication:    *replication,
+			GossipInterval: *gossipEvery,
+			GossipFanout:   *gossipFanout,
+			Logf:           log.Printf,
 		}
+	} else if *gossipEvery > 0 {
+		log.Fatal("knwd: -gossip-interval needs cluster mode (-peers/-self)")
 	}
 
 	srv, err := service.New(service.Config{

@@ -35,6 +35,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -74,6 +75,8 @@ func main() {
 		uBits    = flag.Uint("universe-bits", 32, "server key-universe width for -codec binary (must match knwd -universe-bits)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		out      = flag.String("out", "BENCH.json", "output JSON path (empty = stdout only)")
+		readR    = flag.Float64("read-ratio", 0, "fraction of mixed-phase requests that are estimate reads (0 = pure ingest). With -cluster the reads alternate mode=local and mode=gather; after the mixed phase a dedicated timed phase measures each mode's read QPS")
+		readDur  = flag.Duration("read-duration", 2*time.Second, "length of each mode's dedicated read-throughput phase (with -read-ratio)")
 	)
 	flag.Parse()
 	if *mode != "" {
@@ -87,6 +90,9 @@ func main() {
 	}
 	if *workers < 1 || *stores < 1 || *requests < 1 || *batch < 1 || *keyspace < 1 {
 		log.Fatal("knwload: -workers, -stores, -requests, -batch, -keyspace must be positive")
+	}
+	if *readR < 0 || *readR >= 1 {
+		log.Fatalf("knwload: -read-ratio must be in [0, 1), got %v", *readR)
 	}
 
 	// Cluster mode: spread ingest requests round-robin over every node's
@@ -135,12 +141,27 @@ func main() {
 		log.Printf("knwload: pre-run /metrics scrape failed (continuing without server deltas): %v", err)
 	}
 
+	// Read modes the mixed phase and the dedicated throughput phase
+	// drive: against a cluster the merged-view and scatter-gather read
+	// paths are measured side by side; single-node has one path.
+	var readModes []string
+	if *readR > 0 {
+		if *clusterF != "" {
+			readModes = []string{"local", "gather"}
+		} else {
+			readModes = []string{"single"}
+		}
+	}
+
 	var (
 		next      atomic.Int64 // request index dispenser
 		errCount  atomic.Int64
+		readErrs  atomic.Int64
+		ingests   atomic.Int64 // slots that actually carried keys
 		bytesSent atomic.Int64
 		wg        sync.WaitGroup
 		latCh     = make(chan []float64, *workers)
+		readCh    = make(chan map[string]*readStats, *workers)
 	)
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
@@ -164,7 +185,12 @@ func main() {
 				body   bytes.Buffer
 				hashed []uint64 // binary codec: pre-hashed batch
 				fbuf   []byte   // binary codec: frame scratch
+				nreads int
 			)
+			reads := make(map[string]*readStats, len(readModes))
+			for _, m := range readModes {
+				reads[m] = &readStats{}
+			}
 			if *codec == "binary" {
 				hashed = make([]uint64, *batch)
 			}
@@ -174,6 +200,18 @@ func main() {
 					break
 				}
 				si := r % *stores
+				if readModes != nil && rng.Float64() < *readR {
+					// A read slot: estimate the store mid-ingest, alternating
+					// modes so both read paths share the same contention.
+					m := readModes[nreads%len(readModes)]
+					nreads++
+					if err := reads[m].observe(client, addrs[r%len(addrs)], m, names[si], estimatePath); err != nil {
+						readErrs.Add(1)
+						log.Printf("knwload: read %d (%s): %v", r, m, err)
+					}
+					continue
+				}
+				ingests.Add(1)
 				for i := range ids {
 					id := draw()
 					ids[i] = id
@@ -209,16 +247,51 @@ func main() {
 				}
 			}
 			latCh <- lats
+			readCh <- reads
 		}(w)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 	close(latCh)
+	close(readCh)
 	var lats []float64
 	for l := range latCh {
 		lats = append(lats, l...)
 	}
 	sort.Float64s(lats)
+	mixedReads := make(map[string]*readStats, len(readModes))
+	for _, m := range readModes {
+		mixedReads[m] = &readStats{}
+	}
+	for per := range readCh {
+		for m, st := range per {
+			mixedReads[m].merge(st)
+		}
+	}
+
+	// Dedicated read-throughput phase: each mode gets the full worker
+	// pool for -read-duration, so the reported QPS is what that read
+	// path sustains, not an artifact of the mixed interleaving.
+	readReports := make([]readReport, 0, len(readModes))
+	for _, m := range readModes {
+		st, phaseWall := readPhase(client, addrs, m, names, estimatePath, *workers, *readDur)
+		qps := float64(st.count) / phaseWall.Seconds()
+		phaseErrs := st.errors
+		st.merge(mixedReads[m]) // latency quantiles cover both phases
+		sort.Float64s(st.lats)
+		readReports = append(readReports, readReport{
+			Mode:     m,
+			Requests: st.count,
+			Errors:   st.errors,
+			QPS:      qps,
+			LatencyMs: quantiles{
+				P50: quantile(st.lats, 0.50), P90: quantile(st.lats, 0.90),
+				P99: quantile(st.lats, 0.99), Max: quantile(st.lats, 1),
+			},
+			MaxStalenessSeconds: st.maxStale,
+		})
+		readErrs.Add(int64(phaseErrs))
+	}
 
 	after, err := scrapeAll(client, addrs)
 	if err != nil {
@@ -245,18 +318,43 @@ func main() {
 		}
 	}
 
-	sent := int64(*requests) * int64(*batch)
+	// Each read mode is judged against the same exact truth, so the
+	// report shows the merged view costs no accuracy vs scatter-gather.
+	for i := range readReports {
+		rr := &readReports[i]
+		var sum, worst float64
+		for si, name := range names {
+			truth := popcount(seen[si])
+			est, _, err := modeEstimate(client, addrs[si%len(addrs)], rr.Mode, name, estimatePath)
+			if err != nil {
+				log.Fatalf("knwload: %s estimate %s: %v", rr.Mode, name, err)
+			}
+			rel := 0.0
+			if truth > 0 {
+				rel = abs(est-float64(truth)) / float64(truth)
+			}
+			sum += rel
+			if rel > worst {
+				worst = rel
+			}
+		}
+		rr.MeanAbsRel = sum / float64(*stores)
+		rr.MaxAbsRel = worst
+	}
+
+	sent := ingests.Load() * int64(*batch)
 	report := benchReport{
 		Bench:     "knwload",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		Config: benchConfig{
 			Addr: *addr, Cluster: *clusterF, Workers: *workers, Stores: *stores, Requests: *requests,
 			Batch: *batch, Mode: *codec, Dist: *dist, ZipfS: *zipfS,
-			Keyspace: *keyspace, Seed: *seed,
+			Keyspace: *keyspace, Seed: *seed, ReadRatio: *readR,
 		},
 		WallSeconds:          wall.Seconds(),
 		RequestsSent:         *requests,
-		RequestErrors:        int(errCount.Load()),
+		RequestErrors:        int(errCount.Load() + readErrs.Load()),
+		Reads:                readReports,
 		KeysSent:             sent,
 		BodyBytesSent:        bytesSent.Load(),
 		ThroughputKeysPerSec: float64(sent) / wall.Seconds(),
@@ -284,7 +382,12 @@ func main() {
 		sent, wall.Seconds(), report.ThroughputKeysPerSec,
 		report.LatencyMs.P50, report.LatencyMs.P99, 100*report.EstimateError.MeanAbsRel,
 		report.RequestErrors)
-	if errCount.Load() > 0 {
+	for _, rr := range readReports {
+		fmt.Fprintf(os.Stderr,
+			"knwload: reads mode=%s: %.0f QPS, p50 %.2fms p99 %.2fms, mean err %.3f%%, max staleness %.3fs\n",
+			rr.Mode, rr.QPS, rr.LatencyMs.P50, rr.LatencyMs.P99, 100*rr.MeanAbsRel, rr.MaxStalenessSeconds)
+	}
+	if errCount.Load()+readErrs.Load() > 0 {
 		os.Exit(1)
 	}
 }
@@ -292,17 +395,18 @@ func main() {
 // --- report schema ---------------------------------------------------
 
 type benchConfig struct {
-	Addr     string  `json:"addr"`
-	Cluster  string  `json:"cluster,omitempty"`
-	Workers  int     `json:"workers"`
-	Stores   int     `json:"stores"`
-	Requests int     `json:"requests"`
-	Batch    int     `json:"batch"`
-	Mode     string  `json:"mode"`
-	Dist     string  `json:"dist"`
-	ZipfS    float64 `json:"zipf_s"`
-	Keyspace uint64  `json:"keyspace"`
-	Seed     int64   `json:"seed"`
+	Addr      string  `json:"addr"`
+	Cluster   string  `json:"cluster,omitempty"`
+	Workers   int     `json:"workers"`
+	Stores    int     `json:"stores"`
+	Requests  int     `json:"requests"`
+	Batch     int     `json:"batch"`
+	Mode      string  `json:"mode"`
+	Dist      string  `json:"dist"`
+	ZipfS     float64 `json:"zipf_s"`
+	Keyspace  uint64  `json:"keyspace"`
+	Seed      int64   `json:"seed"`
+	ReadRatio float64 `json:"read_ratio,omitempty"`
 }
 
 type quantiles struct {
@@ -332,6 +436,15 @@ type serverSide struct {
 	IngestReqsDelta    float64 `json:"ingest_requests_delta"`
 	StoreEntries       float64 `json:"store_entries"`
 	KeysPerSecObserved float64 `json:"keys_per_sec_observed"`
+	// Gossip transfer accounting (cluster runs with -gossip-interval):
+	// bytes and record counts shipped as KNWD section deltas vs full
+	// KNWE envelopes. avg(delta) = delta_bytes/deltas vs avg(full) =
+	// full_bytes/fulls is the steady-state delta-compression proof.
+	GossipTxDeltaBytes float64 `json:"gossip_tx_delta_bytes_delta,omitempty"`
+	GossipTxFullBytes  float64 `json:"gossip_tx_full_bytes_delta,omitempty"`
+	GossipTxDeltas     float64 `json:"gossip_tx_deltas_delta,omitempty"`
+	GossipTxFulls      float64 `json:"gossip_tx_fulls_delta,omitempty"`
+	GossipRounds       float64 `json:"gossip_rounds_delta,omitempty"`
 }
 
 type benchReport struct {
@@ -346,7 +459,22 @@ type benchReport struct {
 	ThroughputKeysPerSec float64       `json:"throughput_keys_per_sec"`
 	LatencyMs            quantiles     `json:"latency_ms"`
 	EstimateError        estimateError `json:"estimate_error"`
+	Reads                []readReport  `json:"reads,omitempty"`
 	Server               serverSide    `json:"server"`
+}
+
+// readReport is one estimate read path's scorecard (-read-ratio): the
+// mixed-phase and dedicated-phase latencies pooled, the dedicated
+// phase's sustained QPS, and accuracy vs exact truth.
+type readReport struct {
+	Mode                string    `json:"mode"` // local, gather, or single
+	Requests            int       `json:"requests"`
+	Errors              int       `json:"errors"`
+	QPS                 float64   `json:"qps"`
+	LatencyMs           quantiles `json:"latency_ms"`
+	MeanAbsRel          float64   `json:"mean_abs_rel"`
+	MaxAbsRel           float64   `json:"max_abs_rel"`
+	MaxStalenessSeconds float64   `json:"max_staleness_seconds,omitempty"`
 }
 
 // --- load plumbing ---------------------------------------------------
@@ -386,6 +514,113 @@ func postIngest(client *http.Client, endpoint, store, codec string, body []byte)
 		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
 	}
 	return nil
+}
+
+// readStats accumulates one mode's read observations.
+type readStats struct {
+	lats     []float64
+	count    int
+	errors   int
+	maxStale float64
+}
+
+// errStoreMiss marks a 404 read: early in a mixed run the store may
+// not exist anywhere yet (or not yet on the merged view's node), which
+// is a served answer, not a failure.
+var errStoreMiss = errors.New("store not present yet")
+
+// observe issues one estimate read and records its latency/staleness.
+func (st *readStats) observe(client *http.Client, base, mode, name, path string) error {
+	t0 := time.Now()
+	_, stale, err := modeEstimate(client, base, mode, name, path)
+	st.count++
+	if errors.Is(err, errStoreMiss) {
+		st.lats = append(st.lats, time.Since(t0).Seconds()*1e3)
+		return nil
+	}
+	if err != nil {
+		st.errors++
+		return err
+	}
+	st.lats = append(st.lats, time.Since(t0).Seconds()*1e3)
+	if stale > st.maxStale {
+		st.maxStale = stale
+	}
+	return nil
+}
+
+func (st *readStats) merge(other *readStats) {
+	st.lats = append(st.lats, other.lats...)
+	st.count += other.count
+	st.errors += other.errors
+	if other.maxStale > st.maxStale {
+		st.maxStale = other.maxStale
+	}
+}
+
+// modeEstimate reads one store's estimate through the named read path
+// and reports the X-KNW-Staleness the answer carried (merged-view
+// reads only; zero otherwise).
+func modeEstimate(client *http.Client, base, mode, name, path string) (float64, float64, error) {
+	url := base + path + "?store=" + name
+	if mode != "single" {
+		url += "&mode=" + mode
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return 0, 0, errStoreMiss
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var est struct {
+		AllTime float64 `json:"all_time"`
+	}
+	if err := json.Unmarshal(body, &est); err != nil {
+		return 0, 0, err
+	}
+	stale, _ := strconv.ParseFloat(resp.Header.Get("X-KNW-Staleness"), 64)
+	return est.AllTime, stale, nil
+}
+
+// readPhase hammers one read path with the full worker pool for dur
+// and returns the pooled stats plus the actual phase wall time.
+func readPhase(client *http.Client, addrs []string, mode string, names []string, path string, workers int, dur time.Duration) (*readStats, time.Duration) {
+	var (
+		wg  sync.WaitGroup
+		out = make(chan *readStats, workers)
+	)
+	start := time.Now()
+	deadline := start.Add(dur)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &readStats{}
+			for i := w; time.Now().Before(deadline); i++ {
+				if err := st.observe(client, addrs[i%len(addrs)], mode, names[i%len(names)], path); err != nil {
+					log.Printf("knwload: read phase (%s): %v", mode, err)
+				}
+			}
+			out <- st
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(out)
+	total := &readStats{}
+	for st := range out {
+		total.merge(st)
+	}
+	return total, wall
 }
 
 func fetchEstimate(client *http.Client, endpoint, store string) (float64, error) {
@@ -482,6 +717,11 @@ func serverDelta(before, after map[string]float64, wall time.Duration) serverSid
 		IngestReqsDelta:    after["knwd_http_requests_total"] - before["knwd_http_requests_total"],
 		StoreEntries:       after["knwd_store_entries"],
 		KeysPerSecObserved: keys / wall.Seconds(),
+		GossipTxDeltaBytes: after["knwd_gossip_tx_delta_bytes_total"] - before["knwd_gossip_tx_delta_bytes_total"],
+		GossipTxFullBytes:  after["knwd_gossip_tx_full_bytes_total"] - before["knwd_gossip_tx_full_bytes_total"],
+		GossipTxDeltas:     after["knwd_gossip_tx_deltas_total"] - before["knwd_gossip_tx_deltas_total"],
+		GossipTxFulls:      after["knwd_gossip_tx_fulls_total"] - before["knwd_gossip_tx_fulls_total"],
+		GossipRounds:       after["knwd_gossip_rounds_total"] - before["knwd_gossip_rounds_total"],
 	}
 }
 

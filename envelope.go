@@ -122,6 +122,9 @@ func Open(data []byte) (Estimator, error) {
 	if r.Err() != nil {
 		return nil, fmt.Errorf("knw: not a sketch payload: %w", r.Err())
 	}
+	if magic == deltaMagic {
+		return nil, fmt.Errorf("knw: KNWD delta envelope needs a base to apply to (see ApplyDelta)")
+	}
 	if magic == envMagic {
 		kind, payload, err := openEnvelope(&r)
 		if err != nil {

@@ -23,8 +23,14 @@
 //	                   all-time sketch (409 on mismatch)
 //	GET  /v1/stores    → JSON {"stores": [...], "kind": "..."}
 //	POST /v1/cluster/ingest    cluster mode: route keys to ring owners
-//	GET  /v1/cluster/estimate  cluster mode: scatter-gather union
+//	GET  /v1/cluster/estimate  cluster mode: ?mode=local the merged
+//	                   gossip view (O(1), X-KNW-Staleness header),
+//	                   ?mode=gather the scatter-gather union; local is
+//	                   the default once gossip is on
 //	GET  /v1/cluster/info      cluster mode: membership and settings
+//	GET  /v1/gossip/digest     gossip: this node's version vector
+//	POST /v1/gossip/pull       gossip: delta/full envelopes since the
+//	                   caller's base versions
 //	GET  /metrics      → Prometheus text exposition (service + store
 //	                   instruments; see internal/metrics)
 //	GET  /healthz      → 200 once serving
@@ -156,6 +162,20 @@ func New(cfg Config) (*Server, error) {
 		s.handle("POST /v1/cluster/ingest", "/v1/cluster/ingest", rt.HandleIngest)
 		s.handle("GET /v1/cluster/estimate", "/v1/cluster/estimate", rt.HandleEstimate)
 		s.handle("GET /v1/cluster/info", "/v1/cluster/info", rt.HandleInfo)
+		if rt.GossipEnabled() {
+			s.handle("GET /v1/gossip/digest", "/v1/gossip/digest", rt.HandleGossipDigest)
+			s.handle("POST /v1/gossip/pull", "/v1/gossip/pull", rt.HandleGossipPull)
+			if cfg.CheckpointDir != "" {
+				n, err := rt.Replicas().LoadCheckpoint(cfg.CheckpointDir)
+				if err != nil {
+					// A lost replica view is not data loss — the next gossip
+					// sweep rebuilds it — so restore best-effort.
+					cfg.Logf("knwd: replica view restore: %v", err)
+				} else if n > 0 {
+					cfg.Logf("knwd: restored %d replica envelopes from %s", n, cfg.CheckpointDir)
+				}
+			}
+		}
 	}
 	if cfg.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -180,13 +200,36 @@ func (s *Server) Store() *store.Store { return s.st }
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Checkpoint writes a checkpoint now (no-op without a configured
-// directory).
+// Checkpoint writes a full checkpoint now (no-op without a configured
+// directory), plus the replica view when gossip is on.
 func (s *Server) Checkpoint() error {
 	if s.cfg.CheckpointDir == "" {
 		return nil
 	}
+	s.checkpointReplicas()
 	return s.st.Checkpoint(s.cfg.CheckpointDir)
+}
+
+// checkpointTick is the background-loop variant: deltas against the
+// last full checkpoint file, with a full rewrite every Nth tick (see
+// store.Config.CheckpointFullEvery).
+func (s *Server) checkpointTick() error {
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	s.checkpointReplicas()
+	return s.st.CheckpointIncremental(s.cfg.CheckpointDir)
+}
+
+// checkpointReplicas persists the gossip replica view beside the store
+// checkpoint. Best-effort: the view is reconstructible from peers.
+func (s *Server) checkpointReplicas() {
+	if s.router == nil || !s.router.GossipEnabled() {
+		return
+	}
+	if err := s.router.Replicas().Checkpoint(s.cfg.CheckpointDir); err != nil {
+		s.cfg.Logf("knwd: replica checkpoint failed: %v", err)
+	}
 }
 
 // Run serves the API on addr until ctx is cancelled, checkpointing
@@ -212,13 +255,17 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 	go func() { errc <- hs.Serve(ln) }()
 	s.cfg.Logf("knwd: serving on %s (kind=%s checkpoint=%q every %v)",
 		ln.Addr(), s.st.Kind(), s.cfg.CheckpointDir, s.cfg.CheckpointEvery)
+	if s.router != nil {
+		s.router.StartGossip()
+		defer s.router.StopGossip()
+	}
 
 	ticker := time.NewTicker(s.cfg.CheckpointEvery)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
-			if err := s.Checkpoint(); err != nil {
+			if err := s.checkpointTick(); err != nil {
 				s.cfg.Logf("knwd: checkpoint failed: %v", err)
 			}
 		case err := <-errc:
@@ -228,6 +275,11 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 			defer cancel()
 			serr := hs.Shutdown(shutCtx)
 			<-errc // Serve has returned http.ErrServerClosed
+			// Quiesce gossip before the final checkpoint so the persisted
+			// replica view is not mid-splice.
+			if s.router != nil {
+				s.router.StopGossip()
+			}
 			// Stop the store's epoch loop and drain pending deltas so
 			// the final checkpoint captures every acknowledged write.
 			s.st.Close()
@@ -251,7 +303,39 @@ type ingestRequest struct {
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	est, err := s.st.Estimate(r.URL.Query().Get("store"))
+	name := r.URL.Query().Get("store")
+	view := r.URL.Query().Get("view")
+	switch view {
+	case "merged":
+		if s.router == nil || !s.router.GossipEnabled() {
+			s.fail(w, http.StatusBadRequest,
+				errors.New("view=merged needs gossip replication (-gossip-interval)"))
+			return
+		}
+	case "":
+		if s.router == nil || !s.router.GossipEnabled() {
+			view = "shard"
+		}
+	case "shard":
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown estimate view %q", view))
+		return
+	}
+	// With gossip on, /v1/estimate answers from the merged local+replica
+	// view by default — O(1), cluster-wide, bounded staleness — so "how
+	// many distinct users" needs no scatter-gather. view=shard keeps the
+	// raw this-node-only estimate reachable (debugging, shard balance).
+	if view != "shard" {
+		est, err := s.router.LocalEstimate(name)
+		if err != nil {
+			s.failStore(w, err)
+			return
+		}
+		w.Header().Set(cluster.StalenessHeader, fmt.Sprintf("%.3f", est.StalenessSeconds))
+		s.reply(w, http.StatusOK, est)
+		return
+	}
+	est, err := s.st.Estimate(name)
 	if err != nil {
 		s.failStore(w, err)
 		return

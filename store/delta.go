@@ -195,6 +195,7 @@ func (s *Store) drainLocked(e *entry) int {
 	if drained > 0 {
 		e.pending.Add(int64(-drained))
 		s.pendingKeys.Add(int64(-drained))
+		e.version.Add(1) // the epoch flush is the versioning quantum
 	}
 	e.lastDrain.Store(time.Now().UnixNano())
 	return drained

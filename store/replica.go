@@ -1,0 +1,415 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	knw "repro"
+	"repro/internal/binenc"
+)
+
+// ReplicaSet is a node's merged view of its peers: for every (peer,
+// store) pair the last envelope gossip pulled, held open beside the
+// canonical local Store. Estimates over the set are the union of the
+// local sketch and every replica — the O(1) read path that replaces
+// per-request scatter-gather — and the whole set checkpoints to disk
+// so a restarted node serves a warm view while gossip re-converges.
+//
+// The set is passive storage: cluster/gossip.go drives it (digest →
+// pull → ApplyFull/ApplyDelta). Every applied envelope is validated
+// against the store's template (kind, options, seed) before it is
+// accepted, so a misconfigured peer can corrupt nothing.
+
+// ErrStaleBase is returned by ApplyDelta when the delta's base version
+// does not match the replica's held version: the caller must re-pull a
+// full envelope (base 0).
+var ErrStaleBase = errors.New("store: delta base does not match held replica version")
+
+// replica is one (peer, store) envelope: the raw bytes (the delta
+// base for the next apply, and what checkpoints persist) plus the
+// opened estimator estimates merge from.
+type replica struct {
+	version uint64
+	env     []byte
+	est     knw.Estimator
+}
+
+// peerReplicas is everything held from one peer, pinned to the peer's
+// process instance id.
+type peerReplicas struct {
+	instance uint64
+	stores   map[string]*replica
+}
+
+// ViewEstimate is one merged-view read.
+type ViewEstimate struct {
+	// AllTime is the union estimate over the local sketch and every
+	// replica holding the store.
+	AllTime float64
+	// Replicas counts the peer replicas that contributed.
+	Replicas int
+	// LocalFound reports whether the local store holds the name itself.
+	LocalFound bool
+}
+
+// viewCache is one store's memoized merged estimate, valid while the
+// local entry version and the replica apply counter both stand still.
+type viewCache struct {
+	localVer uint64
+	touch    uint64
+	out      ViewEstimate
+}
+
+// ReplicaSet holds and serves the replica view. All methods are safe
+// for concurrent use.
+type ReplicaSet struct {
+	st *Store
+
+	mu    sync.Mutex
+	peers map[string]*peerReplicas
+	touch map[string]uint64 // per-store apply counter (cache invalidation)
+	cache map[string]viewCache
+}
+
+// NewReplicaSet builds an empty replica view over st.
+func NewReplicaSet(st *Store) *ReplicaSet {
+	return &ReplicaSet{
+		st:    st,
+		peers: make(map[string]*peerReplicas),
+		touch: make(map[string]uint64),
+		cache: make(map[string]viewCache),
+	}
+}
+
+// SetInstance records peer's process instance id, creating the peer on
+// first contact. When the id changes (the peer restarted), every held
+// version resets to zero — the peer's new counters share nothing with
+// its old life, so the next pull must fetch full envelopes — while the
+// envelopes themselves stay serving reads until replaced. It reports
+// whether the id changed.
+func (rs *ReplicaSet) SetInstance(peer string, instance uint64) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	pr := rs.peers[peer]
+	if pr == nil {
+		rs.peers[peer] = &peerReplicas{instance: instance, stores: make(map[string]*replica)}
+		return false
+	}
+	if pr.instance == instance {
+		return false
+	}
+	pr.instance = instance
+	for _, r := range pr.stores {
+		r.version = 0
+	}
+	return true
+}
+
+// BaseVersions returns the versions held from peer, the base vector a
+// pull request sends. Unknown peers return an empty map.
+func (rs *ReplicaSet) BaseVersions(peer string) map[string]uint64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make(map[string]uint64)
+	if pr := rs.peers[peer]; pr != nil {
+		for name, r := range pr.stores {
+			out[name] = r.version
+		}
+	}
+	return out
+}
+
+// ApplyFull replaces the (peer, name) replica with a full envelope at
+// version. The envelope is validated against the store template;
+// incompatible or undecodable envelopes are rejected wrapping
+// knw.ErrIncompatible or a decode error, leaving the old replica in
+// place.
+func (rs *ReplicaSet) ApplyFull(peer, name string, version uint64, env []byte) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	est, err := rs.st.openCompatible(env)
+	if err != nil {
+		return fmt.Errorf("store: replica %q from %s: %w", name, peer, err)
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	pr := rs.peers[peer]
+	if pr == nil {
+		pr = &peerReplicas{stores: make(map[string]*replica)}
+		rs.peers[peer] = pr
+	}
+	pr.stores[name] = &replica{version: version, env: append([]byte(nil), env...), est: est}
+	rs.touch[name]++
+	return nil
+}
+
+// ApplyDelta splices a KNWD delta onto the held (peer, name) replica.
+// A missing replica or a base-version mismatch returns ErrStaleBase
+// (re-pull full); a structurally incompatible or corrupt delta returns
+// the underlying error. The old replica survives any failure.
+func (rs *ReplicaSet) ApplyDelta(peer, name string, delta []byte) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	d, err := knw.DecodeDelta(delta)
+	if err != nil {
+		return err
+	}
+	rs.mu.Lock()
+	pr := rs.peers[peer]
+	var r *replica
+	if pr != nil {
+		r = pr.stores[name]
+	}
+	if r == nil || r.version != d.Base || r.version == 0 {
+		rs.mu.Unlock()
+		return fmt.Errorf("%w (%q from %s: held %d, delta base %d)",
+			ErrStaleBase, name, peer, heldVersion(r), d.Base)
+	}
+	baseEnv := r.env
+	rs.mu.Unlock()
+
+	// Splice and validate outside the lock: ApplyDelta allocates and
+	// openCompatible decodes a whole sketch.
+	env, err := knw.ApplyDelta(baseEnv, delta)
+	if err != nil {
+		return err
+	}
+	est, err := rs.st.openCompatible(env)
+	if err != nil {
+		return fmt.Errorf("store: replica %q from %s after delta: %w", name, peer, err)
+	}
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	// Re-check under the lock: a concurrent apply may have moved the
+	// replica past our base.
+	if pr = rs.peers[peer]; pr != nil {
+		r = pr.stores[name]
+	} else {
+		r = nil
+	}
+	if r == nil || r.version != d.Base {
+		return fmt.Errorf("%w (%q from %s: concurrent apply)", ErrStaleBase, name, peer)
+	}
+	pr.stores[name] = &replica{version: d.Next, env: env, est: est}
+	rs.touch[name]++
+	return nil
+}
+
+func heldVersion(r *replica) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.version
+}
+
+// Estimate serves the merged local+replica estimate for name. The
+// local store is read through a versioned snapshot (which drains, so
+// the view keeps read-your-writes for local ingest); the merge across
+// replicas is memoized and only recomputed when the local version or
+// the replica set actually changed. ErrNotFound means neither the
+// local store nor any replica holds the name.
+func (rs *ReplicaSet) Estimate(name string) (ViewEstimate, error) {
+	ds, err := rs.st.DeltaSnapshot(name, 0, false)
+	localFound := err == nil
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return ViewEstimate{}, err
+	}
+	var localVer uint64
+	if localFound {
+		localVer = ds.Version
+	}
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if c, ok := rs.cache[name]; ok && c.localVer == localVer && c.touch == rs.touch[name] {
+		return c.out, nil
+	}
+	var acc knw.Estimator
+	if localFound {
+		acc, err = knw.Open(ds.Env)
+		if err != nil {
+			return ViewEstimate{}, err
+		}
+	}
+	replicas := 0
+	for _, pr := range rs.peers {
+		r := pr.stores[name]
+		if r == nil {
+			continue
+		}
+		// Replicas were validated at apply time, so failures here are
+		// bugs; reads degrade to the remaining contributions rather than
+		// erroring.
+		if acc == nil {
+			// Open a fresh copy from the raw envelope: the accumulator is
+			// mutated by later merges and must never be a held replica.
+			fresh, err := knw.Open(r.env)
+			if err != nil {
+				continue
+			}
+			acc = fresh
+		} else if err := knw.MergeInto(acc, r.est); err != nil {
+			continue
+		}
+		replicas++
+	}
+	if acc == nil {
+		return ViewEstimate{}, fmt.Errorf("%w %q", ErrNotFound, name)
+	}
+	out := ViewEstimate{AllTime: acc.Estimate(), Replicas: replicas, LocalFound: localFound}
+	rs.cache[name] = viewCache{localVer: localVer, touch: rs.touch[name], out: out}
+	return out, nil
+}
+
+// Stats reports the view's size: peers known, replicas held.
+func (rs *ReplicaSet) Stats() (peers, replicas int) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for _, pr := range rs.peers {
+		replicas += len(pr.stores)
+	}
+	return len(rs.peers), replicas
+}
+
+// Replica checkpoint file ("KNWR"): the serialized replica view,
+// written beside the store checkpoint so a restarted node serves a
+// warm merged view immediately. Peer instance ids are persisted —
+// they identify the peer's process, not ours — so held versions stay
+// valid across our own restarts for peers that kept running.
+//
+//	uvarint replicaMagic ("KNWR")
+//	uvarint version (1)
+//	uvarint peer count
+//	per peer (sorted by url):
+//	  bytes   peer url
+//	  uvarint instance
+//	  uvarint store count
+//	  per store (sorted by name):
+//	    bytes   name
+//	    uvarint version
+//	    bytes   envelope
+const (
+	replicaMagic   = 0x4b4e5752 // "KNWR"
+	replicaVersion = 1
+	// ReplicaFile is the file name ReplicaSet.Checkpoint writes inside
+	// its directory argument.
+	ReplicaFile = "replicas.knwr"
+)
+
+// Checkpoint atomically writes the replica view to dir/replicas.knwr.
+func (rs *ReplicaSet) Checkpoint(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rs.mu.Lock()
+	w := binenc.Writer{}
+	w.Uvarint(replicaMagic)
+	w.Uvarint(replicaVersion)
+	w.Uvarint(uint64(len(rs.peers)))
+	peers := make([]string, 0, len(rs.peers))
+	for peer := range rs.peers {
+		peers = append(peers, peer)
+	}
+	sort.Strings(peers)
+	for _, peer := range peers {
+		pr := rs.peers[peer]
+		w.Bytes([]byte(peer))
+		w.Uvarint(pr.instance)
+		w.Uvarint(uint64(len(pr.stores)))
+		names := make([]string, 0, len(pr.stores))
+		for name := range pr.stores {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			r := pr.stores[name]
+			w.Bytes([]byte(name))
+			w.Uvarint(r.version)
+			w.Bytes(r.env)
+		}
+	}
+	rs.mu.Unlock()
+	return writeFileAtomic(filepath.Join(dir, ReplicaFile), w.Buf)
+}
+
+// LoadCheckpoint restores the replica view written by Checkpoint,
+// replacing the current view. A missing file is not an error. Loading
+// is all-or-nothing: every envelope is decoded and validated before
+// any of it is installed, and corrupt files return an error wrapping
+// ErrCorruptCheckpoint. It returns the number of replicas restored.
+func (rs *ReplicaSet) LoadCheckpoint(dir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ReplicaFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	r := binenc.Reader{Buf: data}
+	r.Expect(replicaMagic, "replica checkpoint magic")
+	if v := r.Uvarint(); r.Err() == nil && v != replicaVersion {
+		return 0, fmt.Errorf("%w: unsupported replica version %d", ErrCorruptCheckpoint, v)
+	}
+	peerCount := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return 0, fmt.Errorf("%w: bad replica header: %v", ErrCorruptCheckpoint, err)
+	}
+	if peerCount > 1<<16 {
+		return 0, fmt.Errorf("%w: replica header claims %d peers", ErrCorruptCheckpoint, peerCount)
+	}
+	staged := make(map[string]*peerReplicas, peerCount)
+	total := 0
+	for p := uint64(0); p < peerCount; p++ {
+		peer := string(r.BytesView())
+		instance := r.Uvarint()
+		storeCount := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return 0, fmt.Errorf("%w: bad replica peer frame: %v", ErrCorruptCheckpoint, err)
+		}
+		if peer == "" || storeCount > 1<<20 || staged[peer] != nil {
+			return 0, fmt.Errorf("%w: bad replica peer %q", ErrCorruptCheckpoint, peer)
+		}
+		pr := &peerReplicas{instance: instance, stores: make(map[string]*replica, storeCount)}
+		for i := uint64(0); i < storeCount; i++ {
+			name := string(r.BytesView())
+			version := r.Uvarint()
+			env := r.Bytes()
+			if err := r.Err(); err != nil {
+				return 0, fmt.Errorf("%w: bad replica frame: %v", ErrCorruptCheckpoint, err)
+			}
+			if err := ValidateName(name); err != nil {
+				return 0, fmt.Errorf("%w: replica name: %v", ErrCorruptCheckpoint, err)
+			}
+			if pr.stores[name] != nil {
+				return 0, fmt.Errorf("%w: duplicate replica %q from %s", ErrCorruptCheckpoint, name, peer)
+			}
+			est, err := rs.st.openCompatible(env)
+			if err != nil {
+				return 0, wrapEntryErr(name, err)
+			}
+			pr.stores[name] = &replica{version: version, env: env, est: est}
+			total++
+		}
+		staged[peer] = pr
+	}
+	if len(r.Buf) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes in replica file", ErrCorruptCheckpoint, len(r.Buf))
+	}
+	rs.mu.Lock()
+	rs.peers = staged
+	for _, pr := range staged {
+		for name := range pr.stores {
+			rs.touch[name]++
+		}
+	}
+	rs.mu.Unlock()
+	return total, nil
+}

@@ -82,6 +82,12 @@ type Config struct {
 	// Now overrides the clock used for window rotation (tests). Nil
 	// means time.Now.
 	Now func() time.Time
+	// CheckpointFullEvery is the cadence of full checkpoint rewrites
+	// under CheckpointIncremental: every Nth call writes the full file,
+	// the calls between write a cumulative delta file against it
+	// (checkpoint.go). Zero means the default (8); 1 makes every
+	// incremental call a full checkpoint.
+	CheckpointFullEvery int
 	// EpochInterval is the background delta-drain cadence (see
 	// delta.go). Zero means the default (10ms) with the real clock; when
 	// Now is overridden, zero disables the background loop so a test's
@@ -105,6 +111,14 @@ type Store struct {
 	shards   [registryShards]registryShard
 	met      storeMetrics
 	lastCkpt atomic.Int64 // unix nanos of the last successful checkpoint
+
+	// Incremental-checkpoint chain state (checkpoint.go): the id of the
+	// last full checkpoint this process wrote, how many delta files have
+	// been written against it, and the per-entry versions it captured.
+	ckptMu   sync.Mutex
+	ckptID   uint64
+	ckptSeq  uint64
+	ckptBase map[string]uint64
 
 	// Hashing identity, pinned at New: what clients pre-hashing keys on
 	// their side (the binary frame codec) must reproduce.
@@ -141,6 +155,12 @@ type entry struct {
 	mu     sync.Mutex
 	total  knw.Estimator
 	window *windowRing
+	// version counts state changes to total (drains that merged keys,
+	// Merge, Restore, checkpoint install), starting at 1 on creation;
+	// enc is the section-level encode cache DeltaSnapshot serves from
+	// (version.go). enc is guarded by mu.
+	version atomic.Uint64
+	enc     *sectionCache
 
 	slots      []deltaSlot
 	rr         atomic.Uint32 // round-robin slot-claim hint
@@ -305,6 +325,7 @@ func (s *Store) lookup(name string, create bool) (*entry, error) {
 // newEntry builds an empty entry with the store defaults.
 func (s *Store) newEntry() *entry {
 	e := &entry{total: s.newSketch(), slots: make([]deltaSlot, s.slots)}
+	e.version.Store(1) // creation is itself replicable state
 	if s.cfg.Window.enabled() {
 		e.window = newWindowRing(s.cfg.Window, s.newSketch)
 	}
@@ -437,7 +458,11 @@ func (s *Store) Merge(name string, envelope []byte) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return knw.MergeInto(e.total, peer)
+	if err := knw.MergeInto(e.total, peer); err != nil {
+		return err
+	}
+	e.version.Add(1)
+	return nil
 }
 
 // Snapshot appends name's all-time sketch as a self-describing
@@ -504,6 +529,7 @@ func (s *Store) Restore(name string, envelope []byte) error {
 	s.drainLocked(e)
 	s.discardSlotsLocked(e)
 	e.total = peer
+	e.version.Add(1)
 	return nil
 }
 
