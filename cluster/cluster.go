@@ -43,11 +43,13 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/store"
 )
 
@@ -89,8 +91,18 @@ type Config struct {
 	GossipInterval time.Duration
 	// GossipFanout is how many random peers each round syncs (0 = all).
 	GossipFanout int
-	// Logf receives operational log lines. Nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured operational logs. Nil discards them. The
+	// service layer passes its own logger down so cluster events share
+	// the daemon's -log-level/-log-format.
+	Log *slog.Logger
+	// Tracer, when non-nil, traces peer traffic: forwards, gathers, and
+	// gossip syncs carry the X-KNW-Trace header so remote spans join
+	// the caller's trace. The service layer passes its tracer down.
+	Tracer *trace.Tracer
+	// Stages, when non-nil, receives the cluster's share of the
+	// knwd_stage_seconds histogram (peer_forward, gossip_pull,
+	// gossip_apply). The service layer owns the vec.
+	Stages *metrics.HistogramVec
 }
 
 func (c *Config) withDefaults() Config {
@@ -113,8 +125,8 @@ func (c *Config) withDefaults() Config {
 	if out.Timeout == 0 {
 		out.Timeout = 5 * time.Second
 	}
-	if out.Logf == nil {
-		out.Logf = func(string, ...any) {}
+	if out.Log == nil {
+		out.Log = trace.DiscardLogger()
 	}
 	return out
 }
@@ -127,7 +139,9 @@ type Router struct {
 	ring   *ring
 	self   int // member index of cfg.Self
 	client *http.Client
-	gossip *gossiper // nil when Config.GossipInterval is zero
+	log    *slog.Logger
+	tracer *trace.Tracer // may be nil (library embeddings)
+	gossip *gossiper     // nil when Config.GossipInterval is zero
 	met    routerMetrics
 }
 
@@ -143,6 +157,12 @@ type routerMetrics struct {
 	partialServed  *metrics.Counter
 	routedKeys     *metrics.Counter
 	localKeys      *metrics.Counter
+
+	// Cached knwd_stage_seconds series (Config.Stages; nil without a
+	// stage vec).
+	stageForward *metrics.Histogram // successful forward batches
+	stagePull    *metrics.Histogram // gossip pull HTTP round-trips
+	stageApply   *metrics.Histogram // gossip envelope validation + install
 }
 
 // New validates the configuration, builds the ring, and returns the
@@ -175,7 +195,8 @@ func New(cfg Config, st *store.Store, reg *metrics.Registry) (*Router, error) {
 			},
 		}
 	}
-	rt := &Router{cfg: cfg, local: st, ring: r, self: self, client: client}
+	rt := &Router{cfg: cfg, local: st, ring: r, self: self, client: client,
+		log: cfg.Log, tracer: cfg.Tracer}
 	rt.initMetrics(reg)
 	if cfg.GossipInterval > 0 {
 		rt.gossip = newGossiper(rt, reg)
@@ -205,6 +226,11 @@ func (rt *Router) initMetrics(reg *metrics.Registry) {
 			"Keys accepted by POST /v1/cluster/ingest."),
 		localKeys: reg.NewCounter("knwd_cluster_local_keys_total",
 			"Routed key-replicas owned by this node itself."),
+	}
+	if rt.cfg.Stages != nil {
+		rt.met.stageForward = rt.cfg.Stages.With("peer_forward")
+		rt.met.stagePull = rt.cfg.Stages.With("gossip_pull")
+		rt.met.stageApply = rt.cfg.Stages.With("gossip_apply")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/frame"
 	"repro/internal/httpx"
+	"repro/internal/trace"
 )
 
 // session is one cluster-ingest request's routing state for a single
@@ -49,9 +50,15 @@ type session struct {
 
 	owners []int  // scratch for ring.owners
 	body   []byte // scratch for frame encoding
+
+	// act is the request's sampled span (nil when unsampled); hdr is
+	// its rendered X-KNW-Trace value, computed once per session and
+	// attached to every forward so peer spans join the trace.
+	act *trace.Active
+	hdr string
 }
 
-func (rt *Router) newSession(store string) *session {
+func (rt *Router) newSession(store string, act *trace.Active) *session {
 	n := len(rt.ring.members)
 	return &session{
 		rt:      rt,
@@ -60,6 +67,8 @@ func (rt *Router) newSession(store string) *session {
 		sent:    make([]int, n),
 		lost:    make([]int, n),
 		failed:  make([]bool, n),
+		act:     act,
+		hdr:     act.HeaderValue(),
 	}
 }
 
@@ -115,6 +124,8 @@ func (s *session) finish() error {
 	rt := s.rt
 	rt.met.routedKeys.Add(uint64(s.received))
 	rt.met.localKeys.Add(uint64(s.local))
+	s.act.SetStore(s.store)
+	s.act.AddKeys(s.received)
 	return nil
 }
 
@@ -128,7 +139,9 @@ func (s *session) flushLocal() {
 		// error; count it against self like any other replica loss.
 		s.lost[s.rt.self] += len(s.localBuf)
 		s.failed[s.rt.self] = true
-		s.rt.cfg.Logf("cluster: local ingest of %d keys failed: %v", len(s.localBuf), err)
+		s.act.SetError(err)
+		s.rt.log.Error("local ingest failed", "keys", len(s.localBuf), "err", err,
+			"trace", s.act.TraceHex())
 	} else {
 		s.local += len(s.localBuf)
 		s.sent[s.rt.self] += len(s.localBuf)
@@ -191,10 +204,13 @@ func (s *session) send(m int, keys []uint64) {
 			backoff *= 2
 		}
 		t0 := time.Now()
-		err, permanent := rt.postBatch(peer, s.store, s.body)
+		err, permanent := rt.postBatch(peer, s.store, s.body, s.hdr)
 		if err == nil {
-			rt.met.forwardSeconds.With(peer).Observe(time.Since(t0).Seconds())
+			d := time.Since(t0)
+			rt.met.forwardSeconds.With(peer).Observe(d.Seconds())
+			rt.met.stageForward.Observe(d.Seconds())
 			rt.met.forwardKeys.With(peer).Add(uint64(len(keys)))
+			s.act.Stage("peer_forward", d)
 			s.sent[m] += len(keys)
 			return
 		}
@@ -206,15 +222,26 @@ func (s *session) send(m int, keys []uint64) {
 	s.failed[m] = true
 	s.lost[m] += len(keys)
 	rt.met.forwardErrors.With(peer).Inc()
-	rt.cfg.Logf("cluster: forwarding %d keys to %s failed: %v", len(keys), peer, lastErr)
+	s.act.SetError(lastErr)
+	rt.log.Warn("forward failed", "peer", peer, "keys", len(keys), "err", lastErr,
+		"trace", s.act.TraceHex())
 }
 
-// postBatch sends one frame to a peer's single-node ingest. The second
-// return marks permanent failures (4xx: the peer is up but rejects the
+// postBatch sends one frame to a peer's single-node ingest, carrying
+// the trace header when the request is sampled. The second return
+// marks permanent failures (4xx: the peer is up but rejects the
 // request — retrying cannot help).
-func (rt *Router) postBatch(peer, storeName string, body []byte) (err error, permanent bool) {
+func (rt *Router) postBatch(peer, storeName string, body []byte, hdr string) (err error, permanent bool) {
 	u := peer + "/v1/ingest?store=" + url.QueryEscape(storeName)
-	resp, err := rt.client.Post(u, httpx.FrameContentType, bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return err, false
+	}
+	req.Header.Set("Content-Type", httpx.FrameContentType)
+	if hdr != "" {
+		req.Header.Set(trace.Header, hdr)
+	}
+	resp, err := rt.client.Do(req)
 	if err != nil {
 		return err, false
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	knw "repro"
+	"repro/internal/trace"
 	"repro/store"
 )
 
@@ -57,6 +59,14 @@ type gatherRes struct {
 // "no data anywhere": every reachable node 404ed (errors.Is
 // store.ErrNotFound) or the store name is invalid.
 func (rt *Router) MergedEstimate(name string) (Estimate, error) {
+	return rt.mergedEstimate(name, nil)
+}
+
+// mergedEstimate is MergedEstimate with the caller's sampled span (nil
+// when the request is unsampled or the caller is not a request): the
+// scatter carries the trace header so peer snapshot handlers join the
+// trace, and the span is annotated with the gather outcome.
+func (rt *Router) mergedEstimate(name string, act *trace.Active) (Estimate, error) {
 	if err := store.ValidateName(name); err != nil {
 		return Estimate{}, err
 	}
@@ -69,7 +79,7 @@ func (rt *Router) MergedEstimate(name string) (Estimate, error) {
 		Replication: rt.cfg.Replication,
 	}
 
-	results := rt.scatter(name, windowed)
+	results := rt.scatter(name, windowed, act.HeaderValue())
 
 	var total, window knw.Estimator
 	var failed []int
@@ -96,7 +106,9 @@ func (rt *Router) MergedEstimate(name string) (Estimate, error) {
 		}
 		if res.err != nil {
 			failed = append(failed, res.member)
-			rt.cfg.Logf("cluster: gather %q from %s: %v", name, rt.ring.members[res.member], res.err)
+			rt.log.Warn("gather failed", "store", name,
+				"peer", rt.ring.members[res.member], "err", res.err,
+				"trace", act.TraceHex())
 			continue
 		}
 		out.NodesOK++
@@ -126,13 +138,18 @@ func (rt *Router) MergedEstimate(name string) (Estimate, error) {
 		// partial gathers that ended in an error.
 		rt.met.partialServed.Inc()
 	}
-	rt.met.gatherSeconds.Observe(time.Since(t0).Seconds())
+	d := time.Since(t0)
+	rt.met.gatherSeconds.Observe(d.Seconds())
+	act.SetStore(name)
+	act.Stage("gather", d)
 	return out, nil
 }
 
 // scatter collects every member's envelopes for name concurrently: the
-// local store is read in-process, peers over GET /v1/snapshot.
-func (rt *Router) scatter(name string, windowed bool) []gatherRes {
+// local store is read in-process, peers over GET /v1/snapshot. hdr is
+// the caller's rendered trace header ("" when unsampled), attached to
+// every peer fetch.
+func (rt *Router) scatter(name string, windowed bool, hdr string) []gatherRes {
 	results := make([]gatherRes, len(rt.ring.members))
 	var wg sync.WaitGroup
 	for m := range rt.ring.members {
@@ -144,7 +161,7 @@ func (rt *Router) scatter(name string, windowed bool) []gatherRes {
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			results[m] = rt.fetchSnapshot(m, name, windowed)
+			results[m] = rt.fetchSnapshot(m, name, windowed, hdr)
 		}(m)
 	}
 	wg.Wait()
@@ -174,10 +191,10 @@ func (rt *Router) localSnapshot(m int, name string, windowed bool) gatherRes {
 
 // fetchSnapshot pulls one peer's envelopes for name. A 404 means the
 // peer holds no keys for the store — a healthy empty contribution.
-func (rt *Router) fetchSnapshot(m int, name string, windowed bool) gatherRes {
+func (rt *Router) fetchSnapshot(m int, name string, windowed bool, hdr string) gatherRes {
 	res := gatherRes{member: m}
 	peer := rt.ring.members[m]
-	env, found, err := rt.getSnapshot(peer, name, "")
+	env, found, err := rt.getSnapshot(peer, name, "", hdr)
 	if err != nil {
 		res.err = err
 		return res
@@ -187,18 +204,25 @@ func (rt *Router) fetchSnapshot(m int, name string, windowed bool) gatherRes {
 	}
 	res.env = env
 	if windowed {
-		res.winEnv, _, res.err = rt.getSnapshot(peer, name, "window")
+		res.winEnv, _, res.err = rt.getSnapshot(peer, name, "window", hdr)
 	}
 	return res
 }
 
 // getSnapshot GETs one envelope from a peer; found is false on 404.
-func (rt *Router) getSnapshot(peer, name, scope string) (env []byte, found bool, err error) {
+func (rt *Router) getSnapshot(peer, name, scope, hdr string) (env []byte, found bool, err error) {
 	u := peer + "/v1/snapshot?store=" + url.QueryEscape(name)
 	if scope != "" {
 		u += "&scope=" + scope
 	}
-	resp, err := rt.client.Get(u)
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if hdr != "" {
+		req.Header.Set(trace.Header, hdr)
+	}
+	resp, err := rt.client.Do(req)
 	if err != nil {
 		return nil, false, err
 	}
@@ -217,4 +241,62 @@ func (rt *Router) getSnapshot(peer, name, scope string) (env []byte, found bool,
 		return nil, false, err
 	}
 	return env, true, nil
+}
+
+// TraceResult is one peer's contribution to a cluster-wide trace
+// gather: the peer URL and its local sampled traces (or the error that
+// kept it from answering).
+type TraceResult struct {
+	Peer   string
+	Traces []trace.Tree
+	Err    error
+}
+
+// GatherTraces fans GET /v1/debug/traces?<query> out to every peer but
+// self, concurrently, and returns one result per peer. query is the
+// caller's filter set (trace=, store=, min_ms=, limit=) already
+// stripped of scope — each peer answers with its local view only,
+// and the caller merges.
+func (rt *Router) GatherTraces(query string) []TraceResult {
+	var peers []string
+	for m, peer := range rt.ring.members {
+		if m != rt.self {
+			peers = append(peers, peer)
+		}
+	}
+	out := make([]TraceResult, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		out[i].Peer = peer
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			out[i].Traces, out[i].Err = rt.fetchTraces(peer, query)
+		}(i, peer)
+	}
+	wg.Wait()
+	return out
+}
+
+func (rt *Router) fetchTraces(peer, query string) ([]trace.Tree, error) {
+	u := peer + "/v1/debug/traces"
+	if query != "" {
+		u += "?" + query
+	}
+	resp, err := rt.client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("peer answered HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var body struct {
+		Traces []trace.Tree `json:"traces"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Traces, nil
 }

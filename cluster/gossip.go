@@ -17,6 +17,7 @@ import (
 	"repro/internal/binenc"
 	"repro/internal/httpx"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/store"
 )
 
@@ -160,7 +161,30 @@ func newGossiper(rt *Router, reg *metrics.Registry) *gossiper {
 	reg.NewGaugeFunc("knwd_gossip_replicas",
 		"Replica envelopes held in the merged view.",
 		func() float64 { _, n := g.replicas.Stats(); return float64(n) })
+	peerStale := reg.NewGaugeFuncVec("knwd_gossip_peer_staleness_seconds",
+		"Per-peer replication lag: seconds since the last complete sync with the peer.",
+		"peer")
+	for i, m := range rt.ring.members {
+		if i == rt.self {
+			continue
+		}
+		peer := m
+		peerStale.With(func() float64 { return g.peerStaleness(peer).Seconds() }, peer)
+	}
 	return g
+}
+
+// peerStaleness is the age of the last complete sync with one peer
+// (the gossiper's own age for peers never reached).
+func (g *gossiper) peerStaleness(peer string) time.Duration {
+	now := g.now().UnixNano()
+	g.mu.Lock()
+	last := g.lastSync[peer]
+	g.mu.Unlock()
+	if last == 0 {
+		last = g.start
+	}
+	return time.Duration(now - last)
 }
 
 // GossipEnabled reports whether this router runs anti-entropy
@@ -252,7 +276,10 @@ func (g *gossiper) run(stop, done chan struct{}) {
 	}
 }
 
-// round syncs the fanout's worth of random peers concurrently.
+// round syncs the fanout's worth of random peers concurrently. Each
+// sync is a traced local operation (subject to the sampling rate), so
+// a sampled round shows up in /v1/debug/traces with its pull and apply
+// stage split.
 func (g *gossiper) round() {
 	t0 := time.Now()
 	peers := g.pickPeers()
@@ -261,15 +288,23 @@ func (g *gossiper) round() {
 		wg.Add(1)
 		go func(peer string) {
 			defer wg.Done()
-			if err := g.syncPeer(peer); err != nil {
+			act := g.rt.tracer.StartLocal("gossip.sync")
+			act.SetPeer(peer)
+			err := g.syncPeer(peer, act)
+			g.rt.tracer.FinishLocal(act, err)
+			if err != nil {
 				g.met.peerFailures.With(peer).Inc()
-				g.rt.cfg.Logf("cluster: gossip sync %s: %v", peer, err)
+				g.rt.log.Warn("gossip sync failed", "peer", peer, "err", err,
+					"trace", act.TraceHex())
 			}
 		}(peer)
 	}
 	wg.Wait()
 	g.met.rounds.Inc()
-	g.met.roundSeconds.Observe(time.Since(t0).Seconds())
+	d := time.Since(t0)
+	g.met.roundSeconds.Observe(d.Seconds())
+	g.rt.log.Debug("gossip round", "peers", len(peers),
+		"duration_ms", float64(d)/float64(time.Millisecond))
 }
 
 // pickPeers selects this round's sync targets: every other member, or
@@ -293,8 +328,9 @@ func (g *gossiper) pickPeers() []string {
 // syncPeer brings the replica view for one peer up to date: digest,
 // diff, pull, and a base-0 re-pull for any delta that no longer
 // applies.
-func (g *gossiper) syncPeer(peer string) error {
-	dig, err := g.fetchDigest(peer)
+func (g *gossiper) syncPeer(peer string, act *trace.Active) error {
+	hdr := act.HeaderValue()
+	dig, err := g.fetchDigest(peer, hdr)
 	if err != nil {
 		return err
 	}
@@ -307,7 +343,7 @@ func (g *gossiper) syncPeer(peer string) error {
 		}
 	}
 	if len(want) > 0 {
-		retry, err := g.pull(peer, dig.Instance, want)
+		retry, err := g.pull(peer, dig.Instance, want, hdr, act)
 		if err != nil {
 			return err
 		}
@@ -316,7 +352,7 @@ func (g *gossiper) syncPeer(peer string) error {
 			for _, name := range retry {
 				zero[name] = 0
 			}
-			if again, err := g.pull(peer, dig.Instance, zero); err != nil {
+			if again, err := g.pull(peer, dig.Instance, zero, hdr, act); err != nil {
 				return err
 			} else if len(again) > 0 {
 				return fmt.Errorf("cluster: %s served stale deltas for base-0 pull of %v", peer, again)
@@ -329,9 +365,16 @@ func (g *gossiper) syncPeer(peer string) error {
 	return nil
 }
 
-func (g *gossiper) fetchDigest(peer string) (gossipDigest, error) {
+func (g *gossiper) fetchDigest(peer, hdr string) (gossipDigest, error) {
 	var dig gossipDigest
-	resp, err := g.rt.client.Get(peer + "/v1/gossip/digest")
+	req, err := http.NewRequest(http.MethodGet, peer+"/v1/gossip/digest", nil)
+	if err != nil {
+		return dig, err
+	}
+	if hdr != "" {
+		req.Header.Set(trace.Header, hdr)
+	}
+	resp, err := g.rt.client.Do(req)
 	if err != nil {
 		return dig, err
 	}
@@ -352,12 +395,21 @@ func (g *gossiper) fetchDigest(peer string) (gossipDigest, error) {
 // pull fetches and applies the requested envelopes. It returns the
 // names whose deltas hit ErrStaleBase (the caller re-pulls base 0);
 // anything else wrong with the stream or its contents is an error.
-func (g *gossiper) pull(peer string, instance uint64, want map[string]uint64) ([]string, error) {
+func (g *gossiper) pull(peer string, instance uint64, want map[string]uint64, hdr string, act *trace.Active) ([]string, error) {
 	body, err := json.Marshal(pullRequest{Instance: instance, Versions: want})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := g.rt.client.Post(peer+"/v1/gossip/pull", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, peer+"/v1/gossip/pull", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if hdr != "" {
+		req.Header.Set(trace.Header, hdr)
+	}
+	t0 := time.Now()
+	resp, err := g.rt.client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -373,6 +425,15 @@ func (g *gossiper) pull(peer string, instance uint64, want map[string]uint64) ([
 	if len(data) > maxGossipBody {
 		return nil, fmt.Errorf("pull: response exceeds %d bytes", maxGossipBody)
 	}
+	pullDur := time.Since(t0)
+	g.rt.met.stagePull.Observe(pullDur.Seconds())
+	act.Stage("gossip_pull", pullDur)
+	applyStart := time.Now()
+	defer func() {
+		d := time.Since(applyStart)
+		g.rt.met.stageApply.Observe(d.Seconds())
+		act.Stage("gossip_apply", d)
+	}()
 
 	r := binenc.Reader{Buf: data}
 	r.Expect(gossipMagic, "gossip magic")

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 type gnode struct {
 	st          *store.Store
 	rt          *Router
+	reg         *metrics.Registry
 	url         string
 	partitioned atomic.Bool
 }
@@ -51,17 +53,18 @@ func startGossipNodes(t *testing.T, n int, interval time.Duration) []*gnode {
 		if err != nil {
 			t.Fatal(err)
 		}
+		reg := metrics.NewRegistry()
 		rt, err := New(Config{
 			Self:           peers[i],
 			Peers:          peers,
 			Replication:    1,
 			GossipInterval: interval,
 			Timeout:        5 * time.Second,
-		}, st, metrics.NewRegistry())
+		}, st, reg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		nd := &gnode{st: st, rt: rt, url: peers[i]}
+		nd := &gnode{st: st, rt: rt, reg: reg, url: peers[i]}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/v1/gossip/digest", rt.HandleGossipDigest)
 		mux.HandleFunc("/v1/gossip/pull", rt.HandleGossipPull)
@@ -352,6 +355,47 @@ func TestPartialEstimateCounter(t *testing.T) {
 	assertWithin(t, "stale-local fallback", est.AllTime, 1_000, testGossipEps)
 	if got := rt.met.partialServed.Value(); got != 1 {
 		t.Fatalf("partial-estimates counter = %d, want 1", got)
+	}
+}
+
+// TestPerPeerStalenessMetric: knwd_gossip_peer_staleness_seconds
+// exposes one scrape-time series per peer, tracking each peer's own
+// last sync — a partitioned peer's series keeps growing while the
+// healthy one resets every round.
+func TestPerPeerStalenessMetric(t *testing.T) {
+	nodes := startGossipNodes(t, 3, time.Second)
+	g := nodes[0].rt.gossip
+	now := time.Unix(1_700_000_000, 0)
+	g.now = func() time.Time { return now }
+	g.start = now.UnixNano()
+
+	scrape := func() string {
+		var b strings.Builder
+		if err := nodes[0].reg.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	series := func(peer string) string {
+		return `knwd_gossip_peer_staleness_seconds{peer="` + peer + `"} `
+	}
+	out := scrape()
+	for i, nd := range nodes {
+		want := i != 0 // every peer but self gets a series
+		if got := strings.Contains(out, series(nd.url)); got != want {
+			t.Errorf("series for %s present=%v, want %v:\n%s", nd.url, got, want, out)
+		}
+	}
+
+	nodes[2].partitioned.Store(true)
+	now = now.Add(2 * time.Second)
+	nodes[0].rt.GossipRound()
+	out = scrape()
+	if !strings.Contains(out, series(nodes[1].url)+"0\n") {
+		t.Errorf("healthy peer staleness != 0 after round:\n%s", out)
+	}
+	if !strings.Contains(out, series(nodes[2].url)+"2\n") {
+		t.Errorf("partitioned peer staleness != 2s:\n%s", out)
 	}
 }
 

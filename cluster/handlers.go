@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/frame"
 	"repro/internal/httpx"
+	"repro/internal/trace"
+	"repro/internal/version"
 	"repro/store"
 )
 
@@ -67,6 +69,7 @@ func (rt *Router) HandleIngest(w http.ResponseWriter, r *http.Request) {
 // ?store= target on every member.
 func (rt *Router) ingestFrames(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("store")
+	act := trace.FromContext(r.Context())
 	fr := frame.NewReader(http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes), make([]byte, 64<<10))
 	if err := fr.ReadHeader(); err != nil {
 		httpx.Fail(w, httpx.ReadStatus(err), err)
@@ -94,7 +97,7 @@ func (rt *Router) ingestFrames(w http.ResponseWriter, r *http.Request) {
 		}
 		s := sessions[target]
 		if s == nil {
-			s = rt.newSession(target)
+			s = rt.newSession(target, act)
 			sessions[target] = s
 			order = append(order, s)
 		}
@@ -119,7 +122,7 @@ func (rt *Router) ingestFrames(w http.ResponseWriter, r *http.Request) {
 			httpx.Fail(w, http.StatusBadRequest, err)
 			return
 		}
-		s := rt.newSession(name)
+		s := rt.newSession(name, act)
 		s.createAll()
 		rt.finishIngest(w, s)
 		return
@@ -133,7 +136,7 @@ func (rt *Router) ingestLines(w http.ResponseWriter, r *http.Request) {
 		httpx.Fail(w, http.StatusBadRequest, err)
 		return
 	}
-	s := rt.newSession(name)
+	s := rt.newSession(name, trace.FromContext(r.Context()))
 	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes))
 	sc.Buffer(make([]byte, 64<<10), httpx.MaxKeyBytes)
 	batch := make([]string, 0, routeBatch)
@@ -168,6 +171,7 @@ func (rt *Router) ingestLines(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) ingestJSON(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("store")
+	act := trace.FromContext(r.Context())
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes))
 	var order []*session
 	sessions := map[string]*session{}
@@ -191,7 +195,7 @@ func (rt *Router) ingestJSON(w http.ResponseWriter, r *http.Request) {
 		}
 		s := sessions[target]
 		if s == nil {
-			s = rt.newSession(target)
+			s = rt.newSession(target, act)
 			sessions[target] = s
 			order = append(order, s)
 		}
@@ -204,7 +208,7 @@ func (rt *Router) ingestJSON(w http.ResponseWriter, r *http.Request) {
 			httpx.Fail(w, http.StatusBadRequest, err)
 			return
 		}
-		s := rt.newSession(name)
+		s := rt.newSession(name, act)
 		s.createAll()
 		rt.finishIngest(w, s)
 		return
@@ -307,7 +311,7 @@ func (rt *Router) HandleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpx.Fail(w, http.StatusBadRequest, fmt.Errorf("unknown estimate mode %q (local or gather)", mode))
 		return
 	}
-	est, err := rt.MergedEstimate(r.URL.Query().Get("store"))
+	est, err := rt.mergedEstimate(r.URL.Query().Get("store"), trace.FromContext(r.Context()))
 	if est.Partial {
 		w.Header().Set(PartialHeader, strings.Join(est.FailedPeers, ","))
 	}
@@ -346,6 +350,7 @@ func (rt *Router) serveLocalEstimate(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) HandleInfo(w http.ResponseWriter, _ *http.Request) {
 	out := map[string]any{
 		"self":        rt.cfg.Self,
+		"version":     version.Version,
 		"members":     rt.ring.members,
 		"replication": rt.cfg.Replication,
 		"vnodes":      rt.cfg.Vnodes,

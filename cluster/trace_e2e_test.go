@@ -1,0 +1,182 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/store"
+)
+
+// TestClusterTracePropagation is the tracing acceptance check: one
+// traced POST /v1/cluster/ingest produces a single trace whose spans
+// come from at least two nodes, parent/child linked — the routing span
+// adopts the client header's span id as parent, and every peer's leaf
+// ingest span hangs off the routing span.
+func TestClusterTracePropagation(t *testing.T) {
+	nodes := startCluster(t, 3, 2, store.Window{})
+
+	const hdr = "00000000deadbeef-0000000000000001-1"
+	keys := genKeys("trace", 0, 500)
+	req, err := http.NewRequest(http.MethodPost,
+		nodes[0].url+"/v1/cluster/ingest?store=traced",
+		strings.NewReader(strings.Join(keys, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.Header, hdr)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster ingest: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	// scope=cluster merges every node's ring into one tree.
+	resp, err = http.Get(nodes[0].url + "/v1/debug/traces?trace=00000000deadbeef&scope=cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug traces: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Traces []trace.Tree `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 1 {
+		t.Fatalf("got %d traces for id deadbeef, want 1: %s", len(out.Traces), body)
+	}
+	tree := out.Traces[0]
+
+	// The routing span: handled the cluster ingest, child of the
+	// client's span id from the header.
+	var routing *trace.SpanView
+	for i := range tree.Spans {
+		if tree.Spans[i].Name == "/v1/cluster/ingest" {
+			routing = &tree.Spans[i]
+		}
+	}
+	if routing == nil {
+		t.Fatalf("no routing span in tree: %s", body)
+	}
+	if routing.Parent != "0000000000000001" {
+		t.Errorf("routing span parent = %q, want the header's span id", routing.Parent)
+	}
+	if routing.Store != "traced" || routing.Keys != len(keys) {
+		t.Errorf("routing span = store %q keys %d, want traced/%d", routing.Store, routing.Keys, len(keys))
+	}
+	hasForward := false
+	for _, st := range routing.Stages {
+		if st.Stage == "peer_forward" {
+			hasForward = true
+		}
+	}
+	if !hasForward {
+		t.Errorf("routing span stages = %v, want peer_forward", routing.Stages)
+	}
+
+	// Leaf ingest spans recorded by peers, children of the routing span.
+	nodesSeen := map[string]bool{routing.Node: true}
+	leaves := 0
+	for _, sp := range tree.Spans {
+		if sp.Name != "/v1/ingest" {
+			continue
+		}
+		leaves++
+		nodesSeen[sp.Node] = true
+		if sp.Parent != routing.Span {
+			t.Errorf("leaf span on %s has parent %q, want routing span %q", sp.Node, sp.Parent, routing.Span)
+		}
+	}
+	if leaves == 0 {
+		t.Fatalf("no forwarded leaf spans in tree: %s", body)
+	}
+	if len(nodesSeen) < 2 {
+		t.Fatalf("trace covers %d node(s), want >= 2: %s", len(nodesSeen), body)
+	}
+
+	// An unsampled header ('0' flag) must record nothing anywhere.
+	req, _ = http.NewRequest(http.MethodPost,
+		nodes[1].url+"/v1/cluster/ingest?store=traced",
+		strings.NewReader("one-more\n"))
+	req.Header.Set(trace.Header, "00000000cafef00d-0000000000000002-0")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, _ = http.Get(nodes[1].url + "/v1/debug/traces?trace=00000000cafef00d&scope=cluster")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var out2 struct {
+		Traces []trace.Tree `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if len(out2.Traces) != 0 {
+		t.Errorf("unsampled header recorded %d traces: %s", len(out2.Traces), body)
+	}
+}
+
+// TestClusterEstimateTraced: a traced scatter-gather estimate records
+// the gather stage on the serving node and snapshot spans on peers.
+func TestClusterEstimateTraced(t *testing.T) {
+	nodes := startCluster(t, 3, 1, store.Window{})
+	if code, body := ingestLines(t, nodes[0].url, "est", genKeys("est", 0, 300)); code != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d: %s", code, body)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, nodes[0].url+"/v1/cluster/estimate?store=est", nil)
+	req.Header.Set(trace.Header, "00000000feedf00d-0000000000000003-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: HTTP %d", resp.StatusCode)
+	}
+
+	resp, _ = http.Get(nodes[0].url + "/v1/debug/traces?trace=00000000feedf00d&scope=cluster")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var out struct {
+		Traces []trace.Tree `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 1 {
+		t.Fatalf("got %d traces, want 1: %s", len(out.Traces), body)
+	}
+	nodesSeen := map[string]bool{}
+	gatherStage := false
+	for _, sp := range out.Traces[0].Spans {
+		nodesSeen[sp.Node] = true
+		for _, st := range sp.Stages {
+			if st.Stage == "gather" {
+				gatherStage = true
+			}
+		}
+	}
+	if !gatherStage {
+		t.Errorf("no gather stage in trace: %s", body)
+	}
+	if len(nodesSeen) < 2 {
+		t.Fatalf("estimate trace covers %d node(s), want >= 2: %s", len(nodesSeen), body)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -37,6 +38,8 @@ import (
 
 	knw "repro"
 	"repro/cluster"
+	"repro/internal/trace"
+	"repro/internal/version"
 	"repro/service"
 	"repro/store"
 )
@@ -61,8 +64,23 @@ func main() {
 		replication  = flag.Int("replication", 1, "cluster replicas per key, in [1, len(peers)]")
 		gossipEvery  = flag.Duration("gossip-interval", 0, "anti-entropy gossip interval (cluster mode); 0 disables gossip. With gossip on, estimates answer O(1) from the merged replica view, staleness bounded by ~2x this interval")
 		gossipFanout = flag.Int("gossip-fanout", 0, "peers synced per gossip round (0 = all peers every round)")
+		traceSample  = flag.Float64("trace-sample", 0.01, "probability a request starts a trace, in [0, 1] (sampled traces appear in GET /v1/debug/traces)")
+		traceSlowMs  = flag.Float64("trace-slow-ms", 250, "record and log every request at least this slow even when unsampled; 0 disables")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logFormat    = flag.String("log-format", "text", "log output format: text or json")
+		showVersion  = flag.Bool("version", false, "print the knwd version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("knwd %s (%s)\n", version.Version, runtime.Version())
+		return
+	}
+
+	logger, err := trace.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatalf("knwd: %v", err)
+	}
 
 	kind, err := knw.ParseKind(*kindName)
 	if err != nil {
@@ -109,7 +127,7 @@ func main() {
 			Replication:    *replication,
 			GossipInterval: *gossipEvery,
 			GossipFanout:   *gossipFanout,
-			Logf:           log.Printf,
+			Log:            logger,
 		}
 	} else if *gossipEvery > 0 {
 		log.Fatal("knwd: -gossip-interval needs cluster mode (-peers/-self)")
@@ -125,7 +143,12 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		Pprof:           *pprofOn,
-		Logf:            log.Printf,
+		Log:             logger,
+		Trace: trace.Config{
+			Sample: *traceSample,
+			Slow:   time.Duration(*traceSlowMs * float64(time.Millisecond)),
+			Log:    logger,
+		},
 		OnListen: func(addr net.Addr) {
 			// The ready file appears only after the listener is bound, so
 			// scripts wait on the file instead of sleep-polling the port.
@@ -133,7 +156,7 @@ func main() {
 				return
 			}
 			if werr := os.WriteFile(*readyFile, []byte(addr.String()+"\n"), 0o644); werr != nil {
-				log.Printf("knwd: writing ready file: %v", werr)
+				logger.Error("writing ready file", "path", *readyFile, "err", werr)
 			}
 		},
 	})

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math/bits"
 	"math/rand"
 	"net/http"
@@ -55,6 +56,10 @@ import (
 	"repro/internal/frame"
 	"repro/internal/httpx"
 )
+
+// logx is the harness's structured logger (stderr text). Fatal paths
+// keep the stdlib log.Fatal* helpers for their exit semantics.
+var logx = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	var (
@@ -138,7 +143,7 @@ func main() {
 
 	before, err := scrapeAll(client, addrs)
 	if err != nil {
-		log.Printf("knwload: pre-run /metrics scrape failed (continuing without server deltas): %v", err)
+		logx.Warn("pre-run /metrics scrape failed (continuing without server deltas)", "err", err)
 	}
 
 	// Read modes the mixed phase and the dedicated throughput phase
@@ -207,7 +212,7 @@ func main() {
 					nreads++
 					if err := reads[m].observe(client, addrs[r%len(addrs)], m, names[si], estimatePath); err != nil {
 						readErrs.Add(1)
-						log.Printf("knwload: read %d (%s): %v", r, m, err)
+						logx.Warn("read failed", "request", r, "mode", m, "err", err)
 					}
 					continue
 				}
@@ -243,7 +248,7 @@ func main() {
 				lats = append(lats, time.Since(t0).Seconds()*1e3)
 				if err != nil {
 					errCount.Add(1)
-					log.Printf("knwload: request %d: %v", r, err)
+					logx.Warn("ingest request failed", "request", r, "err", err)
 				}
 			}
 			latCh <- lats
@@ -295,7 +300,7 @@ func main() {
 
 	after, err := scrapeAll(client, addrs)
 	if err != nil {
-		log.Printf("knwload: post-run /metrics scrape failed: %v", err)
+		logx.Warn("post-run /metrics scrape failed", "err", err)
 	}
 
 	// Judge estimates against the exact generated cardinality.
@@ -387,8 +392,52 @@ func main() {
 			"knwload: reads mode=%s: %.0f QPS, p50 %.2fms p99 %.2fms, mean err %.3f%%, max staleness %.3fs\n",
 			rr.Mode, rr.QPS, rr.LatencyMs.P50, rr.LatencyMs.P99, 100*rr.MeanAbsRel, rr.MaxStalenessSeconds)
 	}
+	printStages(report.Server.Stages)
+	if report.Server.MaxPeerStaleness > 0 {
+		fmt.Fprintf(os.Stderr, "knwload: worst per-peer gossip staleness %.3fs\n",
+			report.Server.MaxPeerStaleness)
+	}
+	printTrace(fetchTrace(client, addrs[0]))
 	if errCount.Load()+readErrs.Load() > 0 {
 		os.Exit(1)
+	}
+}
+
+// printStages renders the server-side stage attribution as a table:
+// where the daemon itself says the run's time went, stage by stage.
+func printStages(stages map[string]stageDelta) {
+	if len(stages) == 0 {
+		return
+	}
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return stages[names[i]].Seconds > stages[names[j]].Seconds
+	})
+	fmt.Fprintf(os.Stderr, "knwload: server stage breakdown (knwd_stage_seconds delta):\n")
+	fmt.Fprintf(os.Stderr, "  %-14s %12s %10s %10s\n", "stage", "seconds", "count", "mean µs")
+	for _, name := range names {
+		d := stages[name]
+		fmt.Fprintf(os.Stderr, "  %-14s %12.4f %10.0f %10.2f\n", name, d.Seconds, d.Count, d.MeanUs)
+	}
+}
+
+// printTrace renders one sampled trace's span/stage tree, when the
+// server's sampling recorded any.
+func printTrace(tr *traceSummary) {
+	if tr == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "knwload: sampled trace %s (%.2fms, %d spans):\n",
+		tr.Trace, tr.DurationMs, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		fmt.Fprintf(os.Stderr, "  %s %s store=%s %.2fms", sp.Node, sp.Name, sp.Store, sp.DurationMs)
+		for _, st := range sp.Stages {
+			fmt.Fprintf(os.Stderr, " %s=%.2fms", st.Stage, st.Ms)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 }
 
@@ -445,6 +494,12 @@ type serverSide struct {
 	GossipTxDeltas     float64 `json:"gossip_tx_deltas_delta,omitempty"`
 	GossipTxFulls      float64 `json:"gossip_tx_fulls_delta,omitempty"`
 	GossipRounds       float64 `json:"gossip_rounds_delta,omitempty"`
+	// Stages is the run's knwd_stage_seconds delta per stage label: the
+	// server's own attribution of where ingest/merge/forward time went.
+	Stages map[string]stageDelta `json:"stages,omitempty"`
+	// MaxPeerStaleness is the worst per-peer gossip lag (seconds) any
+	// node reported at the end of the run.
+	MaxPeerStaleness float64 `json:"max_peer_staleness_seconds,omitempty"`
 }
 
 type benchReport struct {
@@ -607,7 +662,7 @@ func readPhase(client *http.Client, addrs []string, mode string, names []string,
 			st := &readStats{}
 			for i := w; time.Now().Before(deadline); i++ {
 				if err := st.observe(client, addrs[i%len(addrs)], mode, names[i%len(names)], path); err != nil {
-					log.Printf("knwload: read phase (%s): %v", mode, err)
+					logx.Warn("read phase request failed", "mode", mode, "err", err)
 				}
 			}
 			out <- st
@@ -645,28 +700,47 @@ func fetchEstimate(client *http.Client, endpoint, store string) (float64, error)
 	return est.AllTime, nil
 }
 
+// metricsScrape is one pass over the fleet's /metrics: family totals
+// (labels collapsed — what the before/after deltas want), plus full
+// labeled series both summed and maxed across nodes (stage histograms
+// are counters, so sums are right; per-peer staleness gauges want the
+// worst node).
+type metricsScrape struct {
+	sums   map[string]float64
+	series map[string]float64
+	maxes  map[string]float64
+}
+
 // scrapeAll sums /metrics across every node — in cluster mode each
 // node's leaf counters only see its own ring share, so the fleet-wide
 // sum is the number comparable to the keys the client sent (replicas
 // make it R× the sent count).
-func scrapeAll(client *http.Client, addrs []string) (map[string]float64, error) {
-	total := make(map[string]float64)
+func scrapeAll(client *http.Client, addrs []string) (*metricsScrape, error) {
+	total := &metricsScrape{
+		sums:   make(map[string]float64),
+		series: make(map[string]float64),
+		maxes:  make(map[string]float64),
+	}
 	for _, a := range addrs {
 		m, err := scrapeMetrics(client, a)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", a, err)
 		}
-		for k, v := range m {
-			total[k] += v
+		for k, v := range m.sums {
+			total.sums[k] += v
+		}
+		for k, v := range m.series {
+			total.series[k] += v
+			if v > total.maxes[k] {
+				total.maxes[k] = v
+			}
 		}
 	}
 	return total, nil
 }
 
-// scrapeMetrics fetches /metrics and returns base-name sums: labeled
-// series collapse into their family total, which is what a
-// before/after delta wants.
-func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+// scrapeMetrics fetches one node's /metrics.
+func scrapeMetrics(client *http.Client, base string) (*metricsScrape, error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return nil, err
@@ -679,7 +753,10 @@ func scrapeMetrics(client *http.Client, base string) (map[string]float64, error)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
 	}
-	out := make(map[string]float64)
+	out := &metricsScrape{
+		sums:   make(map[string]float64),
+		series: make(map[string]float64),
+	}
 	for _, line := range strings.Split(string(body), "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -693,36 +770,127 @@ func scrapeMetrics(client *http.Client, base string) (map[string]float64, error)
 			continue
 		}
 		series := line[:sp]
+		out.series[series] += v
 		if br := strings.IndexByte(series, '{'); br >= 0 {
 			series = series[:br]
 		}
-		out[series] += v
+		out.sums[series] += v
 	}
 	return out, nil
 }
 
-func serverDelta(before, after map[string]float64, wall time.Duration) serverSide {
+// stageDelta is one knwd_stage_seconds{stage} family's share of the
+// run: total server-side seconds, observation count, and mean.
+type stageDelta struct {
+	Seconds float64 `json:"seconds"`
+	Count   float64 `json:"count"`
+	MeanUs  float64 `json:"mean_us"`
+}
+
+// stageBreakdown diffs the per-stage histogram sums/counts between the
+// two scrapes, keyed by stage label.
+func stageBreakdown(before, after *metricsScrape) map[string]stageDelta {
+	const (
+		sumPre   = `knwd_stage_seconds_sum{stage="`
+		countPre = `knwd_stage_seconds_count{stage="`
+	)
+	out := make(map[string]stageDelta)
+	for series, v := range after.series {
+		if !strings.HasPrefix(series, sumPre) {
+			continue
+		}
+		stage := strings.TrimSuffix(strings.TrimPrefix(series, sumPre), `"}`)
+		countKey := countPre + stage + `"}`
+		d := stageDelta{
+			Seconds: v - before.series[series],
+			Count:   after.series[countKey] - before.series[countKey],
+		}
+		if d.Count > 0 {
+			d.MeanUs = d.Seconds / d.Count * 1e6
+		}
+		if d.Count > 0 || d.Seconds > 0 {
+			out[stage] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// maxPeerStaleness is the worst per-peer gossip lag any node reports.
+func maxPeerStaleness(s *metricsScrape) float64 {
+	worst := 0.0
+	for series, v := range s.maxes {
+		if strings.HasPrefix(series, `knwd_gossip_peer_staleness_seconds{`) && v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+func serverDelta(before, after *metricsScrape, wall time.Duration) serverSide {
 	if before == nil || after == nil {
 		return serverSide{}
 	}
+	b, a := before.sums, after.sums
 	// Leaf HTTP ingest keys plus cluster-locally-applied replicas (the
 	// routed slices that never cross HTTP; zero in single-node mode):
 	// in cluster mode the sum is replication × keys sent.
-	keys := after["knwd_ingest_keys_total"] - before["knwd_ingest_keys_total"] +
-		after["knwd_cluster_local_keys_total"] - before["knwd_cluster_local_keys_total"]
+	keys := a["knwd_ingest_keys_total"] - b["knwd_ingest_keys_total"] +
+		a["knwd_cluster_local_keys_total"] - b["knwd_cluster_local_keys_total"]
 	return serverSide{
 		Scraped:            true,
 		IngestKeysDelta:    keys,
-		IngestBytesDelta:   after["knwd_ingest_bytes_total"] - before["knwd_ingest_bytes_total"],
-		IngestReqsDelta:    after["knwd_http_requests_total"] - before["knwd_http_requests_total"],
-		StoreEntries:       after["knwd_store_entries"],
+		IngestBytesDelta:   a["knwd_ingest_bytes_total"] - b["knwd_ingest_bytes_total"],
+		IngestReqsDelta:    a["knwd_http_requests_total"] - b["knwd_http_requests_total"],
+		StoreEntries:       a["knwd_store_entries"],
 		KeysPerSecObserved: keys / wall.Seconds(),
-		GossipTxDeltaBytes: after["knwd_gossip_tx_delta_bytes_total"] - before["knwd_gossip_tx_delta_bytes_total"],
-		GossipTxFullBytes:  after["knwd_gossip_tx_full_bytes_total"] - before["knwd_gossip_tx_full_bytes_total"],
-		GossipTxDeltas:     after["knwd_gossip_tx_deltas_total"] - before["knwd_gossip_tx_deltas_total"],
-		GossipTxFulls:      after["knwd_gossip_tx_fulls_total"] - before["knwd_gossip_tx_fulls_total"],
-		GossipRounds:       after["knwd_gossip_rounds_total"] - before["knwd_gossip_rounds_total"],
+		GossipTxDeltaBytes: a["knwd_gossip_tx_delta_bytes_total"] - b["knwd_gossip_tx_delta_bytes_total"],
+		GossipTxFullBytes:  a["knwd_gossip_tx_full_bytes_total"] - b["knwd_gossip_tx_full_bytes_total"],
+		GossipTxDeltas:     a["knwd_gossip_tx_deltas_total"] - b["knwd_gossip_tx_deltas_total"],
+		GossipTxFulls:      a["knwd_gossip_tx_fulls_total"] - b["knwd_gossip_tx_fulls_total"],
+		GossipRounds:       a["knwd_gossip_rounds_total"] - b["knwd_gossip_rounds_total"],
+		Stages:             stageBreakdown(before, after),
+		MaxPeerStaleness:   maxPeerStaleness(after),
 	}
+}
+
+// fetchTrace pulls the newest sampled trace from a node's debug ring
+// (nil when sampling recorded nothing).
+func fetchTrace(client *http.Client, base string) *traceSummary {
+	resp, err := client.Get(base + "/v1/debug/traces?limit=1")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var body struct {
+		Traces []traceSummary `json:"traces"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&body); err != nil || len(body.Traces) == 0 {
+		return nil
+	}
+	return &body.Traces[0]
+}
+
+// traceSummary mirrors the /v1/debug/traces tree shape, just deep
+// enough to print a span/stage breakdown.
+type traceSummary struct {
+	Trace      string  `json:"trace"`
+	DurationMs float64 `json:"duration_ms"`
+	Spans      []struct {
+		Node       string  `json:"node"`
+		Name       string  `json:"name"`
+		Store      string  `json:"store"`
+		DurationMs float64 `json:"duration_ms"`
+		Stages     []struct {
+			Stage string  `json:"stage"`
+			Ms    float64 `json:"ms"`
+		} `json:"stages"`
+	} `json:"spans"`
 }
 
 // --- small math ------------------------------------------------------

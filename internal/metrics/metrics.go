@@ -173,6 +173,18 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.fam.seriesFor(values).(*Counter)
 }
 
+// GaugeVec is a family of Gauges keyed by label values.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values (created on first
+// use).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.seriesFor(values).(*Gauge)
+}
+
 // HistogramVec is a family of Histograms keyed by label values.
 type HistogramVec struct{ fam *family }
 
@@ -183,6 +195,33 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 		return nil
 	}
 	return v.fam.seriesFor(values).(*Histogram)
+}
+
+// gaugeFn is a labeled scrape-time gauge callback (a GaugeFuncVec
+// series value).
+type gaugeFn func() float64
+
+// GaugeFuncVec is a family of scrape-time gauge callbacks keyed by
+// label values — per-peer ages and lags without updater goroutines.
+type GaugeFuncVec struct{ fam *family }
+
+// With installs fn as the series for the given label values, replacing
+// any previous callback registered for the same values.
+func (v *GaugeFuncVec) With(fn func() float64, values ...string) {
+	if v == nil {
+		return
+	}
+	f := v.fam
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := f.seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[key]; !ok {
+		f.order = append(f.order, key)
+	}
+	f.series[key] = gaugeFn(fn)
 }
 
 // --- registry -------------------------------------------------------
@@ -306,6 +345,32 @@ func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVe
 	return &CounterVec{fam: f}
 }
 
+// NewGaugeVec registers a gauge family with the given label names.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	f := r.register(&family{
+		name: name, help: help, typ: "gauge", labels: labels,
+		series: make(map[string]any),
+		mk:     func() any { return &Gauge{} },
+	})
+	return &GaugeVec{fam: f}
+}
+
+// NewGaugeFuncVec registers a family of scrape-time gauge callbacks
+// with the given label names; install series with GaugeFuncVec.With.
+func (r *Registry) NewGaugeFuncVec(name, help string, labels ...string) *GaugeFuncVec {
+	if r == nil {
+		return nil
+	}
+	f := r.register(&family{
+		name: name, help: help, typ: "gauge", labels: labels,
+		series: make(map[string]any),
+	})
+	return &GaugeFuncVec{fam: f}
+}
+
 // NewHistogramVec registers a histogram family with the given bounds
 // and label names.
 func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
@@ -325,7 +390,10 @@ func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels .
 // --- exposition -----------------------------------------------------
 
 // WriteText renders every family in Prometheus text exposition format
-// 0.0.4, families sorted by name and series by label values.
+// 0.0.4, families sorted by name and series by label values. A
+// GaugeFunc callback that panics surfaces here as an error — nothing
+// is written to w in that case, so the scrape fails cleanly instead of
+// shipping a truncated exposition (or crashing the daemon).
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -344,31 +412,43 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 	var b strings.Builder
 	for _, f := range fams {
-		f.writeText(&b)
+		if err := f.writeText(&b); err != nil {
+			return err
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
 // Handler returns an http.Handler serving the registry as
-// text/plain; version=0.0.4 — mount it at GET /metrics.
+// text/plain; version=0.0.4 — mount it at GET /metrics. A scrape that
+// fails (a panicking GaugeFunc) answers 500 with the error.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			http.Error(w, "scrape failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = r.WriteText(w)
+		_, _ = io.WriteString(w, b.String())
 	})
 }
 
-func (f *family) writeText(b *strings.Builder) {
+func (f *family) writeText(b *strings.Builder) error {
 	if f.help != "" {
 		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 	}
 	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
 	switch {
 	case f.fn != nil:
-		writeSample(b, f.name, "", f.fn())
+		v, err := safeCall(f.name, f.fn)
+		if err != nil {
+			return err
+		}
+		writeSample(b, f.name, "", v)
 	case f.single != nil:
-		writeSeries(b, f.name, "", f.single)
+		return writeSeries(b, f.name, "", f.single)
 	default:
 		f.mu.Lock()
 		keys := append([]string(nil), f.order...)
@@ -379,9 +459,23 @@ func (f *family) writeText(b *strings.Builder) {
 		}
 		f.mu.Unlock()
 		for i, k := range keys {
-			writeSeries(b, f.name, f.labelPairs(k), series[i])
+			if err := writeSeries(b, f.name, f.labelPairs(k), series[i]); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
+}
+
+// safeCall evaluates a scrape-time callback, converting a panic into a
+// scrape error instead of letting it unwind through /metrics.
+func safeCall(name string, fn func() float64) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("metrics: gauge func %s panicked: %v", name, r)
+		}
+	}()
+	return fn(), nil
 }
 
 // labelPairs renders `name="v1",name2="v2"` for a series key.
@@ -400,12 +494,18 @@ func (f *family) labelPairs(key string) string {
 	return b.String()
 }
 
-func writeSeries(b *strings.Builder, name, labels string, s any) {
+func writeSeries(b *strings.Builder, name, labels string, s any) error {
 	switch s := s.(type) {
 	case *Counter:
 		writeSampleUint(b, name, labels, s.Value())
 	case *Gauge:
 		writeSample(b, name, labels, s.Value())
+	case gaugeFn:
+		v, err := safeCall(name, s)
+		if err != nil {
+			return err
+		}
+		writeSample(b, name, labels, v)
 	case *Histogram:
 		cum := uint64(0)
 		for i, bound := range s.bounds {
@@ -417,6 +517,7 @@ func writeSeries(b *strings.Builder, name, labels string, s any) {
 		writeSample(b, name+"_sum", labels, s.Sum())
 		writeSampleUint(b, name+"_count", labels, s.Count())
 	}
+	return nil
 }
 
 func joinLabels(a, b string) string {

@@ -3,6 +3,8 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"sync"
@@ -203,6 +205,143 @@ func TestExponentialBuckets(t *testing.T) {
 	want := []float64{1, 2, 4, 8}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Errorf("ExponentialBuckets = %v, want %v", got, want)
+	}
+}
+
+func TestGaugeVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("knw_info", "build info", "version", "go")
+	v.With("v1", "go1.23").Set(1)
+	v.With("v2", "go1.24").Set(1)
+	// Same labels resolve to the same series.
+	v.With("v1", "go1.23").Set(3)
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE knw_info gauge\n",
+		`knw_info{version="v1",go="go1.23"} 3`,
+		`knw_info{version="v2",go="go1.24"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFuncVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeFuncVec("knw_peer_age_seconds", "per-peer age", "peer")
+	a := 1.0
+	v.With(func() float64 { return a }, "http://a:1")
+	v.With(func() float64 { return 2 }, "http://b:2")
+	out := render(t, r)
+	for _, want := range []string{
+		`knw_peer_age_seconds{peer="http://a:1"} 1`,
+		`knw_peer_age_seconds{peer="http://b:2"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Callbacks are read at scrape time, and re-With replaces in place
+	// without duplicating the series.
+	a = 5
+	v.With(func() float64 { return 7 }, "http://b:2")
+	out = render(t, r)
+	if !strings.Contains(out, `knw_peer_age_seconds{peer="http://a:1"} 5`) {
+		t.Errorf("callback not read at scrape time:\n%s", out)
+	}
+	if !strings.Contains(out, `knw_peer_age_seconds{peer="http://b:2"} 7`) {
+		t.Errorf("re-With should replace the callback:\n%s", out)
+	}
+	if n := strings.Count(out, `peer="http://b:2"`); n != 1 {
+		t.Errorf("re-With duplicated the series %d times:\n%s", n, out)
+	}
+}
+
+func TestGaugeFuncVecLabelArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label count should panic")
+		}
+	}()
+	r := NewRegistry()
+	v := r.NewGaugeFuncVec("knw_arity", "", "a", "b")
+	v.With(func() float64 { return 0 }, "only-one")
+}
+
+// TestGaugeFuncPanicFailsScrape: a panicking scrape-time callback must
+// surface as a scrape error (WriteText) and an HTTP 500 (Handler) with
+// no partial exposition — never crash the daemon or ship a truncated
+// body Prometheus would half-parse.
+func TestGaugeFuncPanicFailsScrape(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("aa_ok_total", "renders before the broken family")
+	r.NewGaugeFunc("bb_broken", "", func() float64 { panic("boom") })
+	var b strings.Builder
+	err := r.WriteText(&b)
+	if err == nil || !strings.Contains(err.Error(), "bb_broken") {
+		t.Fatalf("WriteText error = %v, want panic surfaced with family name", err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("WriteText wrote %d bytes before failing; scrape must be all-or-nothing:\n%s", b.Len(), b.String())
+	}
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("Handler status = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "bb_broken") {
+		t.Errorf("500 body should name the broken family: %q", rec.Body.String())
+	}
+
+	// A panicking labeled callback fails the same way.
+	r2 := NewRegistry()
+	v := r2.NewGaugeFuncVec("cc_vec", "", "peer")
+	v.With(func() float64 { return 1 }, "ok")
+	v.With(func() float64 { panic("vec boom") }, "bad")
+	if err := r2.WriteText(&strings.Builder{}); err == nil {
+		t.Error("WriteText should fail when a vec callback panics")
+	}
+}
+
+// TestHistogramUnsortedBounds: bounds are sorted at construction, so
+// the exposition's le= buckets ascend with +Inf last and cumulative
+// counts monotone — regardless of the order the caller listed them.
+func TestHistogramUnsortedBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("knw_rev_seconds", "", []float64{1, 0.01, 0.1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	lines := []string{
+		`knw_rev_seconds_bucket{le="0.01"} 1`,
+		`knw_rev_seconds_bucket{le="0.1"} 2`,
+		`knw_rev_seconds_bucket{le="1"} 3`,
+		`knw_rev_seconds_bucket{le="+Inf"} 4`,
+	}
+	pos := -1
+	for _, want := range lines {
+		i := strings.Index(out, want)
+		if i < 0 {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+		if i < pos {
+			t.Fatalf("bucket %q out of order:\n%s", want, out)
+		}
+		pos = i
+	}
+}
+
+func TestNilGaugeVecsSafe(t *testing.T) {
+	var r *Registry
+	gv := r.NewGaugeVec("x", "", "k")
+	fv := r.NewGaugeFuncVec("y", "", "k")
+	gv.With("a").Set(1)
+	fv.With(func() float64 { return 1 }, "a")
+	if gv.With("a").Value() != 0 {
+		t.Error("nil gauge vec must read zero")
 	}
 }
 

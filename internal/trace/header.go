@@ -1,0 +1,88 @@
+package trace
+
+// The X-KNW-Trace wire form: "tttttttttttttttt-ssssssssssssssss-f",
+// 16 lowercase hex digits of trace id, 16 of the sender's span id, and
+// a one-character sampled flag. Fixed width keeps parsing a simple
+// index walk with no allocation on the unsampled path.
+
+const headerLen = 16 + 1 + 16 + 1 + 1
+
+const hexDigits = "0123456789abcdef"
+
+// Hex renders v as 16 lowercase hex digits (trace and span ids in JSON
+// and log output).
+func Hex(v uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseHex decodes a 16-digit hex id (the ?trace= query filter).
+func ParseHex(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	v, ok := parseHex16(s)
+	return v, ok
+}
+
+func parseHex16(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			v = v<<4 | uint64(c-'A'+10)
+		default:
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+func formatHeader(traceID, spanID uint64, sampled bool) string {
+	var b [headerLen]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[traceID&0xf]
+		traceID >>= 4
+	}
+	b[16] = '-'
+	for i := 32; i >= 17; i-- {
+		b[i] = hexDigits[spanID&0xf]
+		spanID >>= 4
+	}
+	b[33] = '-'
+	b[34] = '0'
+	if sampled {
+		b[34] = '1'
+	}
+	return string(b[:])
+}
+
+func parseHeader(h string) (traceID, spanID uint64, sampled, ok bool) {
+	if len(h) != headerLen || h[16] != '-' || h[33] != '-' {
+		return 0, 0, false, false
+	}
+	traceID, ok = parseHex16(h[:16])
+	if !ok || traceID == 0 {
+		return 0, 0, false, false
+	}
+	spanID, ok = parseHex16(h[17:33])
+	if !ok {
+		return 0, 0, false, false
+	}
+	switch h[34] {
+	case '1':
+		return traceID, spanID, true, true
+	case '0':
+		return traceID, spanID, false, true
+	}
+	return 0, 0, false, false
+}

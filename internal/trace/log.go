@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// The slog shim: every knwd component logs through a *slog.Logger
+// built here (or a caller-supplied one), so -log-level / -log-format
+// govern the whole daemon and log.Printf stays banned outside this
+// package (see the CI lint step).
+
+// NewLogger builds the daemon logger. level is one of debug, info,
+// warn, error (default info); format is text or json.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("trace: unknown log level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("trace: unknown log format %q (text or json)", format)
+}
+
+// DiscardLogger returns a logger that drops everything — the default
+// for library embeddings that configure no logging.
+func DiscardLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// discardHandler is a no-op slog.Handler. (slog.DiscardHandler is Go
+// 1.24+; the module targets 1.23.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// JSON views for GET /v1/debug/traces. Ids travel as 16-digit hex
+// strings so trees from different nodes merge by plain string
+// comparison.
+
+// SpanView is the wire form of one recorded span.
+type SpanView struct {
+	Trace      string      `json:"trace"`
+	Span       string      `json:"span"`
+	Parent     string      `json:"parent,omitempty"`
+	Node       string      `json:"node"`
+	Name       string      `json:"name"`
+	Store      string      `json:"store,omitempty"`
+	Peer       string      `json:"peer,omitempty"`
+	Status     int         `json:"status,omitempty"`
+	Keys       int         `json:"keys,omitempty"`
+	Err        string      `json:"error,omitempty"`
+	Start      time.Time   `json:"start"`
+	DurationMs float64     `json:"duration_ms"`
+	Stages     []StageView `json:"stages,omitempty"`
+}
+
+// StageView is one stage's share of a span, in milliseconds.
+type StageView struct {
+	Stage string  `json:"stage"`
+	Ms    float64 `json:"ms"`
+}
+
+// Tree is every span this node holds for one trace id.
+type Tree struct {
+	Trace      string     `json:"trace"`
+	Start      time.Time  `json:"start"`
+	DurationMs float64    `json:"duration_ms"`
+	Spans      []SpanView `json:"spans"`
+}
+
+// Filter selects traces out of the ring.
+type Filter struct {
+	// Trace keeps only the given trace id (0 = all).
+	Trace uint64
+	// Store keeps traces with at least one span touching the store.
+	Store string
+	// MinDuration keeps traces whose longest span is at least this.
+	MinDuration time.Duration
+	// Limit caps the number of traces returned (default 50), newest
+	// first.
+	Limit int
+}
+
+func view(sp *Span) SpanView {
+	v := SpanView{
+		Trace:      Hex(sp.TraceID),
+		Span:       Hex(sp.SpanID),
+		Node:       sp.Node,
+		Name:       sp.Name,
+		Store:      sp.Store,
+		Peer:       sp.Peer,
+		Status:     sp.Status,
+		Keys:       sp.Keys,
+		Err:        sp.Err,
+		Start:      sp.Start,
+		DurationMs: float64(sp.Dur) / float64(time.Millisecond),
+	}
+	if sp.Parent != 0 {
+		v.Parent = Hex(sp.Parent)
+	}
+	for _, st := range sp.Stages {
+		v.Stages = append(v.Stages, StageView{
+			Stage: st.Stage,
+			Ms:    float64(st.D) / float64(time.Millisecond),
+		})
+	}
+	return v
+}
+
+// Snapshot groups the ring's completed spans into per-trace trees,
+// filtered and sorted newest-first. Lock-free: concurrent recording
+// at worst slips a just-finished span into or out of the view.
+func (t *Tracer) Snapshot(f Filter) []Tree {
+	if t == nil {
+		return nil
+	}
+	byTrace := make(map[uint64][]*Span)
+	for i := range t.ring {
+		sp := t.ring[i].Load()
+		if sp == nil {
+			continue
+		}
+		if f.Trace != 0 && sp.TraceID != f.Trace {
+			continue
+		}
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	trees := make([]Tree, 0, len(byTrace))
+	for id, spans := range byTrace {
+		keep, longest := f.Store == "", time.Duration(0)
+		for _, sp := range spans {
+			if sp.Store == f.Store {
+				keep = true
+			}
+			if sp.Dur > longest {
+				longest = sp.Dur
+			}
+		}
+		if !keep || longest < f.MinDuration {
+			continue
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+		tr := Tree{
+			Trace:      Hex(id),
+			Start:      spans[0].Start,
+			DurationMs: float64(longest) / float64(time.Millisecond),
+		}
+		for _, sp := range spans {
+			tr.Spans = append(tr.Spans, view(sp))
+		}
+		trees = append(trees, tr)
+	}
+	sort.Slice(trees, func(i, j int) bool { return trees[i].Start.After(trees[j].Start) })
+	limit := f.Limit
+	if limit <= 0 {
+		limit = 50
+	}
+	if len(trees) > limit {
+		trees = trees[:limit]
+	}
+	return trees
+}
+
+// MergeTrees folds span lists from several nodes into one newest-first
+// tree list — the scope=cluster assembly of /v1/debug/traces.
+func MergeTrees(lists ...[]Tree) []Tree {
+	byTrace := make(map[string]*Tree)
+	var order []string
+	for _, list := range lists {
+		for _, tr := range list {
+			dst, ok := byTrace[tr.Trace]
+			if !ok {
+				cp := Tree{Trace: tr.Trace, Start: tr.Start}
+				byTrace[tr.Trace] = &cp
+				order = append(order, tr.Trace)
+				dst = &cp
+			}
+			dst.Spans = append(dst.Spans, tr.Spans...)
+			if tr.Start.Before(dst.Start) {
+				dst.Start = tr.Start
+			}
+			if tr.DurationMs > dst.DurationMs {
+				dst.DurationMs = tr.DurationMs
+			}
+		}
+	}
+	out := make([]Tree, 0, len(order))
+	for _, id := range order {
+		tr := byTrace[id]
+		sort.Slice(tr.Spans, func(i, j int) bool { return tr.Spans[i].Start.Before(tr.Spans[j].Start) })
+		out = append(out, *tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}

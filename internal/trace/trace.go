@@ -1,0 +1,357 @@
+// Package trace is knwd's zero-dependency request tracer: a
+// per-request span recorder with stage-level timings, a bounded
+// in-process ring buffer of completed spans, and an X-KNW-Trace header
+// that carries the trace across node hops so one cluster ingest shows
+// up as a parent/child span tree spanning every node it touched.
+//
+// Design points:
+//
+//   - Sampling is decided once, at request start. An unsampled request
+//     costs one header lookup and one random draw — no allocation, no
+//     context clone, no per-stage bookkeeping — because every Active
+//     method is nil-receiver safe and the middleware only attaches a
+//     span when the decision was yes.
+//   - A request that arrives with a sampled X-KNW-Trace header is
+//     always recorded, regardless of the local sampling rate: the
+//     client (or upstream node) that opened the trace decides for the
+//     whole tree, which is what makes cross-node trees complete.
+//   - Slow requests are recorded even when unsampled (-trace-slow-ms):
+//     the span is allocated after the request finished, off the hot
+//     path, and logged with its trace id.
+//   - The ring buffer overwrites oldest-first and is read lock-free
+//     (atomic pointers), so GET /v1/debug/traces never blocks ingest.
+package trace
+
+import (
+	"context"
+	"log/slog"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header is the trace-propagation request header. Its value is
+// "<16 hex trace-id>-<16 hex span-id>-<flag>", flag '1' when sampled.
+// Forwarded hops carry the sender's span id, which becomes the child
+// span's parent.
+const Header = "X-KNW-Trace"
+
+// Config configures a Tracer.
+type Config struct {
+	// Node names this process in recorded spans (the cluster self URL,
+	// or the listen address). Settable later via SetNode when the bound
+	// address is not known at construction.
+	Node string
+	// Sample is the probability an unsolicited request starts a trace,
+	// in [0, 1]. Requests carrying a sampled header are always traced.
+	Sample float64
+	// Slow, when positive, records and logs every request at least this
+	// slow even when unsampled.
+	Slow time.Duration
+	// Buffer is the completed-span ring capacity (default 512).
+	Buffer int
+	// Log receives slow-request events. Nil discards them.
+	Log *slog.Logger
+}
+
+// StageTiming is one named stage's share of a span.
+type StageTiming struct {
+	Stage string
+	D     time.Duration
+}
+
+// Span is one recorded unit of work: a request handled by this node,
+// or a local background operation (a gossip sync).
+type Span struct {
+	TraceID uint64
+	SpanID  uint64
+	Parent  uint64 // 0 for root spans
+	Node    string
+	Name    string // route or operation name
+	Store   string
+	Peer    string
+	Status  int
+	Keys    int
+	Err     string
+	Start   time.Time
+	Dur     time.Duration
+	Stages  []StageTiming
+}
+
+// Tracer owns the sampling decision and the completed-span ring.
+// A nil *Tracer is safe: every method no-ops.
+type Tracer struct {
+	sample float64
+	slow   time.Duration
+	log    *slog.Logger
+	node   atomic.Pointer[string]
+	ring   []atomic.Pointer[Span]
+	seq    atomic.Uint64
+}
+
+// New builds a Tracer.
+func New(cfg Config) *Tracer {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 512
+	}
+	if cfg.Log == nil {
+		cfg.Log = DiscardLogger()
+	}
+	t := &Tracer{
+		sample: cfg.Sample,
+		slow:   cfg.Slow,
+		log:    cfg.Log,
+		ring:   make([]atomic.Pointer[Span], cfg.Buffer),
+	}
+	node := cfg.Node
+	t.node.Store(&node)
+	return t
+}
+
+// SetNode names this process in spans recorded from now on — called
+// once the listen address is known, when Config.Node was empty.
+func (t *Tracer) SetNode(n string) {
+	if t != nil {
+		t.node.Store(&n)
+	}
+}
+
+// Node returns the tracer's node name.
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return *t.node.Load()
+}
+
+// Slow returns the always-record threshold (0 when disabled).
+func (t *Tracer) Slow() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.slow
+}
+
+func (t *Tracer) id() uint64 {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// Active is a span under construction. A nil *Active is safe — every
+// method no-ops — so handlers annotate unconditionally and unsampled
+// requests pay only the nil check.
+type Active struct {
+	tr *Tracer
+	mu sync.Mutex
+	sp Span
+}
+
+// StartRequest decides whether the request starting now is traced:
+// always when header carries a sampled trace (the span becomes a child
+// of the sender's), by local probability otherwise. Nil means
+// unsampled.
+func (t *Tracer) StartRequest(name, header string) *Active {
+	if t == nil {
+		return nil
+	}
+	if traceID, parent, sampled, ok := parseHeader(header); ok {
+		if !sampled {
+			return nil
+		}
+		return t.start(name, traceID, parent)
+	}
+	if t.sample <= 0 || (t.sample < 1 && rand.Float64() >= t.sample) {
+		return nil
+	}
+	return t.start(name, t.id(), 0)
+}
+
+// StartLocal opens a root span for a background operation (no incoming
+// header), subject to the local sampling rate.
+func (t *Tracer) StartLocal(name string) *Active {
+	if t == nil {
+		return nil
+	}
+	if t.sample <= 0 || (t.sample < 1 && rand.Float64() >= t.sample) {
+		return nil
+	}
+	return t.start(name, t.id(), 0)
+}
+
+func (t *Tracer) start(name string, traceID, parent uint64) *Active {
+	return &Active{tr: t, sp: Span{
+		TraceID: traceID,
+		SpanID:  t.id(),
+		Parent:  parent,
+		Node:    *t.node.Load(),
+		Name:    name,
+		Start:   time.Now(),
+	}}
+}
+
+// HeaderValue renders the header to send downstream so remote spans
+// join this trace as children of this span. Empty when unsampled.
+func (a *Active) HeaderValue() string {
+	if a == nil {
+		return ""
+	}
+	return formatHeader(a.sp.TraceID, a.sp.SpanID, true)
+}
+
+// TraceHex returns the trace id as 16 hex digits ("" when unsampled)
+// — the correlation key for log lines.
+func (a *Active) TraceHex() string {
+	if a == nil {
+		return ""
+	}
+	return Hex(a.sp.TraceID)
+}
+
+// Stage adds d to the named stage (accumulating across batches).
+func (a *Active) Stage(stage string, d time.Duration) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.sp.Stages {
+		if a.sp.Stages[i].Stage == stage {
+			a.sp.Stages[i].D += d
+			return
+		}
+	}
+	a.sp.Stages = append(a.sp.Stages, StageTiming{Stage: stage, D: d})
+}
+
+// noop is what StageStart hands back on unsampled requests, so the
+// cold path closes stages without allocating a closure.
+var noop = func() {}
+
+// StageStart opens a named stage; the returned func closes it.
+func (a *Active) StageStart(stage string) func() {
+	if a == nil {
+		return noop
+	}
+	t0 := time.Now()
+	return func() { a.Stage(stage, time.Since(t0)) }
+}
+
+// SetStore records the store the span touched ("(multiple)" when a
+// body spanned stores).
+func (a *Active) SetStore(store string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	switch a.sp.Store {
+	case "", store:
+		a.sp.Store = store
+	default:
+		a.sp.Store = "(multiple)"
+	}
+	a.mu.Unlock()
+}
+
+// SetPeer records the remote peer of a client-side span.
+func (a *Active) SetPeer(peer string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.sp.Peer = peer
+	a.mu.Unlock()
+}
+
+// AddKeys adds to the span's key count.
+func (a *Active) AddKeys(n int) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.sp.Keys += n
+	a.mu.Unlock()
+}
+
+// SetError records a failure on the span.
+func (a *Active) SetError(err error) {
+	if a == nil || err == nil {
+		return
+	}
+	a.mu.Lock()
+	a.sp.Err = err.Error()
+	a.mu.Unlock()
+}
+
+// FinishRequest closes the request that started at start and took d:
+// sampled spans are recorded (and logged when slow); unsampled ones
+// are recorded only when slow, with the span allocated here — after
+// the response — so the hot path never pays for it.
+func (t *Tracer) FinishRequest(a *Active, name string, status int, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if a != nil {
+		a.mu.Lock()
+		a.sp.Status = status
+		a.sp.Dur = d
+		sp := a.sp
+		a.mu.Unlock()
+		t.record(&sp)
+		if t.slow > 0 && d >= t.slow {
+			t.log.Warn("slow request",
+				"route", name, "status", status, "store", sp.Store,
+				"duration_ms", float64(d)/float64(time.Millisecond),
+				"trace", Hex(sp.TraceID), "span", Hex(sp.SpanID))
+		}
+		return
+	}
+	if t.slow > 0 && d >= t.slow {
+		sp := &Span{
+			TraceID: t.id(), SpanID: t.id(),
+			Node: *t.node.Load(), Name: name,
+			Status: status, Start: start, Dur: d,
+		}
+		t.record(sp)
+		t.log.Warn("slow request (unsampled)",
+			"route", name, "status", status,
+			"duration_ms", float64(d)/float64(time.Millisecond),
+			"trace", Hex(sp.TraceID))
+	}
+}
+
+// FinishLocal closes a background-operation span opened by StartLocal.
+func (t *Tracer) FinishLocal(a *Active, err error) {
+	if t == nil || a == nil {
+		return
+	}
+	a.SetError(err)
+	a.mu.Lock()
+	a.sp.Dur = time.Since(a.sp.Start)
+	sp := a.sp
+	a.mu.Unlock()
+	t.record(&sp)
+}
+
+func (t *Tracer) record(sp *Span) {
+	i := (t.seq.Add(1) - 1) % uint64(len(t.ring))
+	t.ring[i].Store(sp)
+}
+
+// --- context plumbing ----------------------------------------------
+
+type ctxKey struct{}
+
+// NewContext attaches a to ctx.
+func NewContext(ctx context.Context, a *Active) context.Context {
+	return context.WithValue(ctx, ctxKey{}, a)
+}
+
+// FromContext returns the request's Active span, or nil.
+func FromContext(ctx context.Context) *Active {
+	a, _ := ctx.Value(ctxKey{}).(*Active)
+	return a
+}

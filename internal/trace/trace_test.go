@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	for _, sampled := range []bool{true, false} {
+		h := formatHeader(0xdeadbeef01234567, 0x89abcdef00000001, sampled)
+		if len(h) != headerLen {
+			t.Fatalf("header %q length = %d, want %d", h, len(h), headerLen)
+		}
+		traceID, spanID, s, ok := parseHeader(h)
+		if !ok || traceID != 0xdeadbeef01234567 || spanID != 0x89abcdef00000001 || s != sampled {
+			t.Fatalf("round trip of %q = (%x, %x, %v, %v)", h, traceID, spanID, s, ok)
+		}
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"short",
+		"deadbeef01234567-89abcdef00000001",      // no flag
+		"deadbeef01234567-89abcdef00000001-2",    // bad flag
+		"deadbeef01234567_89abcdef00000001-1",    // bad separator
+		"0000000000000000-89abcdef00000001-1",    // zero trace id
+		"xeadbeef01234567-89abcdef00000001-1",    // non-hex
+		"deadbeef01234567-89abcdef00000001-1 ",   // trailing junk
+		"deadbeef012345678-9abcdef00000001-1",    // dash misplaced
+		strings.Repeat("a", headerLen-2) + "-1x", // length right, shape wrong
+	} {
+		if _, _, _, ok := parseHeader(bad); ok {
+			t.Errorf("parseHeader(%q) accepted", bad)
+		}
+	}
+	// Uppercase hex is accepted (header values survive proxies that
+	// canonicalize).
+	if _, _, _, ok := parseHeader("DEADBEEF01234567-89ABCDEF00000001-1"); !ok {
+		t.Error("uppercase hex rejected")
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	if got := Hex(0xab); got != "00000000000000ab" {
+		t.Fatalf("Hex = %q", got)
+	}
+	v, ok := ParseHex("00000000000000ab")
+	if !ok || v != 0xab {
+		t.Fatalf("ParseHex = (%x, %v)", v, ok)
+	}
+	if _, ok := ParseHex("ab"); ok {
+		t.Error("ParseHex accepted a short string")
+	}
+}
+
+func TestSamplingAlwaysAndNever(t *testing.T) {
+	always := New(Config{Node: "n1", Sample: 1})
+	for i := 0; i < 32; i++ {
+		if always.StartRequest("/x", "") == nil {
+			t.Fatal("sample=1 returned nil")
+		}
+	}
+	never := New(Config{Node: "n1", Sample: 0})
+	for i := 0; i < 32; i++ {
+		if never.StartRequest("/x", "") != nil {
+			t.Fatal("sample=0 returned a span")
+		}
+	}
+}
+
+// TestHeaderAdoption: a sampled incoming header wins over the local
+// rate in both directions — recorded at sample 0, and the child adopts
+// the sender's trace id and span id as parent.
+func TestHeaderAdoption(t *testing.T) {
+	tr := New(Config{Node: "n2", Sample: 0})
+	hdr := formatHeader(0xfeed, 0xbeef, true)
+	act := tr.StartRequest("/v1/ingest", hdr)
+	if act == nil {
+		t.Fatal("sampled header ignored at local sample 0")
+	}
+	if act.sp.TraceID != 0xfeed || act.sp.Parent != 0xbeef {
+		t.Fatalf("child span = trace %x parent %x, want feed/beef", act.sp.TraceID, act.sp.Parent)
+	}
+	// An explicitly unsampled header suppresses tracing even at rate 1.
+	tr2 := New(Config{Node: "n2", Sample: 1})
+	if tr2.StartRequest("/x", formatHeader(0xfeed, 0xbeef, false)) != nil {
+		t.Error("unsampled header should suppress tracing")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.StartRequest("/x", "") != nil || tr.StartLocal("x") != nil {
+		t.Fatal("nil tracer must return nil spans")
+	}
+	tr.SetNode("n")
+	tr.FinishRequest(nil, "/x", 200, time.Now(), time.Second)
+	tr.FinishLocal(nil, nil)
+	if tr.Snapshot(Filter{}) != nil || tr.Node() != "" || tr.Slow() != 0 {
+		t.Fatal("nil tracer reads must be zero")
+	}
+
+	var a *Active
+	if a.HeaderValue() != "" || a.TraceHex() != "" {
+		t.Fatal("nil active must render empty header")
+	}
+	a.Stage("x", time.Second)
+	a.StageStart("x")()
+	a.SetStore("s")
+	a.SetPeer("p")
+	a.AddKeys(1)
+	a.SetError(errors.New("x"))
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := New(Config{Node: "n", Sample: 1, Buffer: 4})
+	for i := 0; i < 10; i++ {
+		act := tr.StartRequest("/x", "")
+		tr.FinishRequest(act, "/x", 200, time.Now(), time.Millisecond)
+	}
+	trees := tr.Snapshot(Filter{})
+	n := 0
+	for _, tree := range trees {
+		n += len(tree.Spans)
+	}
+	if n != 4 {
+		t.Fatalf("ring holds %d spans, want 4 (buffer size)", n)
+	}
+}
+
+func TestSnapshotFilters(t *testing.T) {
+	tr := New(Config{Node: "n", Sample: 0})
+	mk := func(traceID uint64, store string, d time.Duration) {
+		act := tr.start("/x", traceID, 0)
+		act.SetStore(store)
+		tr.FinishRequest(act, "/x", 200, time.Now().Add(-d), d)
+	}
+	mk(1, "a", 5*time.Millisecond)
+	mk(2, "b", 50*time.Millisecond)
+	mk(3, "a", 500*time.Millisecond)
+
+	if got := tr.Snapshot(Filter{}); len(got) != 3 {
+		t.Fatalf("unfiltered = %d trees, want 3", len(got))
+	}
+	if got := tr.Snapshot(Filter{Trace: 2}); len(got) != 1 || got[0].Trace != Hex(2) {
+		t.Fatalf("trace filter = %+v", got)
+	}
+	if got := tr.Snapshot(Filter{Store: "a"}); len(got) != 2 {
+		t.Fatalf("store filter = %d trees, want 2", len(got))
+	}
+	if got := tr.Snapshot(Filter{MinDuration: 40 * time.Millisecond}); len(got) != 2 {
+		t.Fatalf("min duration filter = %d trees, want 2", len(got))
+	}
+	if got := tr.Snapshot(Filter{Limit: 1}); len(got) != 1 {
+		t.Fatalf("limit = %d trees, want 1", len(got))
+	}
+}
+
+func TestStageAccumulates(t *testing.T) {
+	tr := New(Config{Node: "n", Sample: 1})
+	act := tr.StartRequest("/x", "")
+	act.Stage("hash", 2*time.Millisecond)
+	act.Stage("hash", 3*time.Millisecond)
+	act.Stage("scan", time.Millisecond)
+	tr.FinishRequest(act, "/x", 200, time.Now(), 6*time.Millisecond)
+	trees := tr.Snapshot(Filter{})
+	if len(trees) != 1 || len(trees[0].Spans) != 1 {
+		t.Fatalf("snapshot = %+v", trees)
+	}
+	sp := trees[0].Spans[0]
+	if len(sp.Stages) != 2 {
+		t.Fatalf("stages = %+v, want hash+scan", sp.Stages)
+	}
+	for _, st := range sp.Stages {
+		if st.Stage == "hash" && st.Ms != 5 {
+			t.Errorf("hash stage = %vms, want 5 (accumulated)", st.Ms)
+		}
+	}
+}
+
+// TestSlowUnsampledRecorded: a request over the slow threshold is
+// recorded and logged even when sampling said no.
+func TestSlowUnsampledRecorded(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(Config{Node: "n", Sample: 0, Slow: time.Millisecond, Log: log})
+	tr.FinishRequest(nil, "/v1/ingest", 200, time.Now().Add(-5*time.Millisecond), 5*time.Millisecond)
+	if got := tr.Snapshot(Filter{}); len(got) != 1 {
+		t.Fatalf("slow unsampled request not recorded: %+v", got)
+	}
+	if !strings.Contains(buf.String(), "slow request") || !strings.Contains(buf.String(), "/v1/ingest") {
+		t.Fatalf("slow request not logged: %q", buf.String())
+	}
+	// Fast unsampled requests stay invisible.
+	tr.FinishRequest(nil, "/v1/ingest", 200, time.Now(), 10*time.Microsecond)
+	if got := tr.Snapshot(Filter{}); len(got) != 1 {
+		t.Fatalf("fast unsampled request recorded: %+v", got)
+	}
+}
+
+func TestMergeTrees(t *testing.T) {
+	base := time.Now()
+	a := []Tree{{
+		Trace: Hex(7), Start: base, DurationMs: 10,
+		Spans: []SpanView{{Trace: Hex(7), Span: Hex(1), Node: "n1", Start: base}},
+	}}
+	b := []Tree{{
+		Trace: Hex(7), Start: base.Add(time.Millisecond), DurationMs: 4,
+		Spans: []SpanView{{Trace: Hex(7), Span: Hex(2), Parent: Hex(1), Node: "n2", Start: base.Add(time.Millisecond)}},
+	}, {
+		Trace: Hex(9), Start: base.Add(2 * time.Millisecond), DurationMs: 1,
+		Spans: []SpanView{{Trace: Hex(9), Span: Hex(3), Node: "n2", Start: base.Add(2 * time.Millisecond)}},
+	}}
+	merged := MergeTrees(a, b)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %d trees, want 2", len(merged))
+	}
+	// Newest-first: trace 9 started later.
+	if merged[0].Trace != Hex(9) || merged[1].Trace != Hex(7) {
+		t.Fatalf("merge order = %s, %s", merged[0].Trace, merged[1].Trace)
+	}
+	cross := merged[1]
+	if len(cross.Spans) != 2 || cross.Spans[0].Node != "n1" || cross.Spans[1].Parent != Hex(1) {
+		t.Fatalf("cross-node tree = %+v", cross)
+	}
+	if cross.DurationMs != 10 {
+		t.Fatalf("merged duration = %v, want the longest (10)", cross.DurationMs)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	tr := New(Config{Node: "n", Sample: 1})
+	act := tr.StartRequest("/x", "")
+	ctx := NewContext(context.Background(), act)
+	if FromContext(ctx) != act {
+		t.Fatal("FromContext lost the span")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context should yield nil")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "k", "v")
+	if !strings.Contains(buf.String(), `"msg":"hello"`) || !strings.Contains(buf.String(), `"k":"v"`) {
+		t.Fatalf("json log = %q", buf.String())
+	}
+	log.Debug("invisible")
+	if strings.Contains(buf.String(), "invisible") {
+		t.Error("info level should drop debug records")
+	}
+	if _, err := NewLogger(&buf, "nope", "text"); err == nil {
+		t.Error("unknown level should error")
+	}
+	if _, err := NewLogger(&buf, "info", "nope"); err == nil {
+		t.Error("unknown format should error")
+	}
+	DiscardLogger().Info("dropped")
+}

@@ -1,0 +1,8 @@
+// Package version pins the build identity knwd reports: the -version
+// flag, the knwd_build_info gauge, and /v1/cluster/info all read it.
+package version
+
+// Version identifies this build. Overridable at link time:
+//
+//	go build -ldflags "-X repro/internal/version.Version=v1.2.3"
+var Version = "v0.8.0-dev"

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/trace"
+)
+
+// GET /v1/debug/traces: the node's sampled-trace ring as JSON.
+//
+// Query parameters:
+//
+//	trace=<16 hex>   only this trace id
+//	store=<name>     only traces with a span touching the store
+//	min_ms=<float>   only traces at least this slow
+//	limit=<n>        at most n traces (default 50), newest first
+//	scope=cluster    merge every peer's spans in, so one response
+//	                 shows the full cross-node tree (cluster mode)
+type debugTraces struct {
+	Node   string       `json:"node"`
+	Traces []trace.Tree `json:"traces"`
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var f trace.Filter
+	if t := q.Get("trace"); t != "" {
+		id, ok := trace.ParseHex(t)
+		if !ok {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad trace id %q (want 16 hex digits)", t))
+			return
+		}
+		f.Trace = id
+	}
+	f.Store = q.Get("store")
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q: %w", v, err))
+			return
+		}
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		f.Limit = n
+	}
+	out := debugTraces{Node: s.tracer.Node(), Traces: s.tracer.Snapshot(f)}
+	switch scope := q.Get("scope"); scope {
+	case "", "local":
+	case "cluster":
+		if s.router == nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("scope=cluster needs cluster mode (-peers)"))
+			return
+		}
+		lists := [][]trace.Tree{out.Traces}
+		for _, res := range s.router.GatherTraces(localQuery(q)) {
+			if res.Err != nil {
+				// Best-effort: a peer that cannot answer just contributes no
+				// spans; its absence is visible in the tree itself.
+				continue
+			}
+			lists = append(lists, res.Traces)
+		}
+		out.Traces = trace.MergeTrees(lists...)
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown traces scope %q (local or cluster)", scope))
+		return
+	}
+	httpx.Reply(w, http.StatusOK, out)
+}
+
+// localQuery strips scope so the per-peer fan-out fetches each node's
+// local ring (no recursive cluster gathers).
+func localQuery(q url.Values) string {
+	out := url.Values{}
+	for k, vs := range q {
+		if k == "scope" {
+			continue
+		}
+		out[k] = vs
+	}
+	return out.Encode()
+}

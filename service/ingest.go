@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/trace"
 	"repro/store"
 )
 
@@ -97,6 +98,8 @@ func (s *Server) ingestLines(w http.ResponseWriter, r *http.Request, name string
 	sc := ingestScanners.Get().(*ingestScanner)
 	defer sc.release()
 
+	start := time.Now()
+	var ingestDur time.Duration
 	total := 0
 	flush := func() error {
 		if len(sc.keys) == 0 {
@@ -106,7 +109,9 @@ func (s *Server) ingestLines(w http.ResponseWriter, r *http.Request, name string
 		if err := s.st.Ingest(name, sc.keys); err != nil {
 			return err
 		}
-		s.batch.observe(len(sc.keys), time.Since(t0))
+		d := time.Since(t0)
+		ingestDur += d
+		s.batch.observe(len(sc.keys), d)
 		total += len(sc.keys)
 		s.met.ingestKeys.Add(uint64(len(sc.keys)))
 		clear(sc.keys)
@@ -164,6 +169,7 @@ func (s *Server) ingestLines(w http.ResponseWriter, r *http.Request, name string
 				s.failIngest(w, storeStatus(ferr), ferr, total)
 				return
 			}
+			s.noteIngest(trace.FromContext(r.Context()), name, total, start, ingestDur)
 			s.reply(w, http.StatusOK, map[string]any{"store": name, "ingested": total})
 			return
 		default:
@@ -185,6 +191,8 @@ func (s *Server) ingestJSON(w http.ResponseWriter, r *http.Request, name string)
 	// Count consumed body bytes on every exit path, error or not, so
 	// bytes/keys dashboards stay consistent with the newline path.
 	defer func() { s.met.ingestBytes.Add(uint64(dec.InputOffset())) }()
+	start := time.Now()
+	var ingestDur time.Duration
 	total, docs := 0, 0
 	last := name
 	for {
@@ -201,10 +209,12 @@ func (s *Server) ingestJSON(w http.ResponseWriter, r *http.Request, name string)
 		if req.Store != "" {
 			target = req.Store
 		}
+		t0 := time.Now()
 		if err := s.st.Ingest(target, req.Keys); err != nil {
 			s.failIngest(w, storeStatus(err), err, total)
 			return
 		}
+		ingestDur += time.Since(t0)
 		total += len(req.Keys)
 		s.met.ingestKeys.Add(uint64(len(req.Keys)))
 		docs++
@@ -218,7 +228,29 @@ func (s *Server) ingestJSON(w http.ResponseWriter, r *http.Request, name string)
 			return
 		}
 	}
+	s.noteIngest(trace.FromContext(r.Context()), last, total, start, ingestDur)
 	s.reply(w, http.StatusOK, map[string]any{"store": last, "ingested": total, "batches": docs})
+}
+
+// noteIngest attributes a finished ingest request's wall time to the
+// two HTTP-layer stages — store_ingest (time inside Store.Ingest /
+// IngestHashed) and body_scan (everything else: network reads, newline
+// scanning, JSON or frame decoding) — and annotates the sampled span,
+// if any. Called only on success paths; failed requests keep their
+// latency in knwd_http_request_seconds alone.
+func (s *Server) noteIngest(act *trace.Active, store string, keys int, start time.Time, ingest time.Duration) {
+	scan := time.Since(start) - ingest
+	if scan < 0 {
+		scan = 0
+	}
+	s.met.stageBodyScan.Observe(scan.Seconds())
+	s.met.stageStoreIngest.Observe(ingest.Seconds())
+	if act != nil {
+		act.SetStore(store)
+		act.AddKeys(keys)
+		act.Stage("body_scan", scan)
+		act.Stage("store_ingest", ingest)
+	}
 }
 
 // failIngest is fail plus the partial-progress count: callers that

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/frame"
+	"repro/internal/trace"
 )
 
 // Binary-frame ingest: Content-Type application/x-knw-frame bodies
@@ -88,6 +89,8 @@ func (s *Server) ingestFrame(w http.ResponseWriter, r *http.Request, name string
 		s.failIngest(w, readStatus(err), err, 0)
 		return
 	}
+	start := time.Now()
+	var ingestDur time.Duration
 	total, docs := 0, 0
 	last := name
 	for {
@@ -103,8 +106,9 @@ func (s *Server) ingestFrame(w http.ResponseWriter, r *http.Request, name string
 		if len(nameView) > 0 {
 			target = string(nameView)
 		}
-		ingested, err := s.ingestFrameDoc(fr, fs, target)
+		ingested, dur, err := s.ingestFrameDoc(fr, fs, target)
 		total += ingested
+		ingestDur += dur
 		if err != nil {
 			status := readStatus(err)
 			var serr *storeError
@@ -125,6 +129,7 @@ func (s *Server) ingestFrame(w http.ResponseWriter, r *http.Request, name string
 			return
 		}
 	}
+	s.noteIngest(trace.FromContext(r.Context()), last, total, start, ingestDur)
 	s.reply(w, http.StatusOK, map[string]any{"store": last, "ingested": total, "batches": docs})
 }
 
@@ -136,8 +141,9 @@ func (s *Server) ingestFrame(w http.ResponseWriter, r *http.Request, name string
 // alone — which is what lets replicas fed the same frames converge on
 // byte-identical sketch state (DESIGN.md §18 has the exact
 // conditions). A zero-count doc still creates its store.
-func (s *Server) ingestFrameDoc(fr *frame.Reader, fs *frameScanner, target string) (int, error) {
+func (s *Server) ingestFrameDoc(fr *frame.Reader, fs *frameScanner, target string) (int, time.Duration, error) {
 	ingested := 0
+	var dur time.Duration
 	for {
 		batch := fs.batch(s.batch.get())
 		fill := 0
@@ -156,14 +162,16 @@ func (s *Server) ingestFrameDoc(fr *frame.Reader, fs *frameScanner, target strin
 		if fill > 0 {
 			t0 := time.Now()
 			if serr := s.st.IngestHashed(target, batch[:fill]); serr != nil {
-				return ingested, &storeError{err: serr}
+				return ingested, dur, &storeError{err: serr}
 			}
-			s.batch.observe(fill, time.Since(t0))
+			d := time.Since(t0)
+			dur += d
+			s.batch.observe(fill, d)
 			ingested += fill
 			s.met.ingestKeys.Add(uint64(fill))
 		}
 		if rerr != nil {
-			return ingested, rerr
+			return ingested, dur, rerr
 		}
 		if fill < len(batch) {
 			break
@@ -173,8 +181,8 @@ func (s *Server) ingestFrameDoc(fr *frame.Reader, fs *frameScanner, target strin
 		// Zero-count doc: create the named store, like a JSON document
 		// with empty keys.
 		if serr := s.st.IngestHashed(target, nil); serr != nil {
-			return ingested, &storeError{err: serr}
+			return ingested, dur, &storeError{err: serr}
 		}
 	}
-	return ingested, nil
+	return ingested, dur, nil
 }

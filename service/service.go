@@ -41,6 +41,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -51,6 +52,7 @@ import (
 	"repro/cluster"
 	"repro/internal/httpx"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/store"
 )
 
@@ -69,8 +71,15 @@ type Config struct {
 	// CheckpointEvery is the background checkpoint interval (default
 	// 30s). A restart loses at most this much ingestion.
 	CheckpointEvery time.Duration
-	// Logf receives operational log lines. Nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured operational logs (startup, checkpoints,
+	// slow requests). Nil discards them. The cluster layer inherits it
+	// unless Cluster.Log is set.
+	Log *slog.Logger
+	// Trace configures request tracing (sampling rate, slow threshold,
+	// ring size; see internal/trace). The zero value disables
+	// probabilistic sampling but still honors sampled X-KNW-Trace
+	// headers from upstream, so cross-node traces stay complete.
+	Trace trace.Config
 	// Metrics is the instrument registry /metrics serves. Nil means the
 	// Server creates its own. The store shares it (unless Store.Metrics
 	// is already set), so one scrape covers both layers.
@@ -101,6 +110,8 @@ type Server struct {
 	mux    *http.ServeMux
 	reg    *metrics.Registry
 	met    serviceMetrics
+	log    *slog.Logger
+	tracer *trace.Tracer
 	router *cluster.Router // non-nil iff Config.Cluster was given
 	batch  *batchSizer     // adaptive ingest flush batch size
 	bufs   sync.Pool       // pooled request-body scratch (merge, restore)
@@ -113,8 +124,8 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 30 * time.Second
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Log == nil {
+		cfg.Log = trace.DiscardLogger()
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
@@ -122,12 +133,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Store.Metrics == nil {
 		cfg.Store.Metrics = cfg.Metrics
 	}
+	if cfg.Trace.Log == nil {
+		cfg.Trace.Log = cfg.Log
+	}
+	if cfg.Trace.Node == "" && cfg.Cluster != nil {
+		cfg.Trace.Node = cfg.Cluster.Self
+	}
+	// The stage vec is created before the store so both layers (and the
+	// cluster router below) observe into one knwd_stage_seconds family.
+	met := newServiceMetrics(cfg.Metrics)
+	if cfg.Store.Stages == nil {
+		cfg.Store.Stages = met.stages
+	}
 	st, err := store.New(cfg.Store)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, st: st, reg: cfg.Metrics, met: newServiceMetrics(cfg.Metrics),
-		batch: newBatchSizer()}
+	s := &Server{cfg: cfg, st: st, reg: cfg.Metrics, met: met, log: cfg.Log,
+		tracer: trace.New(cfg.Trace), batch: newBatchSizer()}
 	s.bufs.New = func() any { return new(bytes.Buffer) }
 	s.snaps.New = func() any { return new([]byte) }
 	cfg.Metrics.NewGaugeFunc("knwd_ingest_batch_size",
@@ -139,7 +162,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("service: restoring checkpoint: %w", err)
 		}
 		if n > 0 {
-			cfg.Logf("knwd: restored %d stores from %s", n, cfg.CheckpointDir)
+			s.log.Info("restored checkpoint", "stores", n, "dir", cfg.CheckpointDir)
 		}
 	}
 	s.mux = http.NewServeMux()
@@ -149,12 +172,23 @@ func New(cfg Config) (*Server, error) {
 	s.handle("GET /v1/snapshot", "/v1/snapshot", s.handleSnapshotGet)
 	s.handle("PUT /v1/snapshot", "/v1/snapshot", s.handleSnapshotPut)
 	s.handle("GET /v1/stores", "/v1/stores", s.handleStores)
+	s.handle("GET /v1/debug/traces", "/v1/debug/traces", s.handleDebugTraces)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
 	if cfg.Cluster != nil {
-		rt, err := cluster.New(*cfg.Cluster, st, cfg.Metrics)
+		cc := *cfg.Cluster
+		if cc.Log == nil {
+			cc.Log = cfg.Log
+		}
+		if cc.Tracer == nil {
+			cc.Tracer = s.tracer
+		}
+		if cc.Stages == nil {
+			cc.Stages = met.stages
+		}
+		rt, err := cluster.New(cc, st, cfg.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -170,9 +204,9 @@ func New(cfg Config) (*Server, error) {
 				if err != nil {
 					// A lost replica view is not data loss — the next gossip
 					// sweep rebuilds it — so restore best-effort.
-					cfg.Logf("knwd: replica view restore: %v", err)
+					s.log.Warn("replica view restore failed", "err", err)
 				} else if n > 0 {
-					cfg.Logf("knwd: restored %d replica envelopes from %s", n, cfg.CheckpointDir)
+					s.log.Info("restored replica envelopes", "envelopes", n, "dir", cfg.CheckpointDir)
 				}
 			}
 		}
@@ -190,6 +224,9 @@ func New(cfg Config) (*Server, error) {
 // Cluster returns the node's cluster router (nil on single-node
 // servers) — in-process access for tests and embeddings.
 func (s *Server) Cluster() *cluster.Router { return s.router }
+
+// Tracer exposes the request tracer (tests, embeddings).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Metrics exposes the registry (embedding, tests).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
@@ -228,7 +265,7 @@ func (s *Server) checkpointReplicas() {
 		return
 	}
 	if err := s.router.Replicas().Checkpoint(s.cfg.CheckpointDir); err != nil {
-		s.cfg.Logf("knwd: replica checkpoint failed: %v", err)
+		s.log.Warn("replica checkpoint failed", "err", err)
 	}
 }
 
@@ -247,14 +284,20 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 	if s.cfg.OnListen != nil {
 		s.cfg.OnListen(ln.Addr())
 	}
+	if s.cfg.Trace.Node == "" {
+		// Single-node daemons get their span node name from the bound
+		// address (cluster nodes already carry their self URL).
+		s.tracer.SetNode(ln.Addr().String())
+	}
 	hs := &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	s.cfg.Logf("knwd: serving on %s (kind=%s checkpoint=%q every %v)",
-		ln.Addr(), s.st.Kind(), s.cfg.CheckpointDir, s.cfg.CheckpointEvery)
+	s.log.Info("serving", "addr", ln.Addr().String(), "kind", s.st.Kind().String(),
+		"checkpoint_dir", s.cfg.CheckpointDir, "checkpoint_every", s.cfg.CheckpointEvery.String(),
+		"trace_sample", s.cfg.Trace.Sample, "trace_slow", s.cfg.Trace.Slow.String())
 	if s.router != nil {
 		s.router.StartGossip()
 		defer s.router.StopGossip()
@@ -266,7 +309,7 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 		select {
 		case <-ticker.C:
 			if err := s.checkpointTick(); err != nil {
-				s.cfg.Logf("knwd: checkpoint failed: %v", err)
+				s.log.Warn("checkpoint failed", "err", err)
 			}
 		case err := <-errc:
 			return err
@@ -286,7 +329,7 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 			if err := s.Checkpoint(); err != nil {
 				return fmt.Errorf("service: final checkpoint: %w", err)
 			}
-			s.cfg.Logf("knwd: shut down cleanly, final checkpoint written")
+			s.log.Info("shut down cleanly, final checkpoint written")
 			return serr
 		}
 	}

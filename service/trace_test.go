@@ -1,0 +1,167 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/version"
+)
+
+func traceConfig(dir string, sample float64) Config {
+	cfg := testConfig(dir)
+	cfg.Trace = trace.Config{Node: "test-node", Sample: sample}
+	return cfg
+}
+
+// TestTracedIngestRecorded: a sampled ingest shows up in
+// GET /v1/debug/traces with its store, key count, and the
+// body_scan/store_ingest stage split.
+func TestTracedIngestRecorded(t *testing.T) {
+	_, hs := newTestServer(t, traceConfig(t.TempDir(), 1))
+	resp, body := post(t, hs.URL+"/v1/ingest?store=web", "text/plain",
+		[]byte("a\nb\nc\n"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = get(t, hs.URL+"/v1/debug/traces?store=web")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug traces: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Node   string       `json:"node"`
+		Traces []trace.Tree `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Node != "test-node" {
+		t.Errorf("node = %q, want test-node", out.Node)
+	}
+	if len(out.Traces) == 0 {
+		t.Fatal("no traces recorded at sample=1")
+	}
+	var ingest *trace.SpanView
+	for i := range out.Traces {
+		for j := range out.Traces[i].Spans {
+			if out.Traces[i].Spans[j].Name == "/v1/ingest" {
+				ingest = &out.Traces[i].Spans[j]
+			}
+		}
+	}
+	if ingest == nil {
+		t.Fatalf("no /v1/ingest span in %s", body)
+	}
+	if ingest.Store != "web" || ingest.Keys != 3 || ingest.Status != 200 {
+		t.Errorf("ingest span = %+v, want store=web keys=3 status=200", ingest)
+	}
+	stages := map[string]bool{}
+	for _, st := range ingest.Stages {
+		stages[st.Stage] = true
+	}
+	if !stages["body_scan"] || !stages["store_ingest"] {
+		t.Errorf("ingest span stages = %v, want body_scan and store_ingest", ingest.Stages)
+	}
+}
+
+// TestHeaderPropagatedSpan: a request carrying a sampled X-KNW-Trace
+// header is recorded as a child of the sender's span regardless of the
+// local sampling rate.
+func TestHeaderPropagatedSpan(t *testing.T) {
+	_, hs := newTestServer(t, traceConfig(t.TempDir(), 0))
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/ingest?store=web",
+		bytes.NewReader([]byte("a\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.Header, "00000000deadbeef-0000000000000001-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	_, body := get(t, hs.URL+"/v1/debug/traces?trace=00000000deadbeef")
+	var out struct {
+		Traces []trace.Tree `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 1 || len(out.Traces[0].Spans) != 1 {
+		t.Fatalf("adopted trace missing: %s", body)
+	}
+	sp := out.Traces[0].Spans[0]
+	if sp.Trace != "00000000deadbeef" || sp.Parent != "0000000000000001" {
+		t.Errorf("span = trace %s parent %s, want adopted header ids", sp.Trace, sp.Parent)
+	}
+}
+
+func TestDebugTracesBadParams(t *testing.T) {
+	_, hs := newTestServer(t, traceConfig(t.TempDir(), 0))
+	for _, q := range []string{"trace=xyz", "min_ms=abc", "limit=0", "scope=galaxy"} {
+		resp, body := get(t, hs.URL+"/v1/debug/traces?"+q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("?%s: HTTP %d (%s), want 400", q, resp.StatusCode, body)
+		}
+	}
+	// scope=cluster without cluster mode is a 400, not a crash.
+	resp, _ := get(t, hs.URL+"/v1/debug/traces?scope=cluster")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("scope=cluster single-node: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStageMetricsExposed: an ingest populates the knwd_stage_seconds
+// histogram for the service and store stages, and build info carries
+// the version.
+func TestStageMetricsExposed(t *testing.T) {
+	_, hs := newTestServer(t, traceConfig(t.TempDir(), 0))
+	post(t, hs.URL+"/v1/ingest?store=web", "text/plain", []byte("a\nb\n"))
+	resp, body := get(t, hs.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, stage := range []string{"body_scan", "store_ingest", "slot_claim", "hash"} {
+		want := `knwd_stage_seconds_count{stage="` + stage + `"}`
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+	if !strings.Contains(text, `knwd_build_info{version="`+version.Version+`"`) {
+		t.Errorf("metrics missing knwd_build_info with version %s", version.Version)
+	}
+}
+
+// TestSlowRequestAlwaysRecorded: with Slow set to 1ns every request
+// lands in the ring even at sample 0.
+func TestSlowRequestAlwaysRecorded(t *testing.T) {
+	cfg := traceConfig(t.TempDir(), 0)
+	cfg.Trace.Slow = time.Nanosecond
+	_, hs := newTestServer(t, cfg)
+	post(t, hs.URL+"/v1/ingest?store=web", "text/plain", []byte("a\n"))
+	_, body := get(t, hs.URL+"/v1/debug/traces")
+	var out struct {
+		Traces []trace.Tree `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range out.Traces {
+		for _, sp := range tr.Spans {
+			if sp.Name == "/v1/ingest" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("slow-threshold request not recorded: %s", body)
+	}
+}

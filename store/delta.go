@@ -269,6 +269,7 @@ func (s *Store) flush(force bool) {
 		if n > 0 {
 			d := time.Since(start)
 			s.met.flushSeconds.Observe(d.Seconds())
+			s.met.stageMerge.Observe(d.Seconds())
 			s.met.flushes.Inc()
 			s.adaptFloor(d)
 		}

@@ -19,6 +19,14 @@ type storeMetrics struct {
 	ckptErrors   *metrics.Counter
 	flushSeconds *metrics.Histogram // epoch drain wall time per entry
 	flushes      *metrics.Counter   // entry drains that merged keys
+
+	// Cached knwd_stage_seconds series (Config.Stages; nil without a
+	// stage vec). Cached once here so the hot path never takes the
+	// vec's series-lookup lock.
+	stageClaim  *metrics.Histogram // delta-slot CAS claim
+	stageHash   *metrics.Histogram // string-key hash + append (Ingest)
+	stageAppend *metrics.Histogram // pre-hashed append (IngestHashed)
+	stageMerge  *metrics.Histogram // epoch drain of one entry
 }
 
 // initMetrics registers the store instruments on reg (nil disables
@@ -45,6 +53,12 @@ func (s *Store) initMetrics(reg *metrics.Registry) {
 			metrics.ExponentialBuckets(0.00001, 2, 14)), // 10µs .. ~80ms
 		flushes: reg.NewCounter("knwd_store_epoch_flushes_total",
 			"Entry drains that merged at least one pending key."),
+	}
+	if s.cfg.Stages != nil {
+		s.met.stageClaim = s.cfg.Stages.With("slot_claim")
+		s.met.stageHash = s.cfg.Stages.With("hash")
+		s.met.stageAppend = s.cfg.Stages.With("append")
+		s.met.stageMerge = s.cfg.Stages.With("epoch_merge")
 	}
 	reg.NewGaugeFunc("knwd_store_epoch_flush_floor_keys",
 		"Adaptive per-entry pending-key floor below which epoch ticks defer draining.",

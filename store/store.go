@@ -100,6 +100,11 @@ type Config struct {
 	// duration/size/age, epoch drain backlog/latency). Nil disables
 	// instrumentation.
 	Metrics *metrics.Registry
+	// Stages, when non-nil, receives the store's share of the
+	// knwd_stage_seconds pipeline-stage histogram (stage labels
+	// slot_claim, hash, append, epoch_merge). The service layer owns
+	// the vec so one family spans the HTTP, store, and cluster layers.
+	Stages *metrics.HistogramVec
 }
 
 // Store is the sharded, concurrency-safe sketch registry.
@@ -348,7 +353,18 @@ func (s *Store) Ingest(name string, keys []string) error {
 	if e.window != nil {
 		e.writeStamp.Store(s.now().UnixNano())
 	}
+	// Stage attribution costs three clock reads per batch — amortized
+	// over thousands of keys — and only when a stage vec is configured,
+	// so library users and microbenchmarks pay nothing.
+	var t0, t1 time.Time
+	timed := s.met.stageClaim != nil
+	if timed {
+		t0 = time.Now()
+	}
 	sl := e.claim()
+	if timed {
+		t1 = time.Now()
+	}
 	if sl.sk == nil {
 		sl.sk = s.newSketch()
 		// The slot's Keyed derives its hasher from the slot sketch's
@@ -357,6 +373,11 @@ func (s *Store) Ingest(name string, keys []string) error {
 		sl.keyed = knw.NewKeyed[string](sl.sk)
 	}
 	sl.keyed.AddBatch(keys)
+	if timed {
+		t2 := time.Now()
+		s.met.stageClaim.Observe(t1.Sub(t0).Seconds())
+		s.met.stageHash.Observe(t2.Sub(t1).Seconds())
+	}
 	sl.pending += len(keys)
 	e.pending.Add(int64(len(keys)))
 	s.pendingKeys.Add(int64(len(keys)))
@@ -380,12 +401,25 @@ func (s *Store) IngestHashed(name string, keys []uint64) error {
 	if e.window != nil {
 		e.writeStamp.Store(s.now().UnixNano())
 	}
+	var t0, t1 time.Time
+	timed := s.met.stageClaim != nil
+	if timed {
+		t0 = time.Now()
+	}
 	sl := e.claim()
+	if timed {
+		t1 = time.Now()
+	}
 	if sl.sk == nil {
 		sl.sk = s.newSketch()
 		sl.keyed = knw.NewKeyed[string](sl.sk)
 	}
 	sl.sk.AddBatch(keys)
+	if timed {
+		t2 := time.Now()
+		s.met.stageClaim.Observe(t1.Sub(t0).Seconds())
+		s.met.stageAppend.Observe(t2.Sub(t1).Seconds())
+	}
 	sl.pending += len(keys)
 	e.pending.Add(int64(len(keys)))
 	s.pendingKeys.Add(int64(len(keys)))
