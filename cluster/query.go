@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	knw "repro"
+	"repro/internal/trace"
+	"repro/store"
+)
+
+// Cluster-side query primitives: GatherSketch hands the scatter-gather
+// machinery's merged sketch back to the caller (instead of collapsing
+// it to a number, as MergedEstimate does), so the service's /v1/query
+// can run set algebra across several gathered stores; GatherSeries
+// scatters per-bucket ring snapshots and unions them epoch by epoch
+// into one cluster-wide time-series; LocalSketch is the O(1)
+// gossip-view counterpart for mode=local.
+
+// GatherInfo describes how complete a scatter-gather assembly was —
+// the completeness fields of Estimate, reusable by any gathered
+// answer.
+type GatherInfo struct {
+	Nodes       int      `json:"nodes"`
+	NodesOK     int      `json:"nodes_ok"`
+	Partial     bool     `json:"partial"`
+	FailedPeers []string `json:"failed_peers,omitempty"`
+}
+
+// Merge folds another gather's completeness into g: a multi-store
+// query is partial when any of its per-store gathers was.
+func (g *GatherInfo) Merge(o GatherInfo) {
+	if g.Nodes == 0 {
+		*g = o
+		return
+	}
+	if o.NodesOK < g.NodesOK {
+		g.NodesOK = o.NodesOK
+	}
+	g.Partial = g.Partial || o.Partial
+	for _, p := range o.FailedPeers {
+		seen := false
+		for _, q := range g.FailedPeers {
+			if p == q {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			g.FailedPeers = append(g.FailedPeers, p)
+		}
+	}
+}
+
+// GatherSketch assembles the cluster-wide union sketch for one store:
+// the local envelope plus every peer's, opened and merged in this
+// process. windowed merges the scope=window envelopes (the live window
+// rings) instead of the all-time ones. Failure semantics match
+// MergedEstimate: peers that hold no data count healthy, unreachable
+// or incompatible peers land in GatherInfo.FailedPeers with the merged
+// remainder still returned, and the error return means no data
+// anywhere (errors.Is store.ErrNotFound when every node 404ed).
+func (rt *Router) GatherSketch(name string, windowed bool, act *trace.Active) (knw.Estimator, GatherInfo, error) {
+	if err := store.ValidateName(name); err != nil {
+		return nil, GatherInfo{}, err
+	}
+	t0 := time.Now()
+	scope := ""
+	if windowed {
+		scope = "window"
+	}
+	results := rt.scatterScope(name, scope, act.HeaderValue())
+	acc, info := rt.foldEnvelopes(name, results, act)
+	if acc == nil {
+		if info.Partial {
+			return nil, info, fmt.Errorf("cluster: no node could serve %q (unreachable: %v)", name, info.FailedPeers)
+		}
+		return nil, info, fmt.Errorf("%w: %w %q", errNoData, store.ErrNotFound, name)
+	}
+	d := time.Since(t0)
+	rt.met.gatherSeconds.Observe(d.Seconds())
+	act.SetStore(name)
+	act.Stage("gather", d)
+	return acc, info, nil
+}
+
+// foldEnvelopes opens and merges one scatter's envelopes, tallying
+// completeness (and the partial-serving metrics) as mergedEstimate
+// does.
+func (rt *Router) foldEnvelopes(name string, results []gatherRes, act *trace.Active) (knw.Estimator, GatherInfo) {
+	info := GatherInfo{Nodes: len(rt.ring.members)}
+	var acc knw.Estimator
+	for _, res := range results {
+		if res.err == nil && res.env != nil {
+			est, err := knw.Open(res.env)
+			if err != nil {
+				res.err = err
+			} else if acc == nil {
+				acc = est
+			} else {
+				res.err = knw.MergeInto(acc, est)
+			}
+		}
+		if res.err != nil {
+			info.Partial = true
+			info.FailedPeers = append(info.FailedPeers, rt.ring.members[res.member])
+			rt.log.Warn("gather failed", "store", name,
+				"peer", rt.ring.members[res.member], "err", res.err,
+				"trace", act.TraceHex())
+			continue
+		}
+		info.NodesOK++
+	}
+	if info.Partial {
+		rt.met.gatherPartial.Inc()
+		if acc != nil {
+			rt.met.partialServed.Inc()
+		}
+	}
+	return acc, info
+}
+
+// scatterScope collects every member's envelope for one snapshot scope
+// concurrently — scatter generalized beyond the all-time+window pair.
+func (rt *Router) scatterScope(name, scope, hdr string) []gatherRes {
+	results := make([]gatherRes, len(rt.ring.members))
+	var wg sync.WaitGroup
+	for m := range rt.ring.members {
+		results[m].member = m
+		if m == rt.self {
+			results[m].env, results[m].err = rt.localScope(name, scope)
+			continue
+		}
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			env, found, err := rt.getSnapshot(rt.ring.members[m], name, scope, hdr)
+			results[m].err = err
+			if found {
+				results[m].env = env
+			}
+		}(m)
+	}
+	wg.Wait()
+	return results
+}
+
+// localScope reads this node's own envelope for a snapshot scope
+// without HTTP; a nil envelope with nil error means the store is
+// unknown here (the healthy-empty contribution).
+func (rt *Router) localScope(name, scope string) ([]byte, error) {
+	var env []byte
+	var err error
+	switch scope {
+	case "window":
+		env, err = rt.local.WindowSnapshot(name, nil)
+	case "buckets":
+		var rs store.RingSnapshot
+		rs, err = rt.local.RingSnapshot(name)
+		if err == nil {
+			env = rs.Encode(nil)
+		}
+	default:
+		env, err = rt.local.Snapshot(name, nil)
+	}
+	if errors.Is(err, store.ErrNotFound) {
+		return nil, nil
+	}
+	return env, err
+}
+
+// GatherSeries assembles the cluster-wide cardinality time-series for
+// one windowed store: every member ships its per-bucket ring snapshot
+// (GET /v1/snapshot?scope=buckets), and because bucket epochs are
+// wall-aligned interval indices shared by every same-configured node,
+// the buckets union epoch by epoch — per-point union semantics
+// identical to a single node that had ingested everything. The span is
+// rounded exactly as store.Series rounds it; epochs nobody has data
+// for read zero. Requires NTP-sane clocks across members, like the
+// window ring itself.
+//
+// A series cannot be answered from the gossip merged view: replicas
+// carry only all-time envelopes (deltas have no event times), so there
+// is no mode=local series — the documented trade-off is fan-out per
+// series read vs O(1) staleness-bounded point reads.
+func (rt *Router) GatherSeries(name string, span time.Duration, act *trace.Active) (store.Series, GatherInfo, error) {
+	if err := store.ValidateName(name); err != nil {
+		return store.Series{}, GatherInfo{}, err
+	}
+	win := rt.local.Window()
+	if win.Buckets == 0 {
+		return store.Series{}, GatherInfo{}, fmt.Errorf("%w (%q)", store.ErrNotWindowed, name)
+	}
+	t0 := time.Now()
+	results := rt.scatterScope(name, "buckets", act.HeaderValue())
+
+	info := GatherInfo{Nodes: len(rt.ring.members)}
+	byEpoch := map[int64]knw.Estimator{}
+	var maxEpoch int64
+	var sketchName string
+	seen := false
+	for _, res := range results {
+		if res.err == nil && res.env != nil {
+			res.err = func() error {
+				rs, err := store.DecodeRingSnapshot(res.env)
+				if err != nil {
+					return err
+				}
+				if rs.Interval != win.Interval {
+					return fmt.Errorf("peer window interval %v differs from local %v", rs.Interval, win.Interval)
+				}
+				for _, b := range rs.Buckets {
+					est, err := knw.Open(b.Env)
+					if err != nil {
+						return err
+					}
+					sketchName = est.Name()
+					if cur := byEpoch[b.Epoch]; cur == nil {
+						byEpoch[b.Epoch] = est
+					} else if err := knw.MergeInto(cur, est); err != nil {
+						return err
+					}
+					if !seen || b.Epoch > maxEpoch {
+						maxEpoch = b.Epoch
+						seen = true
+					}
+				}
+				return nil
+			}()
+		}
+		if res.err != nil {
+			info.Partial = true
+			info.FailedPeers = append(info.FailedPeers, rt.ring.members[res.member])
+			rt.log.Warn("series gather failed", "store", name,
+				"peer", rt.ring.members[res.member], "err", res.err,
+				"trace", act.TraceHex())
+			continue
+		}
+		info.NodesOK++
+	}
+	if info.Partial {
+		rt.met.gatherPartial.Inc()
+	}
+	if !seen {
+		if info.Partial {
+			return store.Series{}, info, fmt.Errorf("cluster: no node could serve a series for %q (unreachable: %v)", name, info.FailedPeers)
+		}
+		return store.Series{}, info, fmt.Errorf("%w: %w %q", errNoData, store.ErrNotFound, name)
+	}
+	if info.Partial {
+		rt.met.partialServed.Inc()
+	}
+
+	k := store.SpanBuckets(span, win.Interval, win.Buckets)
+	out := store.Series{
+		Store:    name,
+		Sketch:   sketchName,
+		Interval: win.Interval.String(),
+		Span:     (time.Duration(k) * win.Interval).String(),
+		Buckets:  make([]store.SeriesPoint, 0, k),
+	}
+	// Per-bucket estimates first; the union accumulator below mutates
+	// the per-epoch sketches, so read before merging.
+	for j := k - 1; j >= 0; j-- {
+		epoch := maxEpoch - int64(j)
+		start := time.Unix(0, epoch*int64(win.Interval))
+		p := store.SeriesPoint{Start: start, End: start.Add(win.Interval), Epoch: epoch}
+		if est := byEpoch[epoch]; est != nil {
+			p.Estimate = est.Estimate()
+		}
+		out.Buckets = append(out.Buckets, p)
+	}
+	var union knw.Estimator
+	for j := 0; j < k; j++ {
+		est := byEpoch[maxEpoch-int64(j)]
+		if est == nil {
+			continue
+		}
+		if union == nil {
+			union = est
+		} else if err := knw.MergeInto(union, est); err != nil {
+			return store.Series{}, info, err
+		}
+	}
+	if union != nil {
+		out.Window = union.Estimate()
+	}
+	// Delta compares the two newest epochs. With k == 1 the previous
+	// epoch's sketch is outside the span and so still unmutated by the
+	// union accumulator above.
+	n := len(out.Buckets)
+	var prev float64
+	if k >= 2 {
+		prev = out.Buckets[n-2].Estimate
+	} else if est := byEpoch[maxEpoch-1]; est != nil {
+		prev = est.Estimate()
+	}
+	out.Delta = out.Buckets[n-1].Estimate - prev
+	out.RatePerSec = out.Delta / win.Interval.Seconds()
+
+	d := time.Since(t0)
+	rt.met.gatherSeconds.Observe(d.Seconds())
+	act.SetStore(name)
+	act.Stage("series_gather", d)
+	return out, info, nil
+}
+
+// LocalSketch resolves name to a caller-owned sketch merged from this
+// node's own store plus its gossip replicas — the sketch-valued
+// counterpart of LocalEstimate, for /v1/query mode=local: O(replicas)
+// merging, no network, the X-KNW-Staleness bound of the gossip view.
+// The second return carries the replica and staleness detail for
+// response assembly.
+func (rt *Router) LocalSketch(name string) (knw.Estimator, LocalEstimate, error) {
+	if rt.gossip == nil {
+		return nil, LocalEstimate{}, errors.New("cluster: gossip replication is disabled (-gossip-interval)")
+	}
+	if err := store.ValidateName(name); err != nil {
+		return nil, LocalEstimate{}, err
+	}
+	est, ve, err := rt.gossip.replicas.MergedSketch(name)
+	if err != nil {
+		return nil, LocalEstimate{}, err
+	}
+	return est, LocalEstimate{
+		Store:            name,
+		AllTime:          ve.AllTime,
+		Mode:             "local",
+		Replicas:         ve.Replicas,
+		LocalFound:       ve.LocalFound,
+		Nodes:            len(rt.ring.members),
+		StalenessSeconds: rt.gossip.staleness().Seconds(),
+	}, nil
+}

@@ -1,0 +1,201 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/cluster"
+	"repro/store"
+)
+
+// End-to-end /v1/query and /v1/series against in-process clusters:
+// routed ingest spreads two overlapping key sets across the ring, and
+// every node's query endpoint must answer set algebra within the
+// sketch ε of exact truth — in mode=gather (scatter), in mode=local
+// (gossip view), and with a member down.
+
+// queryWire mirrors the service's /v1/query response shape.
+type queryWire struct {
+	Mode             string    `json:"mode"`
+	Scope            string    `json:"scope"`
+	Cardinalities    []float64 `json:"cardinalities"`
+	Union            float64   `json:"union"`
+	Intersection     float64   `json:"intersection"`
+	Jaccard          float64   `json:"jaccard"`
+	Epsilon          float64   `json:"epsilon"`
+	Nodes            int       `json:"nodes"`
+	NodesOK          int       `json:"nodes_ok"`
+	Partial          bool      `json:"partial"`
+	StalenessSeconds *float64  `json:"staleness_seconds"`
+}
+
+func getQueryWire(t *testing.T, base, params string) (queryWire, http.Header, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/query?" + params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var qw queryWire
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &qw); err != nil {
+			t.Fatalf("decoding query: %v (%s)", err, body)
+		}
+	}
+	return qw, resp.Header, resp.StatusCode
+}
+
+// seedOverlap ingests the canonical overlapping pair through node 0's
+// routed ingest: |A| = |B| = 3000, overlap 1500 → union 4500, J = 1/3.
+func seedOverlap(t *testing.T, base string) {
+	t.Helper()
+	if status, out := ingestLines(t, base, "j/a", genKeys("k", 0, 3000)); status != http.StatusOK {
+		t.Fatalf("ingest j/a: HTTP %d: %s", status, out)
+	}
+	if status, out := ingestLines(t, base, "j/b", genKeys("k", 1500, 4500)); status != http.StatusOK {
+		t.Fatalf("ingest j/b: HTTP %d: %s", status, out)
+	}
+}
+
+// checkOverlap asserts a query answer against the exact truth of
+// seedOverlap within the paper bounds: |A∪B| within ε·4500,
+// |A∩B| within ε·(|A|+|B|+|A∪B|) = ε·10500.
+func checkOverlap(t *testing.T, ctx string, qw queryWire) {
+	t.Helper()
+	if math.Abs(qw.Union-4500) > testEps*4500 {
+		t.Errorf("%s: union = %.0f, want 4500 ± %.0f", ctx, qw.Union, testEps*4500)
+	}
+	if math.Abs(qw.Intersection-1500) > testEps*10500 {
+		t.Errorf("%s: intersection = %.0f, want 1500 ± %.0f", ctx, qw.Intersection, testEps*10500)
+	}
+	if math.Abs(qw.Jaccard-1.0/3) > 0.15 {
+		t.Errorf("%s: jaccard = %.3f, want ~0.333", ctx, qw.Jaccard)
+	}
+}
+
+func TestClusterQueryGather(t *testing.T) {
+	win := store.Window{Buckets: 4, Interval: time.Minute}
+	nodes := startCluster(t, 3, 2, win)
+	seedOverlap(t, nodes[0].url)
+
+	for i, nd := range nodes {
+		for _, scope := range []string{"all", "window"} {
+			qw, hdr, status := getQueryWire(t, nd.url, "stores=j/a,j/b&mode=gather&scope="+scope)
+			if status != http.StatusOK {
+				t.Fatalf("node %d scope=%s: HTTP %d", i, scope, status)
+			}
+			if qw.Mode != "gather" || qw.Scope != scope {
+				t.Errorf("node %d: mode/scope = %s/%s, want gather/%s", i, qw.Mode, qw.Scope, scope)
+			}
+			if qw.Nodes != 3 || qw.NodesOK != 3 || qw.Partial {
+				t.Errorf("node %d scope=%s: completeness %d/%d partial=%v, want 3/3 false",
+					i, scope, qw.NodesOK, qw.Nodes, qw.Partial)
+			}
+			if hdr.Get(cluster.PartialHeader) != "" {
+				t.Errorf("node %d: partial header on a complete gather", i)
+			}
+			checkOverlap(t, nd.url+" scope="+scope, qw)
+		}
+
+		// The cluster series: every member ships its ring, same-epoch
+		// buckets union. All ingest happened inside the live bucket.
+		resp, err := http.Get(nd.url + "/v1/series?store=j/a&mode=gather")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("node %d series: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+		var sr struct {
+			Mode    string  `json:"mode"`
+			Window  float64 `json:"window"`
+			Nodes   int     `json:"nodes"`
+			Buckets []struct {
+				Epoch    int64   `json:"epoch"`
+				Estimate float64 `json:"estimate"`
+			} `json:"buckets"`
+		}
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatalf("node %d series: %v (%s)", i, err, body)
+		}
+		if sr.Mode != "gather" || sr.Nodes != 3 || len(sr.Buckets) != 4 {
+			t.Errorf("node %d series: mode/nodes/buckets = %s/%d/%d, want gather/3/4",
+				i, sr.Mode, sr.Nodes, len(sr.Buckets))
+		}
+		if math.Abs(sr.Window-3000) > testEps*3000 {
+			t.Errorf("node %d series window = %.0f, want 3000 ± %.0f", i, sr.Window, testEps*3000)
+		}
+		if live := sr.Buckets[len(sr.Buckets)-1].Estimate; math.Abs(live-3000) > testEps*3000 {
+			t.Errorf("node %d live bucket = %.0f, want ~3000", i, live)
+		}
+	}
+
+	// Kill one member: with R = 2 every key still has a live owner, so
+	// the gather stays within bound — just flagged partial.
+	nodes[2].hs.Close()
+	qw, hdr, status := getQueryWire(t, nodes[0].url, "stores=j/a,j/b&mode=gather")
+	if status != http.StatusOK {
+		t.Fatalf("degraded gather: HTTP %d", status)
+	}
+	if !qw.Partial || qw.NodesOK != 2 {
+		t.Errorf("degraded gather: completeness %d/3 partial=%v, want 2/3 true", qw.NodesOK, qw.Partial)
+	}
+	if hdr.Get(cluster.PartialHeader) == "" {
+		t.Error("degraded gather: missing the partial header")
+	}
+	checkOverlap(t, "degraded gather", qw)
+}
+
+func TestClusterQueryLocal(t *testing.T) {
+	const interval = 50 * time.Millisecond
+	nodes := startGossipCluster(t, 3, 1, interval)
+	seedOverlap(t, nodes[0].url)
+
+	// Every node's gossip view converges to the cluster-wide answer —
+	// O(1) reads, no scatter. With gossip on, local is also the default
+	// mode, so query without ?mode=.
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < len(nodes); {
+		qw, hdr, status := getQueryWire(t, nodes[i].url, "stores=j/a,j/b")
+		ok := status == http.StatusOK &&
+			math.Abs(qw.Union-4500) <= testEps*4500 &&
+			math.Abs(qw.Intersection-1500) <= testEps*10500
+		if ok {
+			if qw.Mode != "local" {
+				t.Fatalf("node %d: default mode = %q, want local", i, qw.Mode)
+			}
+			if qw.StalenessSeconds == nil || hdr.Get(cluster.StalenessHeader) == "" {
+				t.Fatalf("node %d: local answer missing staleness (body %v, header %q)",
+					i, qw.StalenessSeconds, hdr.Get(cluster.StalenessHeader))
+			}
+			i++
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d never converged: HTTP %d, union %.0f inter %.0f",
+				i, status, qw.Union, qw.Intersection)
+		}
+		time.Sleep(interval / 2)
+	}
+
+	// Windowed scopes cannot answer from the all-time replica view.
+	if _, _, status := getQueryWire(t, nodes[0].url, "stores=j/a,j/b&mode=local&scope=window"); status != http.StatusBadRequest {
+		t.Errorf("mode=local scope=window: HTTP %d, want 400", status)
+	}
+	// Nor can a series (and this cluster has no window ring at all).
+	resp, err := http.Get(nodes[0].url + "/v1/series?store=j/a&mode=gather")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("series on unwindowed cluster: HTTP %d, want 400", resp.StatusCode)
+	}
+}

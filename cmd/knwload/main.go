@@ -82,6 +82,8 @@ func main() {
 		out      = flag.String("out", "BENCH.json", "output JSON path (empty = stdout only)")
 		readR    = flag.Float64("read-ratio", 0, "fraction of mixed-phase requests that are estimate reads (0 = pure ingest). With -cluster the reads alternate mode=local and mode=gather; after the mixed phase a dedicated timed phase measures each mode's read QPS")
 		readDur  = flag.Duration("read-duration", 2*time.Second, "length of each mode's dedicated read-throughput phase (with -read-ratio)")
+		queryR   = flag.Float64("query-ratio", 0, "fraction of mixed-phase requests that are /v1/query set-algebra reads over adjacent store pairs (needs -stores >= 2). Also enables a dedicated query QPS phase and the final exact-truth validation of /v1/query and /v1/series against the generator's bitsets")
+		epsF     = flag.Float64("epsilon", 0.05, "server sketch epsilon the truth-bound checks assume (must match knwd -epsilon)")
 	)
 	flag.Parse()
 	if *mode != "" {
@@ -98,6 +100,12 @@ func main() {
 	}
 	if *readR < 0 || *readR >= 1 {
 		log.Fatalf("knwload: -read-ratio must be in [0, 1), got %v", *readR)
+	}
+	if *queryR < 0 || *queryR >= 1 {
+		log.Fatalf("knwload: -query-ratio must be in [0, 1), got %v", *queryR)
+	}
+	if *queryR > 0 && *stores < 2 {
+		log.Fatal("knwload: -query-ratio needs -stores >= 2 (set queries take store pairs)")
 	}
 
 	// Cluster mode: spread ingest requests round-robin over every node's
@@ -167,7 +175,14 @@ func main() {
 		wg        sync.WaitGroup
 		latCh     = make(chan []float64, *workers)
 		readCh    = make(chan map[string]*readStats, *workers)
+		queryCh   = make(chan *queryStats, *workers)
 	)
+	// The mixed-phase query mode: cluster nodes answer gather (always
+	// valid, gossip or not); single-node answers from its own store.
+	mixedQueryMode := ""
+	if *clusterF != "" {
+		mixedQueryMode = "gather"
+	}
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
@@ -196,6 +211,7 @@ func main() {
 			for _, m := range readModes {
 				reads[m] = &readStats{}
 			}
+			qs := &queryStats{}
 			if *codec == "binary" {
 				hashed = make([]uint64, *batch)
 			}
@@ -213,6 +229,16 @@ func main() {
 					if err := reads[m].observe(client, addrs[r%len(addrs)], m, names[si], estimatePath); err != nil {
 						readErrs.Add(1)
 						logx.Warn("read failed", "request", r, "mode", m, "err", err)
+					}
+					continue
+				}
+				if *queryR > 0 && rng.Float64() < *queryR {
+					// A set-algebra slot: union/intersection/Jaccard over an
+					// adjacent store pair, mid-ingest.
+					if err := qs.observe(client, addrs[r%len(addrs)], mixedQueryMode,
+						names[si], names[(si+1)%*stores]); err != nil {
+						readErrs.Add(1)
+						logx.Warn("query failed", "request", r, "err", err)
 					}
 					continue
 				}
@@ -253,12 +279,14 @@ func main() {
 			}
 			latCh <- lats
 			readCh <- reads
+			queryCh <- qs
 		}(w)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 	close(latCh)
 	close(readCh)
+	close(queryCh)
 	var lats []float64
 	for l := range latCh {
 		lats = append(lats, l...)
@@ -296,6 +324,35 @@ func main() {
 			MaxStalenessSeconds: st.maxStale,
 		})
 		readErrs.Add(int64(phaseErrs))
+	}
+
+	// Query side (-query-ratio): pool the mixed-phase stats, run the
+	// dedicated per-mode QPS phase, then validate /v1/query and
+	// /v1/series against the exact bitset truth.
+	var (
+		queryReports []queryReport
+		queryTruth   []pairCheck
+		seriesChecks []seriesCheck
+		violations   int
+	)
+	mixedQueries := &queryStats{}
+	for qs := range queryCh {
+		mixedQueries.merge(qs)
+	}
+	if *queryR > 0 {
+		queryModes := []string{mixedQueryMode}
+		if *clusterF != "" {
+			// mode=local needs gossip on the server; probe before measuring.
+			if _, err := getSetQuery(client, addrs[0], "local", names[0], names[1]); err == nil || errors.Is(err, errStoreMiss) {
+				queryModes = append(queryModes, "local")
+			}
+		}
+		queryReports = runQueryReports(client, addrs, queryModes, names, mixedQueries, *workers, *readDur)
+		var v int
+		queryTruth, v = validateQueryTruth(client, addrs, names, seen, queryModes, *epsF)
+		violations += v
+		seriesChecks, v = validateSeries(client, addrs, names, seen, mixedQueryMode, *epsF)
+		violations += v
 	}
 
 	after, err := scrapeAll(client, addrs)
@@ -354,7 +411,7 @@ func main() {
 		Config: benchConfig{
 			Addr: *addr, Cluster: *clusterF, Workers: *workers, Stores: *stores, Requests: *requests,
 			Batch: *batch, Mode: *codec, Dist: *dist, ZipfS: *zipfS,
-			Keyspace: *keyspace, Seed: *seed, ReadRatio: *readR,
+			Keyspace: *keyspace, Seed: *seed, ReadRatio: *readR, QueryRatio: *queryR,
 		},
 		WallSeconds:          wall.Seconds(),
 		RequestsSent:         *requests,
@@ -368,6 +425,9 @@ func main() {
 			P99: quantile(lats, 0.99), Max: quantile(lats, 1),
 		},
 		EstimateError: estimateError{MeanAbsRel: sumRel / float64(*stores), MaxAbsRel: maxRel, PerStore: perStore},
+		Queries:       queryReports,
+		QueryTruth:    queryTruth,
+		Series:        seriesChecks,
 		Server:        serverDelta(before, after, wall),
 	}
 
@@ -392,13 +452,36 @@ func main() {
 			"knwload: reads mode=%s: %.0f QPS, p50 %.2fms p99 %.2fms, mean err %.3f%%, max staleness %.3fs\n",
 			rr.Mode, rr.QPS, rr.LatencyMs.P50, rr.LatencyMs.P99, 100*rr.MeanAbsRel, rr.MaxStalenessSeconds)
 	}
+	for _, qr := range queryReports {
+		fmt.Fprintf(os.Stderr,
+			"knwload: queries mode=%s: %.0f QPS, p50 %.2fms p99 %.2fms, %d errors\n",
+			qr.Mode, qr.QPS, qr.LatencyMs.P50, qr.LatencyMs.P99, qr.Errors)
+	}
+	if len(queryTruth) > 0 {
+		ok := 0
+		for _, ck := range queryTruth {
+			if ck.OK {
+				ok++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "knwload: set-algebra truth: %d/%d pair answers within bounds\n", ok, len(queryTruth))
+	}
+	if len(seriesChecks) > 0 {
+		ok := 0
+		for _, ck := range seriesChecks {
+			if ck.OK {
+				ok++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "knwload: window series: %d/%d stores within bounds\n", ok, len(seriesChecks))
+	}
 	printStages(report.Server.Stages)
 	if report.Server.MaxPeerStaleness > 0 {
 		fmt.Fprintf(os.Stderr, "knwload: worst per-peer gossip staleness %.3fs\n",
 			report.Server.MaxPeerStaleness)
 	}
 	printTrace(fetchTrace(client, addrs[0]))
-	if errCount.Load()+readErrs.Load() > 0 {
+	if errCount.Load()+readErrs.Load() > 0 || violations > 0 {
 		os.Exit(1)
 	}
 }
@@ -444,18 +527,19 @@ func printTrace(tr *traceSummary) {
 // --- report schema ---------------------------------------------------
 
 type benchConfig struct {
-	Addr      string  `json:"addr"`
-	Cluster   string  `json:"cluster,omitempty"`
-	Workers   int     `json:"workers"`
-	Stores    int     `json:"stores"`
-	Requests  int     `json:"requests"`
-	Batch     int     `json:"batch"`
-	Mode      string  `json:"mode"`
-	Dist      string  `json:"dist"`
-	ZipfS     float64 `json:"zipf_s"`
-	Keyspace  uint64  `json:"keyspace"`
-	Seed      int64   `json:"seed"`
-	ReadRatio float64 `json:"read_ratio,omitempty"`
+	Addr       string  `json:"addr"`
+	Cluster    string  `json:"cluster,omitempty"`
+	Workers    int     `json:"workers"`
+	Stores     int     `json:"stores"`
+	Requests   int     `json:"requests"`
+	Batch      int     `json:"batch"`
+	Mode       string  `json:"mode"`
+	Dist       string  `json:"dist"`
+	ZipfS      float64 `json:"zipf_s"`
+	Keyspace   uint64  `json:"keyspace"`
+	Seed       int64   `json:"seed"`
+	ReadRatio  float64 `json:"read_ratio,omitempty"`
+	QueryRatio float64 `json:"query_ratio,omitempty"`
 }
 
 type quantiles struct {
@@ -515,6 +599,9 @@ type benchReport struct {
 	LatencyMs            quantiles     `json:"latency_ms"`
 	EstimateError        estimateError `json:"estimate_error"`
 	Reads                []readReport  `json:"reads,omitempty"`
+	Queries              []queryReport `json:"queries,omitempty"`
+	QueryTruth           []pairCheck   `json:"query_truth,omitempty"`
+	Series               []seriesCheck `json:"series,omitempty"`
 	Server               serverSide    `json:"server"`
 }
 

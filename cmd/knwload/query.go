@@ -1,0 +1,328 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Query-side load and truth validation (-query-ratio): /v1/query reads
+// interleaved into the mixed phase, a dedicated per-mode query QPS
+// phase, and — the part no estimate-only run covers — a final
+// validation of the set-algebra answers against exact truth. The
+// generator already tracks every drawn key id in per-store bitsets, so
+// the true union is popcount(A|B), the true intersection popcount(A&B),
+// and /v1/query's inclusion–exclusion estimates are judged against the
+// paper bounds: union within ε·|A∪B|, intersection within
+// ε·(|A|+|B|+|A∪B|) (error scales with the unions, not the
+// intersection).
+
+// boundSlack widens the (ε,δ) bounds for single-run CI checks: each
+// bound holds with probability ≥ 1−δ per sketch, and the slack keeps
+// the rare tail from flaking a pipeline.
+const boundSlack = 1.5
+
+// queryWire is the slice of the /v1/query response the harness reads.
+type queryWire struct {
+	Mode                 string    `json:"mode"`
+	Cardinalities        []float64 `json:"cardinalities"`
+	Union                float64   `json:"union"`
+	Intersection         float64   `json:"intersection"`
+	Jaccard              float64   `json:"jaccard"`
+	Epsilon              float64   `json:"epsilon"`
+	IntersectionErrBound float64   `json:"intersection_err_bound"`
+	Partial              bool      `json:"partial"`
+}
+
+// getSetQuery reads one store pair's set algebra through the named
+// mode ("" = the server default).
+func getSetQuery(client *http.Client, base, mode, a, b string) (queryWire, error) {
+	url := base + "/v1/query?stores=" + a + "," + b
+	if mode != "" {
+		url += "&mode=" + mode
+	}
+	var qw queryWire
+	resp, err := client.Get(url)
+	if err != nil {
+		return qw, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return qw, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return qw, errStoreMiss
+	}
+	if resp.StatusCode != http.StatusOK {
+		return qw, fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &qw); err != nil {
+		return qw, err
+	}
+	return qw, nil
+}
+
+// queryStats accumulates one mode's query-read observations.
+type queryStats struct {
+	lats   []float64
+	count  int
+	errors int
+}
+
+func (st *queryStats) observe(client *http.Client, base, mode, a, b string) error {
+	t0 := time.Now()
+	_, err := getSetQuery(client, base, mode, a, b)
+	st.count++
+	if err != nil && !errors.Is(err, errStoreMiss) {
+		st.errors++
+		return err
+	}
+	st.lats = append(st.lats, time.Since(t0).Seconds()*1e3)
+	return nil
+}
+
+func (st *queryStats) merge(other *queryStats) {
+	st.lats = append(st.lats, other.lats...)
+	st.count += other.count
+	st.errors += other.errors
+}
+
+// queryPhase hammers /v1/query in one mode with the full worker pool
+// for dur — the set-algebra read-throughput counterpart of readPhase.
+func queryPhase(client *http.Client, addrs []string, mode string, names []string, workers int, dur time.Duration) (*queryStats, time.Duration) {
+	var (
+		wg  sync.WaitGroup
+		out = make(chan *queryStats, workers)
+	)
+	start := time.Now()
+	deadline := start.Add(dur)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &queryStats{}
+			for i := w; time.Now().Before(deadline); i++ {
+				a := names[i%len(names)]
+				b := names[(i+1)%len(names)]
+				if err := st.observe(client, addrs[i%len(addrs)], mode, a, b); err != nil {
+					logx.Warn("query phase request failed", "mode", mode, "err", err)
+				}
+			}
+			out <- st
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(out)
+	total := &queryStats{}
+	for st := range out {
+		total.merge(st)
+	}
+	return total, wall
+}
+
+// queryReport is one query mode's scorecard.
+type queryReport struct {
+	Mode      string    `json:"mode"` // shard, gather, or local
+	Requests  int       `json:"requests"`
+	Errors    int       `json:"errors"`
+	QPS       float64   `json:"qps"`
+	LatencyMs quantiles `json:"latency_ms"`
+}
+
+// pairCheck is one store pair's set-algebra answers vs exact truth.
+type pairCheck struct {
+	Stores                []string `json:"stores"`
+	Mode                  string   `json:"mode"`
+	TrueUnion             int      `json:"true_union"`
+	TrueIntersection      int      `json:"true_intersection"`
+	TrueJaccard           float64  `json:"true_jaccard"`
+	EstUnion              float64  `json:"est_union"`
+	EstIntersection       float64  `json:"est_intersection"`
+	EstJaccard            float64  `json:"est_jaccard"`
+	UnionAbsRelErr        float64  `json:"union_abs_rel_err"`
+	IntersectionAbsErr    float64  `json:"intersection_abs_err"`
+	IntersectionErrBudget float64  `json:"intersection_err_budget"` // ε·(|A|+|B|+|A∪B|)
+	OK                    bool     `json:"ok"`
+}
+
+// pairTruth computes the exact union and intersection cardinality of
+// two per-store key-id bitsets.
+func pairTruth(a, b []uint64) (union, inter int) {
+	for w := range a {
+		union += bits.OnesCount64(a[w] | b[w])
+		inter += bits.OnesCount64(a[w] & b[w])
+	}
+	return union, inter
+}
+
+// validateQueryTruth judges every adjacent store pair's /v1/query
+// answer, in every given mode, against the exact bitset truth. The
+// second return is the number of answers outside the (slacked) paper
+// bounds.
+func validateQueryTruth(client *http.Client, addrs, names []string, seen [][]uint64, modes []string, eps float64) ([]pairCheck, int) {
+	var checks []pairCheck
+	violations := 0
+	for _, mode := range modes {
+		for i := 0; i+1 < len(names); i++ {
+			trueU, trueI := pairTruth(seen[i], seen[i+1])
+			qw, err := getSetQuery(client, addrs[i%len(addrs)], mode, names[i], names[i+1])
+			if err != nil {
+				logx.Error("query truth check failed", "mode", mode, "stores",
+					names[i]+","+names[i+1], "err", err)
+				violations++
+				continue
+			}
+			e := qw.Epsilon
+			if e == 0 {
+				e = eps
+			}
+			ck := pairCheck{
+				Stores:                []string{names[i], names[i+1]},
+				Mode:                  mode,
+				TrueUnion:             trueU,
+				TrueIntersection:      trueI,
+				EstUnion:              qw.Union,
+				EstIntersection:       qw.Intersection,
+				EstJaccard:            qw.Jaccard,
+				IntersectionAbsErr:    abs(qw.Intersection - float64(trueI)),
+				IntersectionErrBudget: e * (float64(popcount(seen[i])) + float64(popcount(seen[i+1])) + float64(trueU)),
+			}
+			if trueU > 0 {
+				ck.TrueJaccard = float64(trueI) / float64(trueU)
+				ck.UnionAbsRelErr = abs(qw.Union-float64(trueU)) / float64(trueU)
+			}
+			ck.OK = ck.UnionAbsRelErr <= boundSlack*e &&
+				ck.IntersectionAbsErr <= boundSlack*ck.IntersectionErrBudget
+			if !ck.OK {
+				violations++
+				logx.Error("set-algebra answer outside bounds", "mode", mode,
+					"stores", names[i]+","+names[i+1],
+					"est_union", qw.Union, "true_union", trueU,
+					"est_inter", qw.Intersection, "true_inter", trueI,
+					"inter_budget", ck.IntersectionErrBudget)
+			}
+			checks = append(checks, ck)
+		}
+	}
+	return checks, violations
+}
+
+// seriesCheck is one store's /v1/series structural + truth check.
+type seriesCheck struct {
+	Store       string  `json:"store"`
+	Mode        string  `json:"mode"`
+	Buckets     int     `json:"buckets"`
+	Window      float64 `json:"window"`
+	LiveBucket  float64 `json:"live_bucket"`
+	AllTimeTrue int     `json:"all_time_true"`
+	OK          bool    `json:"ok"`
+}
+
+// validateSeries reads every store's window series and checks it
+// against what a fresh short run guarantees regardless of the server's
+// ring configuration: buckets exist with consecutive wall-aligned
+// epochs, the span union never exceeds the all-time truth (a window is
+// a subset of history), and the union is at least the live bucket.
+// Skipped entirely (nil) when the server has no window ring.
+func validateSeries(client *http.Client, addrs, names []string, seen [][]uint64, mode string, eps float64) ([]seriesCheck, int) {
+	var checks []seriesCheck
+	violations := 0
+	for i, name := range names {
+		url := addrs[i%len(addrs)] + "/v1/series?store=" + name
+		if mode != "" {
+			url += "&mode=" + mode
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			logx.Error("series check failed", "store", name, "err", err)
+			violations++
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusBadRequest && i == 0 {
+			// Unwindowed server: series is not part of this deployment.
+			return nil, 0
+		}
+		if resp.StatusCode != http.StatusOK {
+			logx.Error("series check failed", "store", name, "status", resp.StatusCode, "body", string(body))
+			violations++
+			continue
+		}
+		var sr struct {
+			Mode    string  `json:"mode"`
+			Window  float64 `json:"window"`
+			Buckets []struct {
+				Epoch    int64   `json:"epoch"`
+				Estimate float64 `json:"estimate"`
+			} `json:"buckets"`
+		}
+		if err := json.Unmarshal(body, &sr); err != nil {
+			logx.Error("series check failed", "store", name, "err", err)
+			violations++
+			continue
+		}
+		truth := popcount(seen[i])
+		ck := seriesCheck{Store: name, Mode: sr.Mode, Buckets: len(sr.Buckets),
+			Window: sr.Window, AllTimeTrue: truth}
+		ok := len(sr.Buckets) >= 1
+		for j := 1; j < len(sr.Buckets); j++ {
+			if sr.Buckets[j].Epoch != sr.Buckets[j-1].Epoch+1 {
+				ok = false
+			}
+		}
+		if len(sr.Buckets) > 0 {
+			ck.LiveBucket = sr.Buckets[len(sr.Buckets)-1].Estimate
+		}
+		// The window union is a subset of history (≤ truth within ε) and
+		// a superset of any single bucket (≥ live bucket within ε).
+		ok = ok && ck.Window <= float64(truth)*(1+boundSlack*eps) &&
+			ck.Window >= ck.LiveBucket*(1-boundSlack*eps)
+		ck.OK = ok
+		if !ok {
+			violations++
+			logx.Error("series answer outside bounds", "store", name,
+				"window", ck.Window, "live", ck.LiveBucket, "true_all_time", truth,
+				"buckets", ck.Buckets)
+		}
+		checks = append(checks, ck)
+	}
+	return checks, violations
+}
+
+// runQueryReports drives the dedicated query QPS phase for each mode,
+// folding in the mixed-phase latencies.
+func runQueryReports(client *http.Client, addrs []string, modes []string, names []string, mixed *queryStats, workers int, dur time.Duration) []queryReport {
+	reports := make([]queryReport, 0, len(modes))
+	for i, m := range modes {
+		st, phaseWall := queryPhase(client, addrs, m, names, workers, dur)
+		qps := float64(st.count) / phaseWall.Seconds()
+		if i == 0 && mixed != nil {
+			st.merge(mixed) // latency quantiles cover both phases
+		}
+		sort.Float64s(st.lats)
+		label := m
+		if label == "" {
+			label = "shard"
+		}
+		reports = append(reports, queryReport{
+			Mode:     label,
+			Requests: st.count,
+			Errors:   st.errors,
+			QPS:      qps,
+			LatencyMs: quantiles{
+				P50: quantile(st.lats, 0.50), P90: quantile(st.lats, 0.90),
+				P99: quantile(st.lats, 0.99), Max: quantile(st.lats, 1),
+			},
+		})
+	}
+	return reports
+}

@@ -198,6 +198,10 @@ func (c *ConcurrentF0) Seed() int64 { return c.cfg.seed }
 // UniverseBits returns log2 of the configured key universe.
 func (c *ConcurrentF0) UniverseBits() uint { return c.cfg.logN }
 
+// Epsilon returns the configured target relative standard error ε
+// (see F0.Epsilon).
+func (c *ConcurrentF0) Epsilon() float64 { return c.cfg.eps }
+
 // Kind returns KindConcurrentF0 (the registry/envelope tag).
 func (c *ConcurrentF0) Kind() Kind { return KindConcurrentF0 }
 
@@ -394,6 +398,10 @@ func (c *ConcurrentL0) Seed() int64 { return c.cfg.seed }
 
 // UniverseBits returns log2 of the configured key universe.
 func (c *ConcurrentL0) UniverseBits() uint { return c.cfg.logN }
+
+// Epsilon returns the configured target relative standard error ε
+// (see F0.Epsilon).
+func (c *ConcurrentL0) Epsilon() float64 { return c.cfg.eps }
 
 // Kind returns KindConcurrentL0 (the registry/envelope tag).
 func (c *ConcurrentL0) Kind() Kind { return KindConcurrentL0 }

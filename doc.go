@@ -60,6 +60,27 @@
 // restores the right concrete type from it; pre-envelope payloads
 // still load. See README.md for the kind table and migration notes.
 //
+// # Set algebra across sketches
+//
+// Because same-seed sketches merge exactly, a merged clone is an
+// honest sketch of the union stream — and inclusion–exclusion derives
+// the rest. Union, Intersection, Jaccard, Difference, and NewSetStats
+// (setalgebra.go) answer set questions across 2–8 sketches without
+// touching the originals; Hamming merges a sign-negated clone (L0
+// kinds only) so matching counts cancel linearly:
+//
+//	st, _ := knw.NewSetStats(pageViewsA, pageViewsB)
+//	fmt.Printf("J ≈ %.2f, |∩| ≈ %.0f ± %.0f\n",
+//		st.Jaccard, st.Intersection, st.IntersectionErrBound)
+//
+// The union keeps the plain (ε, δ) guarantee; derived quantities
+// compound it — intersection error is bounded by ε·(|A|+|B|+|A∪B|)
+// with probability ≥ 1−3δ, scaling with the union magnitudes rather
+// than the intersection. SetStats reports that budget alongside the
+// estimates; DESIGN.md §21 has the derivations and limits. The knwd
+// service exposes the same algebra as GET /v1/query and per-bucket
+// window time-series as GET /v1/series.
+//
 // # The knwd service
 //
 // The store and service packages (plus cmd/knwd) run the library as a

@@ -65,6 +65,26 @@ func ExampleHammingDiff() {
 	// Output: differing keys: 2
 }
 
+// Jaccard similarity from two same-seed sketches, by inclusion–
+// exclusion on merged clones: |A∩B| = |A| + |B| − |A∪B|. In the exact
+// small-count regime the identity is exact too.
+func ExampleJaccard() {
+	a := knw.NewF0(knw.WithSeed(5))
+	b := knw.NewF0(knw.WithSeed(5)) // same seed: comparable
+	for i := uint64(1); i <= 60; i++ {
+		a.Add(i)
+	}
+	for i := uint64(31); i <= 90; i++ { // overlaps 31..60
+		b.Add(i)
+	}
+	j, err := knw.Jaccard(a, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("jaccard: %.3f\n", j) // 30 shared / 90 total
+	// Output: jaccard: 0.333
+}
+
 // Sketches round-trip through their binary form; the payload carries
 // only counter state (hash functions rebuild from the seed).
 func ExampleF0_MarshalBinary() {

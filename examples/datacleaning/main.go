@@ -3,79 +3,153 @@
 // Dasu et al.: "L0-estimation … has applications to data cleaning to
 // find columns that are mostly similar. Even if the rows in the two
 // columns are in different orders, streaming algorithms for L0 can
-// quickly identify similar columns").
+// quickly identify similar columns") — run end-to-end against a live
+// knwd daemon.
 //
-// Setup: a warehouse holds several columns (multisets of values, each
-// column streamed in its own arbitrary row order). For each candidate
-// pair (A, B) we feed A's values with +1 and B's with −1 into one L0
-// sketch; the estimate is then |{v : count_A(v) ≠ count_B(v)}| — the
-// number of value slots where the columns disagree — without ever
-// sorting, joining, or holding a column in memory.
+// Every column is its own store in one turnstile (L0) knwd: each
+// replica/warehouse streams its column's values over POST /v1/ingest
+// in whatever row order it has. Similarity then costs one GET per
+// candidate pair:
+//
+//	GET /v1/query?stores=colA,colB
+//
+// whose pair.hamming field is the L0 distance between the columns —
+// the sketch of A merged with a NEGATED sketch of B, so matching
+// values cancel inside the linear counters and only the disagreements
+// remain. No sort, no join, no column ever held in memory, and the
+// per-column state is a few KiB regardless of column size.
+//
+// Over HTTP ingest every value arrives with weight +1, so the demo
+// compares each column's value set; the library form
+// (L0.Update(key, ±count) / MergeNegated) extends the same query to
+// full multiset comparison with duplicates and deletions.
+//
+//	go run ./examples/datacleaning
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	knw "repro"
-	"repro/internal/stream"
+	"repro/service"
+	"repro/store"
 )
+
+const eps = 0.05
 
 type columnPair struct {
 	name         string
+	a, b         string // store names
 	common       int
 	onlyA, onlyB int
 }
 
 func main() {
+	srv, err := service.New(service.Config{Store: store.Config{
+		Kind:    knw.KindL0,
+		Options: []knw.Option{knw.WithEpsilon(eps), knw.WithSeed(77)},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	fmt.Println("== knwd up: turnstile (L0) store, one store per column ==")
+
 	// Candidate column pairs with varying degrees of divergence, e.g.
 	// "customers.email in two regional replicas", "orders.id vs
 	// shipments.order_id", etc.
 	pairs := []columnPair{
-		{"replica_us vs replica_eu (in sync)", 120_000, 0, 0},
-		{"customers.email vs crm.email (drift)", 100_000, 1_200, 800},
-		{"orders.id vs shipments.order_id", 90_000, 9_000, 300},
-		{"users.phone vs staging.phone (stale)", 50_000, 25_000, 24_000},
+		{"replica_us vs replica_eu (in sync)", "col/us", "col/eu", 30_000, 0, 0},
+		{"customers.email vs crm.email (drift)", "col/cust", "col/crm", 25_000, 300, 200},
+		{"orders.id vs shipments.order_id", "col/ord", "col/ship", 22_000, 2_200, 80},
+		{"users.phone vs staging.phone (stale)", "col/phone", "col/stage", 12_000, 6_000, 6_000},
+	}
+	for i, p := range pairs {
+		ingest(hs.URL, p.a, columnValues(i, p.common, p.onlyA, "a"))
+		ingest(hs.URL, p.b, columnValues(i, p.common, p.onlyB, "b"))
 	}
 
-	fmt.Printf("%-42s %10s %12s %12s %10s\n",
-		"column pair", "rows", "true diff", "est. diff", "similar?")
-	for i, p := range pairs {
-		cp := stream.NewColumnPair(p.common, p.onlyA, p.onlyB, int64(1000+i))
-
-		sk := knw.NewL0(knw.WithEpsilon(0.1), knw.WithDelta(0.2), knw.WithSeed(int64(i+1)))
-		n := stream.DrainTurnstile(cp, sk.Update)
-
-		est := sk.Estimate()
-		rows := p.common*2 + p.onlyA + p.onlyB
-		// Rule of thumb: columns are "mostly similar" when fewer than
-		// 2% of rows differ.
+	fmt.Printf("\n%-40s %9s %11s %11s %8s %10s\n",
+		"column pair", "values", "true diff", "est diff", "jaccard", "similar?")
+	for _, p := range pairs {
+		q := getQuery(hs.URL, p.a, p.b)
+		if q.Pair.Hamming == nil {
+			log.Fatalf("%s: no hamming in response — store is not a turnstile kind", p.name)
+		}
+		trueDiff := p.onlyA + p.onlyB
+		values := 2*p.common + trueDiff
+		// Rule of thumb: columns are "mostly similar" when fewer than 2%
+		// of their values differ.
 		verdict := "DIVERGED"
-		if est < 0.02*float64(rows) {
+		if *q.Pair.Hamming < 0.02*float64(values) {
 			verdict = "similar"
 		}
-		fmt.Printf("%-42s %10d %12d %12.0f %10s\n",
-			p.name, n, cp.TrueL0(), est, verdict)
-	}
-
-	// The merge form: stream each column once into its own sketch and
-	// combine pairs later — O(columns) passes instead of O(pairs).
-	fmt.Println("\nmerge form (one pass per column, pairwise diffs from sketches):")
-	colA := knw.NewL0(knw.WithEpsilon(0.1), knw.WithDelta(0.2), knw.WithSeed(77))
-	colB := knw.NewL0(knw.WithEpsilon(0.1), knw.WithDelta(0.2), knw.WithSeed(77)) // same seed: mergeable
-	cp := stream.NewColumnPair(80_000, 500, 700, 5)
-	stream.DrainTurnstile(cp, func(k uint64, v int64) {
-		if v > 0 {
-			colA.Update(k, v) // column A rows arrive as +1
-		} else {
-			colB.Update(k, -v) // column B rows arrive as +1 into its own sketch
+		fmt.Printf("%-40s %9d %11d %11.0f %8.3f %10s\n",
+			p.name, values, trueDiff, *q.Pair.Hamming, q.Jaccard, verdict)
+		slack := 1.5 * eps * (q.Cardinalities[0] + q.Cardinalities[1] + q.Union)
+		if diff := *q.Pair.Hamming - float64(trueDiff); diff > slack || diff < -slack {
+			log.Fatalf("%s: hamming %.0f vs true %d exceeds the inclusion–exclusion budget %.0f",
+				p.name, *q.Pair.Hamming, trueDiff, slack)
 		}
-	})
-	// diff = L0(A − B): negate B by merging a −1-weighted copy. The
-	// counters are linear, so we just stream B again with −1 … which is
-	// what Update(-v) gives us via a third sketch:
-	diff := knw.NewL0(knw.WithEpsilon(0.1), knw.WithDelta(0.2), knw.WithSeed(77))
-	cp2 := stream.NewColumnPair(80_000, 500, 700, 5) // regenerate the same columns
-	stream.DrainTurnstile(cp2, diff.Update)          // +1 for A, −1 for B directly
-	fmt.Printf("  true diff 1200, sketched diff %.0f (state: %d KiB per column)\n",
-		diff.Estimate(), colA.SpaceBits()/8/1024)
+	}
+	fmt.Println("\n=> one linear-time pass per column, one GET per pair; columns never leave their replicas")
+}
+
+// columnValues builds one column's value set: `common` values shared
+// by both sides of pair i plus `extra` values unique to this side.
+func columnValues(pair, common, extra int, side string) []string {
+	vals := make([]string, 0, common+extra)
+	for v := 0; v < common; v++ {
+		vals = append(vals, fmt.Sprintf("p%d-c%d", pair, v))
+	}
+	for v := 0; v < extra; v++ {
+		vals = append(vals, fmt.Sprintf("p%d-%s%d", pair, side, v))
+	}
+	return vals
+}
+
+func ingest(base, name string, keys []string) {
+	body := strings.NewReader(strings.Join(keys, "\n") + "\n")
+	resp, err := http.Post(base+"/v1/ingest?store="+name, "text/plain", body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("ingest %s: HTTP %d: %s", name, resp.StatusCode, out)
+	}
+}
+
+type queryWire struct {
+	Cardinalities []float64 `json:"cardinalities"`
+	Union         float64   `json:"union"`
+	Jaccard       float64   `json:"jaccard"`
+	Pair          struct {
+		Hamming *float64 `json:"hamming"`
+	} `json:"pair"`
+}
+
+func getQuery(base, a, b string) queryWire {
+	resp, err := http.Get(base + "/v1/query?stores=" + a + "," + b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("query %s,%s: HTTP %d: %s", a, b, resp.StatusCode, body)
+	}
+	var qw queryWire
+	if err := json.Unmarshal(body, &qw); err != nil {
+		log.Fatal(err)
+	}
+	return qw
 }

@@ -1,101 +1,211 @@
 // netmon: network monitoring with distinct-element sketches — the
 // paper's motivating application (Section 1: routers tracking distinct
 // destination IPs and source-destination pairs, DDoS and port-scan
-// detection, Estan et al.'s Code Red measurement).
+// detection, Estan et al.'s Code Red measurement) — run end-to-end
+// against a live knwd daemon instead of in-process sketches.
 //
-// A synthetic router trace runs through three phases (benign traffic,
-// a spoofed-source DDoS flood, a port scan). The monitor keeps one
-// KNW F0 sketch per epoch of 10,000 packets for three statistics:
+// Two edge routers export their packet streams into one in-process
+// knwd over plain HTTP ingest, one windowed store per router. The
+// operator side then uses only the daemon's query API:
 //
-//   - distinct source IPs        (DDoS: spikes by an order of magnitude)
-//   - distinct src-dst flows     (general situational awareness)
-//   - distinct (src, dst-port)   (port scan: spikes while sources don't)
+//   - GET /v1/series turns each store's window ring into a
+//     per-interval distinct-source time-series with rate-of-change
+//     fields — the cardinality-spike alarm (a spoofed-source flood
+//     multiplies distinct sources while byte counters barely move).
+//   - GET /v1/query runs set algebra across the two routers' stores:
+//     during the flood A−B explodes while B−A stays flat, localizing
+//     the attack to router A's ingress without comparing packet logs.
 //
-// and raises an alarm when an epoch's count exceeds a multiple of the
-// trailing baseline — all in O(1) work per packet and a few KiB per
-// epoch, no matter how fast the link is.
+// The daemon's clock is injected so six traffic intervals replay in
+// milliseconds; a real deployment runs knwd -window-buckets 8
+// -window-interval 1m and issues the same two GETs.
+//
+//	go run ./examples/netmon
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
 
 	knw "repro"
-	"repro/internal/stream"
+	"repro/service"
+	"repro/store"
 )
 
-const epochLen = 10_000
+const (
+	interval  = time.Minute
+	buckets   = 8
+	eps       = 0.05
+	benignIPs = 2000 // steady-state source universe shared by both routers
+	floodIPs  = 15000
+)
 
-type epochSketches struct {
-	srcs  *knw.F0
-	flows *knw.F0
-	scans *knw.F0
+// fakeClock drives the daemon's window rotation deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
 }
 
-func newEpoch(seed int64) epochSketches {
-	mk := func(s int64) *knw.F0 {
-		return knw.NewF0(knw.WithEpsilon(0.1), knw.WithDelta(0.2), knw.WithSeed(s))
-	}
-	return epochSketches{srcs: mk(seed), flows: mk(seed + 1), scans: mk(seed + 2)}
-}
+func (c *fakeClock) now() time.Time { c.mu.Lock(); defer c.mu.Unlock(); return c.t }
+
+func (c *fakeClock) advance(d time.Duration) { c.mu.Lock(); c.t = c.t.Add(d); c.mu.Unlock() }
 
 func main() {
-	trace := stream.NewNetTrace(stream.NetTraceConfig{Seed: 2026})
-	fmt.Printf("trace: %s, %d packets, DDoS at [%d,%d), scan at [%d,%d)\n\n",
-		trace.Name(), trace.Len(), trace.DDoSStart, trace.DDoSEnd,
-		trace.ScanStart, trace.ScanEnd)
-	fmt.Printf("%-8s %12s %12s %14s  %s\n",
-		"epoch", "distinct-src", "flows", "scan-pairs", "alerts")
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0).Truncate(interval)}
+	srv, err := service.New(service.Config{Store: store.Config{
+		Kind:    knw.KindConcurrentF0,
+		Options: []knw.Option{knw.WithEpsilon(eps), knw.WithSeed(7)},
+		Window:  store.Window{Buckets: buckets, Interval: interval},
+		Now:     clock.now,
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	fmt.Printf("== knwd up: windowed store, %d × %s ring ==\n\n", buckets, interval)
 
-	cur := newEpoch(1)
-	var baselineSrc, baselineScan float64
-	epoch := 0
-	inEpoch := 0
-
-	flush := func() {
-		srcs, flows, scans := cur.srcs.Estimate(), cur.flows.Estimate(), cur.scans.Estimate()
-		alerts := ""
-		// Alarm: epoch statistic over 4x the trailing baseline.
-		if baselineSrc > 0 && srcs > 4*baselineSrc {
-			alerts += fmt.Sprintf("DDOS-SUSPECT(srcs %.0fx baseline) ", srcs/baselineSrc)
+	// Six traffic intervals: five benign, then a spoofed-source DDoS
+	// flood hits router A in the live interval. Benign traffic re-sees
+	// the same ~2k sources (hot flows — the regime distinct counting
+	// exists for); the flood is all fresh spoofed addresses.
+	rng := rand.New(rand.NewSource(1))
+	benign := func(draws int) []string {
+		ks := make([]string, draws)
+		for i := range ks {
+			ks[i] = fmt.Sprintf("ip-%d", rng.Intn(benignIPs))
 		}
-		if baselineScan > 0 && scans > 4*baselineScan && srcs < 2*baselineSrc {
-			alerts += fmt.Sprintf("PORTSCAN-SUSPECT(pairs %.0fx baseline) ", scans/baselineScan)
-		}
-		fmt.Printf("%-8d %12.0f %12.0f %14.0f  %s\n", epoch, srcs, flows, scans, alerts)
-		// Exponential moving baseline, only absorbing calm epochs.
-		if alerts == "" {
-			if baselineSrc == 0 {
-				baselineSrc, baselineScan = srcs, scans
-			} else {
-				baselineSrc = 0.7*baselineSrc + 0.3*srcs
-				baselineScan = 0.7*baselineScan + 0.3*scans
+		return ks
+	}
+	for t := 0; t < 6; t++ {
+		aKeys := benign(6000)
+		bKeys := benign(6000)
+		if t == 5 { // the attack interval
+			for i := 0; i < floodIPs; i++ {
+				aKeys = append(aKeys, fmt.Sprintf("spoof-%d", i))
 			}
 		}
-		epoch++
-		cur = newEpoch(int64(epoch+1) * 100)
-		inEpoch = 0
-	}
-
-	for {
-		p, ok := trace.Next()
-		if !ok {
-			break
-		}
-		cur.srcs.Add(p.SrcKey())
-		cur.flows.Add(p.FlowKey())
-		cur.scans.Add(p.ScanKey())
-		inEpoch++
-		if inEpoch == epochLen {
-			flush()
+		ingest(hs.URL, "rtrA/src", aKeys)
+		ingest(hs.URL, "rtrB/src", bKeys)
+		if t < 5 {
+			clock.advance(interval)
 		}
 	}
-	if inEpoch > 0 {
-		flush()
+
+	// Operator query #1: the per-interval series with the spike alarm.
+	// Baseline = mean of the earlier calm buckets; an interval at 3×
+	// baseline trips the alarm.
+	ser := getSeries(hs.URL, "rtrA/src", "6m")
+	fmt.Printf("router A distinct sources per %s interval (span %s):\n", ser.Interval, ser.Span)
+	var base float64
+	calm := 0
+	for i, b := range ser.Buckets {
+		mark := ""
+		if calm > 0 && b.Estimate > 3*base/float64(calm) {
+			mark = "  <-- ALERT: cardinality spike (DDoS signature)"
+		} else {
+			base += b.Estimate
+			calm++
+		}
+		fmt.Printf("  t+%dm %8.0f sources%s\n", i, b.Estimate, mark)
+	}
+	fmt.Printf("  span union %.0f, delta %+.0f, rate %+.1f sources/s\n\n",
+		ser.Window, ser.Delta, ser.RatePerSec)
+	live := ser.Buckets[len(ser.Buckets)-1].Estimate
+	if live < 3*benignIPs {
+		log.Fatalf("netmon: flood interval reads %.0f distinct sources, expected a spike well above %d", live, benignIPs)
 	}
 
-	fmt.Printf("\nground truth: %d benign sources, %d spoofed DDoS sources, %d scanned ports\n",
-		trace.BaselineSrcs, trace.DDoSSrcs, trace.ScanPorts)
-	one := newEpoch(9999)
-	fmt.Printf("per-epoch sketch state: %d KiB for all three statistics\n",
-		(one.srcs.SpaceBits()+one.flows.SpaceBits()+one.scans.SpaceBits())/8/1024)
+	// Operator query #2: set algebra across the two routers. The flood
+	// sources live only in A's view, so A−B explodes while B−A stays
+	// near zero and Jaccard collapses from ~1 to ~|B|/|A∪B|.
+	q := getQuery(hs.URL, "rtrA/src", "rtrB/src")
+	fmt.Printf("cross-router set query (scope=all):\n")
+	fmt.Printf("  |A| %.0f  |B| %.0f  |A∪B| %.0f  |A∩B| %.0f  J %.3f\n",
+		q.Cardinalities[0], q.Cardinalities[1], q.Union, q.Intersection, q.Jaccard)
+	fmt.Printf("  only at router A: %.0f   only at router B: %.0f\n",
+		q.Pair.DiffAB, q.Pair.DiffBA)
+	if q.Pair.DiffAB < 0.8*floodIPs {
+		log.Fatalf("netmon: A−B = %.0f, expected ≈ %d spoofed sources localized to A", q.Pair.DiffAB, floodIPs)
+	}
+	fmt.Printf("  => the source explosion is localized to router A's ingress\n")
+}
+
+// ingest POSTs newline keys and reads the estimate back as a drain
+// barrier, so the injected clock cannot leave the interval before the
+// write is attributed to its bucket.
+func ingest(base, name string, keys []string) {
+	body := strings.NewReader(strings.Join(keys, "\n") + "\n")
+	resp, err := http.Post(base+"/v1/ingest?store="+name, "text/plain", body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("ingest %s: HTTP %d: %s", name, resp.StatusCode, out)
+	}
+	resp, err = http.Get(base + "/v1/estimate?store=" + name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+type seriesWire struct {
+	Interval string `json:"interval"`
+	Span     string `json:"span"`
+	Buckets  []struct {
+		Estimate float64 `json:"estimate"`
+	} `json:"buckets"`
+	Window     float64 `json:"window"`
+	Delta      float64 `json:"delta"`
+	RatePerSec float64 `json:"rate_per_sec"`
+}
+
+func getSeries(base, name, span string) seriesWire {
+	var sw seriesWire
+	getJSON(base+"/v1/series?store="+name+"&span="+span, &sw)
+	return sw
+}
+
+type queryWire struct {
+	Cardinalities []float64 `json:"cardinalities"`
+	Union         float64   `json:"union"`
+	Intersection  float64   `json:"intersection"`
+	Jaccard       float64   `json:"jaccard"`
+	Pair          struct {
+		DiffAB float64 `json:"diff_a_minus_b"`
+		DiffBA float64 `json:"diff_b_minus_a"`
+	} `json:"pair"`
+}
+
+func getQuery(base, a, b string) queryWire {
+	var qw queryWire
+	getJSON(base+"/v1/query?stores="+a+","+b, &qw)
+	return qw
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
 }

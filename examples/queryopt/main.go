@@ -1,107 +1,197 @@
 // queryopt: cardinality estimation for query optimization — the
 // paper's first listed application (Section 1, citing Selinger et al.:
 // distinct-value counts drive "selecting a minimum-cost query plan",
-// physical database design, and OLAP).
+// physical database design, and OLAP) — run end-to-end against a live
+// knwd daemon that plays the role of the statistics catalog.
 //
-// A toy optimizer must choose a join order for
+// The database streams each column's values into its own store over
+// POST /v1/ingest while tables load. The optimizer costing
 //
-//	SELECT … FROM fact JOIN dim ON fact.k = dim.k WHERE dim.region = R
+//	SELECT … FROM fact JOIN dim ON fact.k = dim.k
 //
-// The classic System-R estimate for the join size is
-// |fact|·|dim| / max(NDV(fact.k), NDV(dim.k)), where NDV is the number
-// of distinct values. Maintaining exact NDV per column requires a full
-// index; one KNW sketch per column maintains it within ±ε in a few KiB
-// while the table is ingested, including under streaming appends.
+// then asks the daemon, not the tables:
+//
+//   - GET /v1/estimate?store=…        → per-column NDV (System R's
+//     |F|·|D| / max(NDV(F.k), NDV(D.k)) join-size formula);
+//   - GET /v1/query?stores=fact/k,dim/k → both NDVs plus the sketch
+//     intersection |K_F ∩ K_D|. System R silently assumes key
+//     containment (every key of one side joins); the intersection
+//     measures the actual overlap, refining the estimate to
+//     |F|·|D|·|K_F∩K_D| / (NDV(F.k)·NDV(D.k)) — which is what saves
+//     the plan when only part of the key ranges ever meet.
+//
+// The demo loads a fact table whose keys only half-overlap the
+// dimension's, compares System R vs the intersection-refined estimate
+// against the exact join size, and picks the plan.
+//
+//	go run ./examples/queryopt
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	knw "repro"
-	"repro/internal/baseline"
+	"repro/service"
+	"repro/store"
 )
 
-type column struct {
-	name   string
-	sketch *knw.F0
-	exact  *baseline.Exact // kept here only to show the error; a real
-	// system would not (that is the point)
-	rows int
-}
-
-func newColumn(name string, seed int64) *column {
-	return &column{
-		name: name,
-		// δ=0.2 keeps the copy count low; optimizer statistics tolerate
-		// an occasional outlier, plans are re-costed constantly anyway.
-		sketch: knw.NewF0(knw.WithEpsilon(0.05), knw.WithDelta(0.2), knw.WithSeed(seed)),
-		exact:  baseline.NewExact(),
-	}
-}
-
-func (c *column) ingest(v uint64) {
-	c.sketch.Add(v)
-	c.exact.Add(v)
-	c.rows++
-}
+const (
+	eps       = 0.05
+	factRows  = 300_000
+	factKeys  = 60_000 // fact.k drawn uniformly from [0, factKeys)
+	dimLo     = 30_000 // dim.k = [dimLo, dimLo+dimRows): unique PK,
+	dimRows   = 60_000 // only half of it ever appears in fact
+	regionLen = 12
+)
 
 func main() {
+	srv, err := service.New(service.Config{Store: store.Config{
+		Kind:    knw.KindConcurrentF0,
+		Options: []knw.Option{knw.WithEpsilon(eps), knw.WithSeed(3)},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	fmt.Println("== knwd up: the statistics catalog ==")
+
+	// Load the tables, streaming each column into its store. Exact
+	// truth is tracked locally only to score the estimates at the end —
+	// a real system keeps no such state (that is the point).
 	rng := rand.New(rand.NewSource(2026))
+	factCount := make(map[int]int, factKeys)
+	batch := make([]string, 0, 50_000)
+	flush := func(name string) {
+		if len(batch) > 0 {
+			ingest(hs.URL, name, batch)
+			batch = batch[:0]
+		}
+	}
+	for i := 0; i < factRows; i++ {
+		k := rng.Intn(factKeys)
+		factCount[k]++
+		batch = append(batch, fmt.Sprintf("k%d", k))
+		if len(batch) == cap(batch) {
+			flush("fact/k")
+		}
+	}
+	flush("fact/k")
+	for k := dimLo; k < dimLo+dimRows; k++ {
+		batch = append(batch, fmt.Sprintf("k%d", k))
+		if len(batch) == cap(batch) {
+			flush("dim/k")
+		}
+	}
+	flush("dim/k")
+	for i := 0; i < 5_000; i++ {
+		batch = append(batch, fmt.Sprintf("region-%d", rng.Intn(regionLen)))
+	}
+	flush("dim/region")
+	fmt.Printf("loaded fact (%d rows) and dim (%d rows)\n\n", factRows, dimRows)
 
-	// fact(k): 2M rows over 60k distinct join keys (Zipf-ish skew).
-	factK := newColumn("fact.k", 1)
-	zf := rand.NewZipf(rng, 1.3, 1, 60_000-1)
-	for i := 0; i < 2_000_000; i++ {
-		factK.ingest(zf.Uint64()*0x9e3779b97f4a7c15 + 1)
+	// Exact values, for scoring only.
+	exactNDVf := len(factCount)
+	exactJoin := 0
+	for k := dimLo; k < dimLo+dimRows; k++ {
+		exactJoin += factCount[k] // dim.k is unique
 	}
 
-	// dim(k): 80k rows, nearly unique key (it is the dimension PK).
-	dimK := newColumn("dim.k", 2)
-	for i := 0; i < 80_000; i++ {
-		dimK.ingest(uint64(i)*0x9e3779b97f4a7c15 + 1)
+	// One query gives the optimizer everything about the join key pair.
+	q := getQuery(hs.URL, "fact/k", "dim/k")
+	ndvF, ndvD := q.Cardinalities[0], q.Cardinalities[1]
+	fmt.Printf("catalog: NDV(fact.k) %.0f (exact %d), NDV(dim.k) %.0f (exact %d)\n",
+		ndvF, exactNDVf, ndvD, dimRows)
+	fmt.Printf("         |K_F ∩ K_D| %.0f (exact %d), containment %.0f%%\n\n",
+		q.Intersection, dimRows/2, 100*q.Intersection/ndvD)
+
+	// System R vs the intersection-refined estimate.
+	systemR := float64(factRows) * float64(dimRows) / maxf(ndvF, ndvD)
+	refined := float64(factRows) * float64(dimRows) * q.Intersection / (ndvF * ndvD)
+	fmt.Printf("%-34s %12s %10s\n", "join-size estimate", "rows", "error")
+	for _, row := range []struct {
+		name string
+		est  float64
+	}{
+		{"System R  |F|·|D|/max(NDV)", systemR},
+		{"refined   ×|K_F∩K_D|/(NDV·NDV)", refined},
+	} {
+		fmt.Printf("%-34s %12.0f %9.1f%%\n", row.name, row.est,
+			100*(row.est-float64(exactJoin))/float64(exactJoin))
+	}
+	fmt.Printf("%-34s %12d\n\n", "exact", exactJoin)
+	if relErr := (refined - float64(exactJoin)) / float64(exactJoin); relErr > 0.25 || relErr < -0.25 {
+		log.Fatalf("refined join estimate off by %.0f%% — outside any useful costing band", 100*relErr)
 	}
 
-	// dim(region): 80k rows over 12 regions — low-NDV column where the
-	// sketch's exact small-count path answers precisely.
-	dimRegion := newColumn("dim.region", 3)
-	for i := 0; i < 80_000; i++ {
-		dimRegion.ingest(uint64(rng.Intn(12)) + 1)
-	}
-
-	fmt.Printf("%-12s %10s %12s %12s %8s\n", "column", "rows", "exact NDV", "sketch NDV", "err")
-	for _, c := range []*column{factK, dimK, dimRegion} {
-		est := c.sketch.Estimate()
-		ex := c.exact.Estimate()
-		fmt.Printf("%-12s %10d %12.0f %12.0f %7.2f%%\n",
-			c.name, c.rows, ex, est, 100*(est-ex)/ex)
-	}
-
-	// Join size estimate (System R): |F|·|D| / max(NDV(F.k), NDV(D.k)).
-	estJoin := float64(factK.rows) * float64(dimK.rows) /
-		maxf(factK.sketch.Estimate(), dimK.sketch.Estimate())
-	exactJoin := float64(factK.rows) * float64(dimK.rows) /
-		maxf(factK.exact.Estimate(), dimK.exact.Estimate())
-	fmt.Printf("\njoin cardinality estimate: %.3g (with exact NDV: %.3g, drift %.2f%%)\n",
-		estJoin, exactJoin, 100*(estJoin-exactJoin)/exactJoin)
-
-	// Selectivity of the region predicate from the low-NDV column.
-	sel := 1 / dimRegion.sketch.Estimate()
-	fmt.Printf("region predicate selectivity: 1/NDV = %.4f (true 1/12 = %.4f)\n",
-		sel, 1.0/12)
-
-	// The part a real optimizer cares about: sketch state is constant
-	// in the table size, while exact NDV state grows with it.
-	fmt.Printf("\nper-column statistics state: %d KiB, independent of table size\n",
-		factK.sketch.SpaceBits()/8/1024)
-	fmt.Printf("exact NDV set on fact.k: %d KiB now, and growing with every new key\n",
-		factK.exact.SpaceBits()/8/1024)
+	// The region predicate's selectivity from the low-NDV column, where
+	// the sketch's exact small-count path answers precisely.
+	ndvRegion := getEstimate(hs.URL, "dim/region")
+	fmt.Printf("region predicate selectivity: 1/NDV(dim.region) = 1/%.0f = %.4f (true %.4f)\n",
+		ndvRegion, 1/ndvRegion, 1.0/regionLen)
 
 	plan := "dim ⋈ fact (build on dim)"
-	if estJoin < float64(factK.rows) {
-		plan = "fact ⋈ dim (filtered dim first)"
+	if refined < float64(factRows) {
+		plan = "fact ⋈ dim (probe the filtered dim)"
 	}
 	fmt.Printf("chosen plan: %s\n", plan)
+	fmt.Println("\n=> catalog state: a few KiB per column, answering NDV, overlap, and join size in two GETs")
+}
+
+func ingest(base, name string, keys []string) {
+	body := strings.NewReader(strings.Join(keys, "\n") + "\n")
+	resp, err := http.Post(base+"/v1/ingest?store="+name, "text/plain", body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("ingest %s: HTTP %d: %s", name, resp.StatusCode, out)
+	}
+}
+
+type queryWire struct {
+	Cardinalities []float64 `json:"cardinalities"`
+	Union         float64   `json:"union"`
+	Intersection  float64   `json:"intersection"`
+	Jaccard       float64   `json:"jaccard"`
+}
+
+func getQuery(base, a, b string) queryWire {
+	var qw queryWire
+	getJSON(base+"/v1/query?stores="+a+","+b, &qw)
+	return qw
+}
+
+func getEstimate(base, name string) float64 {
+	var est struct {
+		AllTime float64 `json:"all_time"`
+	}
+	getJSON(base+"/v1/estimate?store="+name, &est)
+	return est.AllTime
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
 }
 
 func maxf(a, b float64) float64 {

@@ -164,6 +164,11 @@ func (f *F0) Seed() int64 { return f.cfg.seed }
 // UniverseBits returns log2 of the configured key universe.
 func (f *F0) UniverseBits() uint { return f.cfg.logN }
 
+// Epsilon returns the configured target relative standard error ε
+// (WithEpsilon), which the set-algebra helpers use to propagate error
+// bounds through inclusion–exclusion.
+func (f *F0) Epsilon() float64 { return f.cfg.eps }
+
 // Kind returns KindF0 (the registry/envelope tag).
 func (f *F0) Kind() Kind { return KindF0 }
 

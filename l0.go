@@ -151,6 +151,10 @@ func (l *L0) Seed() int64 { return l.cfg.seed }
 // UniverseBits returns log2 of the configured key universe.
 func (l *L0) UniverseBits() uint { return l.cfg.logN }
 
+// Epsilon returns the configured target relative standard error ε
+// (see F0.Epsilon).
+func (l *L0) Epsilon() float64 { return l.cfg.eps }
+
 // Kind returns KindL0 (the registry/envelope tag).
 func (l *L0) Kind() Kind { return KindL0 }
 

@@ -52,7 +52,7 @@ func newServiceMetrics(reg *metrics.Registry) serviceMetrics {
 		stages: reg.NewHistogramVec("knwd_stage_seconds",
 			"Server-side pipeline stage latency, labeled by stage (body_scan, "+
 				"hash, append, slot_claim, epoch_merge, store_ingest, peer_forward, "+
-				"gossip_pull, gossip_apply).", stageBuckets, "stage"),
+				"gossip_pull, gossip_apply, set_algebra, series).", stageBuckets, "stage"),
 	}
 	m.stageBodyScan = m.stages.With("body_scan")
 	m.stageStoreIngest = m.stages.With("store_ingest")

@@ -1,0 +1,344 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	knw "repro"
+	"repro/cluster"
+	"repro/internal/trace"
+	"repro/store"
+)
+
+// GET /v1/query and GET /v1/series — the query subsystem. Both are
+// read-only compositions of snapshots the daemon already serves: a set
+// query opens 2..knw.MaxSetQuery store envelopes and runs one
+// inclusion–exclusion pass (knw.NewSetStats); a series exports the
+// window ring bucket by bucket. Cluster nodes additionally answer in
+// mode=gather (scatter-gather, complete but fan-out per read) and —
+// for all-time set queries only — mode=local (the O(1) gossip merged
+// view, bounded staleness, X-KNW-Staleness header).
+
+// queryResponse is the GET /v1/query body: the knw.SetStats fields
+// under wire names, plus the completeness/staleness detail of whatever
+// cluster mode answered.
+type queryResponse struct {
+	Stores        []string  `json:"stores"`
+	Scope         string    `json:"scope"`
+	Mode          string    `json:"mode"`
+	Cardinalities []float64 `json:"cardinalities"`
+	Union         float64   `json:"union"`
+	Intersection  float64   `json:"intersection"`
+	Jaccard       float64   `json:"jaccard"`
+	// Pair carries the order-dependent statistics a two-store query
+	// additionally answers; nil for k ≥ 3.
+	Pair *pairStats `json:"pair,omitempty"`
+	// Epsilon is the per-sketch relative-error budget; the estimated
+	// intersection is within IntersectionErrBound = ε·Σ|unions| of the
+	// truth with probability ≥ 1 − Terms·δ (see DESIGN.md §21 — the
+	// error scales with the union magnitudes, not the intersection).
+	Epsilon              float64 `json:"epsilon"`
+	IntersectionErrBound float64 `json:"intersection_err_bound"`
+	Terms                int     `json:"terms"`
+
+	// Cluster detail: gather completeness, or local-view staleness.
+	Nodes            int      `json:"nodes,omitempty"`
+	NodesOK          int      `json:"nodes_ok,omitempty"`
+	Partial          bool     `json:"partial,omitempty"`
+	FailedPeers      []string `json:"failed_peers,omitempty"`
+	StalenessSeconds *float64 `json:"staleness_seconds,omitempty"`
+}
+
+// pairStats are the two-store extras: set differences and — for L0
+// sketches, which can subtract — the Hamming distance between the key
+// multisets (count disagreements included, unlike the symmetric
+// difference, which only sees membership).
+type pairStats struct {
+	DiffAB        float64  `json:"diff_a_minus_b"`
+	DiffBA        float64  `json:"diff_b_minus_a"`
+	SymmetricDiff float64  `json:"symmetric_diff"`
+	Hamming       *float64 `json:"hamming,omitempty"`
+}
+
+// seriesResponse is the GET /v1/series body: store.Series plus the
+// answering mode and, for gathers, the completeness detail.
+type seriesResponse struct {
+	store.Series
+	Mode        string   `json:"mode"`
+	Nodes       int      `json:"nodes,omitempty"`
+	NodesOK     int      `json:"nodes_ok,omitempty"`
+	Partial     bool     `json:"partial,omitempty"`
+	FailedPeers []string `json:"failed_peers,omitempty"`
+}
+
+// queryStores collects a set query's store names: the comma-separated
+// ?stores= list plus any repeated ?store= parameters, validated and
+// deduplicated (a duplicate name is a client mistake — its
+// "intersection" with itself is just its cardinality).
+func queryStores(q url.Values) ([]string, error) {
+	var names []string
+	for _, part := range strings.Split(q.Get("stores"), ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	names = append(names, q["store"]...)
+	if len(names) < 2 || len(names) > knw.MaxSetQuery {
+		return nil, fmt.Errorf("set queries take 2..%d stores (?stores=a,b), got %d", knw.MaxSetQuery, len(names))
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if err := store.ValidateName(n); err != nil {
+			return nil, err
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("store %q named twice in one set query", n)
+		}
+		seen[n] = true
+	}
+	return names, nil
+}
+
+// queryMode resolves the ?mode= of a set query. The default mirrors
+// /v1/cluster/estimate: single-node servers answer from their own
+// store (shard), cluster nodes prefer the O(1) local view once gossip
+// is on, falling back to gather. Windowed scopes can never answer
+// locally — gossip replicas hold all-time envelopes only (deltas carry
+// no event times) — so their cluster default is gather.
+func (s *Server) queryMode(mode string, windowed bool) (string, error) {
+	switch mode {
+	case "":
+		if s.router == nil {
+			return "shard", nil
+		}
+		if s.router.GossipEnabled() && !windowed {
+			return "local", nil
+		}
+		return "gather", nil
+	case "shard":
+		return "shard", nil
+	case "local":
+		if s.router == nil || !s.router.GossipEnabled() {
+			return "", errors.New("mode=local needs gossip replication (-gossip-interval)")
+		}
+		if windowed {
+			return "", errors.New("mode=local cannot answer scope=window: gossip replicas hold all-time envelopes only (use mode=gather)")
+		}
+		return "local", nil
+	case "gather":
+		if s.router == nil {
+			return "", errors.New("mode=gather needs cluster mode")
+		}
+		return "gather", nil
+	default:
+		return "", fmt.Errorf("unknown query mode %q (shard, local, or gather)", mode)
+	}
+}
+
+// handleQuery is GET /v1/query?stores=a,b[,...]: set algebra — union,
+// intersection, Jaccard, differences, Hamming — across named stores by
+// inclusion–exclusion over their snapshot envelopes. scope=window
+// restricts every operand to its live window ring. See queryMode for
+// the cluster modes.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	names, err := queryStores(q)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	scope := q.Get("scope")
+	windowed := false
+	switch scope {
+	case "", "all":
+		scope = "all"
+	case "window":
+		windowed = true
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown query scope %q (all or window)", scope))
+		return
+	}
+	mode, err := s.queryMode(q.Get("mode"), windowed)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	act := trace.FromContext(r.Context())
+	t0 := time.Now()
+	var (
+		stats knw.SetStats
+		info  cluster.GatherInfo
+		stale *float64
+		nodes int
+	)
+	switch mode {
+	case "shard":
+		stats, err = s.st.SetQuery(names, windowed)
+		if err != nil {
+			s.failStore(w, err)
+			return
+		}
+	case "gather":
+		sketches := make([]knw.Estimator, 0, len(names))
+		for _, name := range names {
+			est, gi, gerr := s.router.GatherSketch(name, windowed, act)
+			info.Merge(gi)
+			if gerr != nil {
+				s.failGather(w, gerr, info)
+				return
+			}
+			sketches = append(sketches, est)
+		}
+		if stats, err = knw.NewSetStats(sketches...); err != nil {
+			s.failStore(w, err)
+			return
+		}
+		nodes = info.Nodes
+	case "local":
+		sketches := make([]knw.Estimator, 0, len(names))
+		for _, name := range names {
+			est, le, lerr := s.router.LocalSketch(name)
+			if lerr != nil {
+				s.failStore(w, lerr)
+				return
+			}
+			sketches = append(sketches, est)
+			stale = &le.StalenessSeconds
+			nodes = le.Nodes
+		}
+		if stats, err = knw.NewSetStats(sketches...); err != nil {
+			s.failStore(w, err)
+			return
+		}
+	}
+	d := time.Since(t0)
+	s.met.stages.With("set_algebra").Observe(d.Seconds())
+	act.Stage("set_algebra", d)
+
+	resp := queryResponse{
+		Stores:               names,
+		Scope:                scope,
+		Mode:                 mode,
+		Cardinalities:        stats.Cards,
+		Union:                stats.Union,
+		Intersection:         stats.Intersection,
+		Jaccard:              stats.Jaccard,
+		Epsilon:              stats.Epsilon,
+		IntersectionErrBound: stats.IntersectionErrBound,
+		Terms:                stats.Terms,
+		Nodes:                nodes,
+	}
+	if len(names) == 2 {
+		resp.Pair = &pairStats{DiffAB: stats.DiffAB, DiffBA: stats.DiffBA, SymmetricDiff: stats.SymmetricDiff}
+		if stats.HammingOK {
+			h := stats.Hamming
+			resp.Pair.Hamming = &h
+		}
+	}
+	if mode == "gather" {
+		resp.NodesOK, resp.Partial, resp.FailedPeers = info.NodesOK, info.Partial, info.FailedPeers
+		if info.Partial {
+			w.Header().Set(cluster.PartialHeader, strings.Join(info.FailedPeers, ","))
+		}
+	}
+	if stale != nil {
+		resp.StalenessSeconds = stale
+		w.Header().Set(cluster.StalenessHeader, strconv.FormatFloat(*stale, 'f', 3, 64))
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+// handleSeries is GET /v1/series?store=x[&span=15m]: the per-bucket
+// cardinality time-series of the store's window ring, with the span
+// union and rate-of-change fields (store.Series). span rounds up to
+// whole buckets and clamps to the ring; absent or ≤ 0 means the full
+// ring. Cluster nodes default to mode=gather — every member ships its
+// ring bucket by bucket and same-epoch buckets union, so the answer
+// matches a single node that had ingested everything. There is no
+// mode=local series: replicas hold all-time envelopes only.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("store")
+	var span time.Duration
+	if v := q.Get("span"); v != "" {
+		var err error
+		if span, err = time.ParseDuration(v); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad span %q: %w", v, err))
+			return
+		}
+	}
+	mode := q.Get("mode")
+	switch mode {
+	case "":
+		if s.router == nil {
+			mode = "shard"
+		} else {
+			mode = "gather"
+		}
+	case "shard":
+	case "gather":
+		if s.router == nil {
+			s.fail(w, http.StatusBadRequest, errors.New("mode=gather needs cluster mode"))
+			return
+		}
+	case "local":
+		s.fail(w, http.StatusBadRequest, errors.New(
+			"mode=local cannot answer a series: gossip replicas hold all-time envelopes only (use mode=gather)"))
+		return
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown series mode %q (shard or gather)", mode))
+		return
+	}
+
+	act := trace.FromContext(r.Context())
+	t0 := time.Now()
+	resp := seriesResponse{Mode: mode}
+	if mode == "gather" {
+		ser, info, err := s.router.GatherSeries(name, span, act)
+		if err != nil {
+			s.failGather(w, err, info)
+			return
+		}
+		resp.Series = ser
+		resp.Nodes, resp.NodesOK, resp.Partial, resp.FailedPeers = info.Nodes, info.NodesOK, info.Partial, info.FailedPeers
+		if info.Partial {
+			w.Header().Set(cluster.PartialHeader, strings.Join(info.FailedPeers, ","))
+		}
+	} else {
+		ser, err := s.st.Series(name, span)
+		if err != nil {
+			s.failStore(w, err)
+			return
+		}
+		resp.Series = ser
+	}
+	d := time.Since(t0)
+	s.met.stages.With("series").Observe(d.Seconds())
+	act.SetStore(name)
+	act.Stage("series", d)
+	s.reply(w, http.StatusOK, resp)
+}
+
+// failGather writes a gather failure the way /v1/cluster/estimate
+// does: store unknown everywhere is 404, a partial assembly that still
+// produced nothing is 503, anything else is 400. Failed peers ride the
+// X-KNW-Partial header either way.
+func (s *Server) failGather(w http.ResponseWriter, err error, info cluster.GatherInfo) {
+	if len(info.FailedPeers) > 0 {
+		w.Header().Set(cluster.PartialHeader, strings.Join(info.FailedPeers, ","))
+	}
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		s.fail(w, http.StatusNotFound, err)
+	case info.Partial:
+		s.fail(w, http.StatusServiceUnavailable, err)
+	default:
+		s.fail(w, http.StatusBadRequest, err)
+	}
+}

@@ -18,10 +18,21 @@
 //	POST /v1/merge     body = a peer sketch envelope; folds it into the
 //	                   named store (409 on kind/settings mismatch)
 //	GET  /v1/snapshot  → the named store's envelope bytes
-//	                   (&scope=window: the live window ring's union)
+//	                   (&scope=window: the live window ring's union;
+//	                   &scope=buckets: the per-bucket ring export the
+//	                   cluster series gather ships)
 //	PUT  /v1/snapshot  body = an envelope; replaces the named store's
 //	                   all-time sketch (409 on mismatch)
 //	GET  /v1/stores    → JSON {"stores": [...], "kind": "..."}
+//	GET  /v1/query     set algebra over ?stores=a,b[,...]: union,
+//	                   intersection, Jaccard, differences, Hamming (L0)
+//	                   by inclusion–exclusion over snapshots;
+//	                   &scope=window restricts to live windows; cluster
+//	                   nodes add &mode=local|gather
+//	GET  /v1/series    → per-bucket cardinality time-series of the
+//	                   ?store= window ring over &span=, with span union
+//	                   and rate-of-change fields; cluster nodes gather
+//	                   rings and union same-epoch buckets
 //	POST /v1/cluster/ingest    cluster mode: route keys to ring owners
 //	GET  /v1/cluster/estimate  cluster mode: ?mode=local the merged
 //	                   gossip view (O(1), X-KNW-Staleness header),
@@ -172,6 +183,8 @@ func New(cfg Config) (*Server, error) {
 	s.handle("GET /v1/snapshot", "/v1/snapshot", s.handleSnapshotGet)
 	s.handle("PUT /v1/snapshot", "/v1/snapshot", s.handleSnapshotPut)
 	s.handle("GET /v1/stores", "/v1/stores", s.handleStores)
+	s.handle("GET /v1/query", "/v1/query", s.handleQuery)
+	s.handle("GET /v1/series", "/v1/series", s.handleSeries)
 	s.handle("GET /v1/debug/traces", "/v1/debug/traces", s.handleDebugTraces)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -415,6 +428,14 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 		// The union-of-the-live-ring envelope: what cluster peers gather
 		// to serve windowed estimates without shipping bucket state.
 		env, err = s.st.WindowSnapshot(r.URL.Query().Get("store"), (*p)[:0])
+	case "buckets":
+		// The per-bucket ring export (KNWB): what a cluster series
+		// gather scatters for. Preserves bucket boundaries so same-epoch
+		// buckets union across nodes, at N envelopes of cost.
+		var rs store.RingSnapshot
+		if rs, err = s.st.RingSnapshot(r.URL.Query().Get("store")); err == nil {
+			env = rs.Encode((*p)[:0])
+		}
 	default:
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown snapshot scope %q", scope))
 		return

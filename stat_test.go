@@ -88,6 +88,92 @@ func TestEpsilonDeltaGuaranteeF0(t *testing.T) {
 	}
 }
 
+// TestEpsilonDeltaGuaranteeSetAlgebra checks the guarantees that
+// inclusion–exclusion *derives* from the sketch guarantee (DESIGN.md
+// §21): with |A| = 3000, |B| = 2500, |A∩B| = 1500,
+//
+//   - |Union − |A∪B|| ≤ ε·|A∪B| with prob ≥ 1−δ (a merged sketch is
+//     just a sketch of the union stream);
+//   - |Intersection − |A∩B|| ≤ ε·(|A|+|B|+|A∪B|) with prob ≥ 1−3δ
+//     (union bound over the three estimates the identity combines —
+//     the error budget scales with the union magnitudes, NOT the
+//     intersection, which is why small overlaps of large sets are the
+//     hard regime);
+//   - |Jaccard − J| ≤ E/((1−ε)·|A∪B|) + J·ε/(1−ε) with prob ≥ 1−3δ,
+//     where E is the intersection budget (numerator and denominator
+//     errors propagated through the quotient).
+//
+// Failure fractions are judged against δ (resp. 3δ) with the same
+// binomial slack as the headline test.
+func TestEpsilonDeltaGuaranteeSetAlgebra(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep skipped in -short mode")
+	}
+	const (
+		cardA   = 3000
+		cardB   = 2500
+		overlap = 1500
+		union   = cardA + cardB - overlap // 4000
+	)
+	jac := float64(overlap) / float64(union) // 0.375
+	aKeys := make([]uint64, 0, cardA)
+	for i := uint64(0); i < cardA; i++ {
+		aKeys = append(aKeys, i)
+	}
+	bKeys := make([]uint64, 0, cardB)
+	for i := uint64(cardA - overlap); i < cardA-overlap+cardB; i++ {
+		bKeys = append(bKeys, i)
+	}
+	for _, s := range statSettings {
+		s := s
+		t.Run(fmt.Sprintf("eps=%g_delta=%g", s.eps, s.delta), func(t *testing.T) {
+			interBound := s.eps * float64(cardA+cardB+union) // ε·9500
+			jacBound := interBound/((1-s.eps)*union) + jac*s.eps/(1-s.eps)
+			unionFails, interFails, jacFails := 0, 0, 0
+			for trial := 0; trial < statTrials; trial++ {
+				opts := []knw.Option{
+					knw.WithEpsilon(s.eps), knw.WithDelta(s.delta),
+					knw.WithSeed(int64(1000*trial + 31)), // same seed: mergeable pair
+				}
+				a := knw.NewF0(opts...)
+				a.AddBatch(aKeys)
+				b := knw.NewF0(opts...)
+				b.AddBatch(bKeys)
+				st, err := knw.NewSetStats(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.IsNaN(st.Union) || math.Abs(st.Union-union) > s.eps*union {
+					unionFails++
+				}
+				if math.Abs(st.Intersection-overlap) > interBound {
+					interFails++
+				}
+				if math.Abs(st.Jaccard-jac) > jacBound {
+					jacFails++
+				}
+			}
+			unionBudget := failureBudget(statTrials, s.delta)
+			derivedBudget := failureBudget(statTrials, math.Min(1, 3*s.delta))
+			if unionFails > unionBudget {
+				t.Errorf("Union(ε=%g, δ=%g): %d/%d outside ε·|A∪B|; budget %d",
+					s.eps, s.delta, unionFails, statTrials, unionBudget)
+			}
+			if interFails > derivedBudget {
+				t.Errorf("Intersection(ε=%g, δ=%g): %d/%d outside ε·(|A|+|B|+|A∪B|); budget %d (3δ·N+3σ)",
+					s.eps, s.delta, interFails, statTrials, derivedBudget)
+			}
+			if jacFails > derivedBudget {
+				t.Errorf("Jaccard(ε=%g, δ=%g): %d/%d outside the quotient bound %.4f; budget %d",
+					s.eps, s.delta, jacFails, statTrials, jacBound, derivedBudget)
+			}
+			t.Logf("set algebra (ε=%g, δ=%g): union %d, intersection %d, jaccard %d failures of %d (budgets %d/%d/%d)",
+				s.eps, s.delta, unionFails, interFails, jacFails, statTrials,
+				unionBudget, derivedBudget, derivedBudget)
+		})
+	}
+}
+
 // TestEpsilonDeltaGuaranteeL0 is the turnstile counterpart: streams
 // with real deletions, truth = the number of keys whose net frequency
 // is non-zero. Every trial inserts truth+removed keys and fully

@@ -1,0 +1,243 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	knw "repro"
+	"repro/internal/binenc"
+)
+
+// Query-side exports of the window ring: per-bucket cardinality
+// time-series (Series) and the raw per-bucket envelopes a peer needs
+// to answer a cluster-wide series (RingSnapshot). Both rotate the ring
+// to the store clock first, so answers never include expired buckets.
+
+// SeriesPoint is one window bucket of a cardinality time-series.
+type SeriesPoint struct {
+	// Start/End delimit the wall-clock slice the bucket covers; Epoch
+	// is its absolute interval index (Start = Epoch·interval). Epochs
+	// are wall-aligned, so same-configured nodes bucket identically
+	// and a cluster gather can union points epoch by epoch.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	Epoch int64     `json:"epoch"`
+	// Estimate is the distinct count of keys that arrived during the
+	// bucket's slice. The newest bucket is live and still filling.
+	Estimate float64 `json:"estimate"`
+}
+
+// Series is a per-bucket cardinality time-series over the trailing
+// window, plus the union estimate across the requested span and a
+// rate-of-change reading for alerting.
+type Series struct {
+	Store    string `json:"store"`
+	Sketch   string `json:"sketch"`
+	Interval string `json:"interval"`
+	// Span is the covered span k·interval for the clamped bucket
+	// count k (see Store.Series).
+	Span string `json:"span"`
+	// Buckets runs oldest → newest; the last point is the live,
+	// still-filling bucket.
+	Buckets []SeriesPoint `json:"buckets"`
+	// Window is the union estimate over the span's buckets — distinct
+	// keys across the span, not the sum of per-bucket counts (keys
+	// seen in several buckets count once).
+	Window float64 `json:"window"`
+	// Delta = newest bucket estimate − previous bucket estimate, and
+	// RatePerSec = Delta / interval seconds: the rate-of-change signal
+	// (a cardinality spike alert triggers on RatePerSec, e.g. a DDoS
+	// source-address explosion). The newest bucket is still filling,
+	// so a steady stream reads slightly negative until the bucket
+	// closes.
+	Delta      float64 `json:"delta"`
+	RatePerSec float64 `json:"rate_per_sec"`
+}
+
+// Series reports the per-bucket cardinality time-series over the
+// trailing span for a windowed store. The span is clamped to
+// [interval, ring span] and rounded up to whole buckets
+// (k = ⌈span/interval⌉); span ≤ 0 means the full ring. It returns
+// ErrNotWindowed for unwindowed stores and ErrNotFound for
+// never-written names.
+func (s *Store) Series(name string, span time.Duration) (Series, error) {
+	e, err := s.lookup(name, false)
+	if err != nil {
+		return Series{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.window == nil {
+		return Series{}, fmt.Errorf("%w (%q)", ErrNotWindowed, name)
+	}
+	s.drainLocked(e) // read barrier: include acknowledged writes
+	w := e.window
+	s.met.rotations.Add(uint64(w.rotate(s.now())))
+	k := SpanBuckets(span, w.interval, len(w.buckets))
+	out := Series{
+		Store:    name,
+		Sketch:   e.total.Name(),
+		Interval: w.interval.String(),
+		Span:     (time.Duration(k) * w.interval).String(),
+		Buckets:  make([]SeriesPoint, 0, k),
+	}
+	for j := k - 1; j >= 0; j-- {
+		epoch := w.epoch - int64(j)
+		start := time.Unix(0, epoch*int64(w.interval))
+		out.Buckets = append(out.Buckets, SeriesPoint{
+			Start:    start,
+			End:      start.Add(w.interval),
+			Epoch:    epoch,
+			Estimate: w.bucketAt(j).Estimate(),
+		})
+	}
+	out.Window = w.mergedSpan(k).Estimate()
+	out.Delta = out.Buckets[len(out.Buckets)-1].Estimate - w.bucketAt(1).Estimate()
+	out.RatePerSec = out.Delta / w.interval.Seconds()
+	return out, nil
+}
+
+// SpanBuckets converts a requested span to a bucket count:
+// ⌈span/interval⌉ clamped to [1, n], with span ≤ 0 meaning the full
+// ring — the span-rounding rule Series applies, exported so the
+// cluster series gather rounds identically.
+func SpanBuckets(span, interval time.Duration, n int) int {
+	if span <= 0 {
+		return n
+	}
+	k := int((span + interval - 1) / interval)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// BucketSnapshot is one live window bucket: its absolute interval
+// index and its sketch envelope.
+type BucketSnapshot struct {
+	Epoch int64
+	Env   []byte
+}
+
+// RingSnapshot is the per-bucket export of a windowed entry — what a
+// peer needs to answer a cluster-wide series: epochs are wall-aligned
+// across same-configured nodes, so buckets union epoch by epoch.
+// Buckets run oldest → newest.
+type RingSnapshot struct {
+	Interval time.Duration
+	Buckets  []BucketSnapshot
+}
+
+// RingSnapshot captures name's live window ring bucket by bucket,
+// rotated to the store clock first. Unlike WindowSnapshot (one merged
+// envelope) it preserves bucket boundaries, at N envelopes of cost; it
+// exists for the cluster series gather and is not a checkpoint format.
+func (s *Store) RingSnapshot(name string) (RingSnapshot, error) {
+	e, err := s.lookup(name, false)
+	if err != nil {
+		return RingSnapshot{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.window == nil {
+		return RingSnapshot{}, fmt.Errorf("%w (%q)", ErrNotWindowed, name)
+	}
+	s.drainLocked(e)
+	w := e.window
+	s.met.rotations.Add(uint64(w.rotate(s.now())))
+	out := RingSnapshot{Interval: w.interval, Buckets: make([]BucketSnapshot, 0, len(w.buckets))}
+	for j := len(w.buckets) - 1; j >= 0; j-- {
+		env, err := appendSketch(nil, w.bucketAt(j))
+		if err != nil {
+			return RingSnapshot{}, err
+		}
+		out.Buckets = append(out.Buckets, BucketSnapshot{Epoch: w.epoch - int64(j), Env: env})
+	}
+	return out, nil
+}
+
+// Ring-snapshot wire format ("KNWB"), the scope=buckets snapshot body:
+//
+//	uvarint ringMagic ("KNWB")
+//	uvarint version (1)
+//	varint  interval nanos
+//	uvarint bucket count
+//	per bucket: varint epoch, bytes envelope
+const (
+	ringMagic   = 0x4b4e5742 // "KNWB"
+	ringVersion = 1
+)
+
+// Encode appends the wire form to buf (which may be nil).
+func (rs RingSnapshot) Encode(buf []byte) []byte {
+	w := binenc.Writer{Buf: buf}
+	w.Uvarint(ringMagic)
+	w.Uvarint(ringVersion)
+	w.Varint(int64(rs.Interval))
+	w.Uvarint(uint64(len(rs.Buckets)))
+	for _, b := range rs.Buckets {
+		w.Varint(b.Epoch)
+		w.Bytes(b.Env)
+	}
+	return w.Buf
+}
+
+// DecodeRingSnapshot parses a KNWB blob. Envelope bytes are copied out
+// of data, so the caller may recycle the buffer.
+func DecodeRingSnapshot(data []byte) (RingSnapshot, error) {
+	r := binenc.Reader{Buf: data}
+	r.Expect(ringMagic, "ring snapshot magic")
+	r.Expect(ringVersion, "ring snapshot version")
+	rs := RingSnapshot{Interval: time.Duration(r.Varint())}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return RingSnapshot{}, err
+	}
+	if rs.Interval <= 0 {
+		return RingSnapshot{}, fmt.Errorf("store: ring snapshot has non-positive interval %d", rs.Interval)
+	}
+	if n > 1024 { // the Window.validate bucket ceiling
+		return RingSnapshot{}, fmt.Errorf("store: ring snapshot claims %d buckets", n)
+	}
+	rs.Buckets = make([]BucketSnapshot, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rs.Buckets = append(rs.Buckets, BucketSnapshot{Epoch: r.Varint(), Env: r.Bytes()})
+	}
+	if err := r.Err(); err != nil {
+		return RingSnapshot{}, err
+	}
+	return rs, nil
+}
+
+// SetQuery opens each named store's snapshot (all-time, or the merged
+// window ring under windowed=true) and runs one inclusion–exclusion
+// pass over them (knw.NewSetStats): the single-node answer behind
+// GET /v1/query. Entry locks are taken one store at a time, so the
+// sketches are a per-store-atomic (not cross-store-atomic) view, like
+// any two independent reads.
+func (s *Store) SetQuery(names []string, windowed bool) (knw.SetStats, error) {
+	sketches := make([]knw.Estimator, 0, len(names))
+	var buf []byte
+	for _, name := range names {
+		var env []byte
+		var err error
+		if windowed {
+			env, err = s.WindowSnapshot(name, buf[:0])
+		} else {
+			env, err = s.Snapshot(name, buf[:0])
+		}
+		if err != nil {
+			return knw.SetStats{}, err
+		}
+		buf = env
+		est, err := knw.Open(env)
+		if err != nil {
+			return knw.SetStats{}, err
+		}
+		sketches = append(sketches, est)
+	}
+	return knw.NewSetStats(sketches...)
+}

@@ -269,6 +269,55 @@ func (rs *ReplicaSet) Estimate(name string) (ViewEstimate, error) {
 	return out, nil
 }
 
+// MergedSketch builds a fresh estimator holding the union of the local
+// store's sketch and every held replica for name — the sketch-valued
+// counterpart of Estimate, for set-algebra reads over the O(1) gossip
+// view (the cluster's /v1/query mode=local). The returned sketch is
+// freshly opened and caller-owned; nothing aliases held replicas, so
+// the caller may merge or diff it freely. Unlike Estimate the result
+// is not memoized: a shared cached sketch could not be handed out for
+// mutation.
+func (rs *ReplicaSet) MergedSketch(name string) (knw.Estimator, ViewEstimate, error) {
+	ds, err := rs.st.DeltaSnapshot(name, 0, false)
+	localFound := err == nil
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return nil, ViewEstimate{}, err
+	}
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var acc knw.Estimator
+	if localFound {
+		acc, err = knw.Open(ds.Env)
+		if err != nil {
+			return nil, ViewEstimate{}, err
+		}
+	}
+	replicas := 0
+	for _, pr := range rs.peers {
+		r := pr.stores[name]
+		if r == nil {
+			continue
+		}
+		// As in Estimate: replicas were validated at apply time, so reads
+		// degrade to the remaining contributions rather than erroring.
+		if acc == nil {
+			fresh, err := knw.Open(r.env)
+			if err != nil {
+				continue
+			}
+			acc = fresh
+		} else if err := knw.MergeInto(acc, r.est); err != nil {
+			continue
+		}
+		replicas++
+	}
+	if acc == nil {
+		return nil, ViewEstimate{}, fmt.Errorf("%w %q", ErrNotFound, name)
+	}
+	return acc, ViewEstimate{AllTime: acc.Estimate(), Replicas: replicas, LocalFound: localFound}, nil
+}
+
 // Stats reports the view's size: peers known, replicas held.
 func (rs *ReplicaSet) Stats() (peers, replicas int) {
 	rs.mu.Lock()

@@ -88,10 +88,23 @@ func (w *windowRing) recycle(i int) {
 	w.buckets[i] = w.fresh()
 }
 
+// bucketAt returns the bucket j intervals behind the current one
+// (bucketAt(0) is the live bucket); it covers epoch − j. Callers
+// rotate first and keep j < len(buckets).
+func (w *windowRing) bucketAt(j int) knw.Estimator {
+	n := len(w.buckets)
+	return w.buckets[(w.cur-j+n)%n]
+}
+
 // merged folds the live ring into the scratch sketch and returns it —
 // the union sketch over the trailing window. The scratch is reused
-// across calls and is only valid until the next merged call.
-func (w *windowRing) merged() knw.Estimator {
+// across calls and is only valid until the next merged or mergedSpan
+// call.
+func (w *windowRing) merged() knw.Estimator { return w.mergedSpan(len(w.buckets)) }
+
+// mergedSpan is merged restricted to the newest k buckets: the union
+// sketch over the trailing k·interval span. Same scratch contract.
+func (w *windowRing) mergedSpan(k int) knw.Estimator {
 	if w.scratch == nil {
 		w.scratch = w.fresh()
 	}
@@ -100,8 +113,8 @@ func (w *windowRing) merged() knw.Estimator {
 	} else {
 		w.scratch = w.fresh()
 	}
-	for _, b := range w.buckets {
-		if err := knw.MergeInto(w.scratch, b); err != nil {
+	for j := 0; j < k; j++ {
+		if err := knw.MergeInto(w.scratch, w.bucketAt(j)); err != nil {
 			// Ring mates share construction by invariant; a mismatch
 			// here is a program bug, not foreign input.
 			panic("store: window bucket diverged from ring: " + err.Error())
