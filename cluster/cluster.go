@@ -5,14 +5,18 @@
 // of envelopes is exactly as accurate as a single sketch over the whole
 // stream.
 //
-// The design is deliberately static and symmetric:
+// The design is symmetric and coordinator-free:
 //
-//   - Membership is a fixed peer list shared by every node (the -peers
-//     flag). A consistent-hash ring over the sorted list — vnodes
+//   - Membership is a versioned ring descriptor (descriptor.go): an
+//     epoch-numbered, canonically-encoded member list every node
+//     holds. A consistent-hash ring over the sorted list — vnodes
 //     points per member — assigns each ingested key to R owner nodes
 //     (the replication factor). Every node computes identical
-//     ownership from the list alone; there is no coordinator, no
-//     gossip, no metadata service.
+//     ownership from the descriptor alone; there is no metadata
+//     service. The boot descriptor (epoch 1) comes from the -peers
+//     flag, and joins/leaves advance it through the two-phase cutover
+//     in membership.go, with sketch handoff (handoff.go) moving
+//     re-owned data as whole envelopes — O(sketch), not O(keys).
 //   - Writes route. POST /v1/cluster/ingest hashes each key once
 //     through the store's pinned sketch hash, places mix64(hash) on
 //     the ring, applies locally owned keys directly to the node's own
@@ -45,7 +49,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -91,6 +96,14 @@ type Config struct {
 	GossipInterval time.Duration
 	// GossipFanout is how many random peers each round syncs (0 = all).
 	GossipFanout int
+	// HandoffTimeout bounds how long a membership change waits for old
+	// owners to confirm their handoff before committing the new ring
+	// epoch anyway (default 30s). With replication ≥ 2 a skipped
+	// (unreachable) member's keys survive on the other replicas.
+	HandoffTimeout time.Duration
+	// HandoffPoll is the coordinator's handoff-status poll cadence
+	// during the prepare window (default 100ms).
+	HandoffPoll time.Duration
 	// Log receives structured operational logs. Nil discards them. The
 	// service layer passes its own logger down so cluster events share
 	// the daemon's -log-level/-log-format.
@@ -125,24 +138,56 @@ func (c *Config) withDefaults() Config {
 	if out.Timeout == 0 {
 		out.Timeout = 5 * time.Second
 	}
+	if out.HandoffTimeout == 0 {
+		out.HandoffTimeout = 30 * time.Second
+	}
+	if out.HandoffPoll == 0 {
+		out.HandoffPoll = 100 * time.Millisecond
+	}
 	if out.Log == nil {
 		out.Log = trace.DiscardLogger()
 	}
 	return out
 }
 
-// Router is one node's view of the cluster: the ring, the local store,
-// and the HTTP plumbing for forwarding and gathering.
+// Router is one node's view of the cluster: the versioned ring, the
+// local store, and the HTTP plumbing for forwarding, gathering, and
+// membership changes.
 type Router struct {
 	cfg    Config
 	local  *store.Store
-	ring   *ring
-	self   int // member index of cfg.Self
+	vnodes int // normalized Config.Vnodes
 	client *http.Client
 	log    *slog.Logger
 	tracer *trace.Tracer // may be nil (library embeddings)
 	gossip *gossiper     // nil when Config.GossipInterval is zero
 	met    routerMetrics
+
+	// live is the routing snapshot handlers load once per request;
+	// memMu guards the descriptor state it is rebuilt from, changeMu
+	// serializes local coordinators (Join/Leave), and ho is the current
+	// transition's handoff engine.
+	live        atomic.Pointer[ringView]
+	memMu       sync.Mutex
+	changeMu    sync.Mutex
+	cur         *RingDescriptor
+	curRing     *ring
+	pending     *RingDescriptor
+	pendingRing *ring
+	ho          *handoff
+
+	// now/sleepFn are injectable for the fake-clock cutover tests.
+	now     func() time.Time
+	sleepFn func(time.Duration)
+}
+
+// sleep pauses via the injected clock when tests set one.
+func (rt *Router) sleep(d time.Duration) {
+	if rt.sleepFn != nil {
+		rt.sleepFn(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // routerMetrics are the cluster-layer instruments, labeled by peer URL
@@ -158,11 +203,22 @@ type routerMetrics struct {
 	routedKeys     *metrics.Counter
 	localKeys      *metrics.Counter
 
+	// Handoff progress (membership transitions).
+	handoffStores  *metrics.Counter
+	handoffKeys    *metrics.Counter
+	handoffBytes   *metrics.Counter
+	handoffRetries *metrics.Counter
+	handoffErrors  *metrics.Counter
+	handoffApplied *metrics.Counter
+	handoffSeconds *metrics.Histogram
+
 	// Cached knwd_stage_seconds series (Config.Stages; nil without a
 	// stage vec).
-	stageForward *metrics.Histogram // successful forward batches
-	stagePull    *metrics.Histogram // gossip pull HTTP round-trips
-	stageApply   *metrics.Histogram // gossip envelope validation + install
+	stageForward      *metrics.Histogram // successful forward batches
+	stagePull         *metrics.Histogram // gossip pull HTTP round-trips
+	stageApply        *metrics.Histogram // gossip envelope validation + install
+	stageHandoffPush  *metrics.Histogram // successful handoff pushes
+	stageHandoffApply *metrics.Histogram // inbound handoff merge
 }
 
 // New validates the configuration, builds the ring, and returns the
@@ -178,8 +234,7 @@ func New(cfg Config, st *store.Store, reg *metrics.Registry) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	self := r.index(cfg.Self)
-	if self < 0 {
+	if r.index(cfg.Self) < 0 {
 		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", cfg.Self, cfg.Peers)
 	}
 	if cfg.Replication < 1 || cfg.Replication > len(r.members) {
@@ -195,14 +250,24 @@ func New(cfg Config, st *store.Store, reg *metrics.Registry) (*Router, error) {
 			},
 		}
 	}
-	rt := &Router{cfg: cfg, local: st, ring: r, self: self, client: client,
-		log: cfg.Log, tracer: cfg.Tracer}
+	vnodes := cfg.Vnodes
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	rt := &Router{cfg: cfg, local: st, vnodes: vnodes, client: client,
+		log: cfg.Log, tracer: cfg.Tracer, now: time.Now}
+	rt.initMembership(r)
 	rt.initMetrics(reg)
+	rt.ringEpochGauges(reg)
 	if cfg.GossipInterval > 0 {
 		rt.gossip = newGossiper(rt, reg)
 	}
 	return rt, nil
 }
+
+// Close cancels any in-flight handoff pushes and waits for them. The
+// service layer calls it on shutdown after draining.
+func (rt *Router) Close() { rt.stopHandoff() }
 
 func (rt *Router) initMetrics(reg *metrics.Registry) {
 	rt.met = routerMetrics{
@@ -226,29 +291,37 @@ func (rt *Router) initMetrics(reg *metrics.Registry) {
 			"Keys accepted by POST /v1/cluster/ingest."),
 		localKeys: reg.NewCounter("knwd_cluster_local_keys_total",
 			"Routed key-replicas owned by this node itself."),
+		handoffStores: reg.NewCounter("knwd_handoff_stores_total",
+			"Store envelopes shipped to new owners by the handoff engine."),
+		handoffKeys: reg.NewCounter("knwd_handoff_keys_total",
+			"Estimated distinct keys covered by shipped handoff envelopes."),
+		handoffBytes: reg.NewCounter("knwd_handoff_bytes_total",
+			"Bytes of handoff streams delivered to new owners."),
+		handoffRetries: reg.NewCounter("knwd_handoff_retries_total",
+			"Handoff push retry attempts."),
+		handoffErrors: reg.NewCounter("knwd_handoff_errors_total",
+			"Handoff push attempts that failed."),
+		handoffApplied: reg.NewCounter("knwd_handoff_applied_total",
+			"Inbound handoff envelopes merged into the local store."),
+		handoffSeconds: reg.NewHistogram("knwd_handoff_seconds",
+			"Wall time of successful handoff pushes.", metrics.DefBuckets),
 	}
 	if rt.cfg.Stages != nil {
 		rt.met.stageForward = rt.cfg.Stages.With("peer_forward")
 		rt.met.stagePull = rt.cfg.Stages.With("gossip_pull")
 		rt.met.stageApply = rt.cfg.Stages.With("gossip_apply")
+		rt.met.stageHandoffPush = rt.cfg.Stages.With("handoff_push")
+		rt.met.stageHandoffApply = rt.cfg.Stages.With("handoff_apply")
 	}
 }
 
-// Members returns the canonical (sorted) member list.
-func (rt *Router) Members() []string { return append([]string(nil), rt.ring.members...) }
+// Members returns the committed ring's (sorted) member list.
+func (rt *Router) Members() []string {
+	return append([]string(nil), rt.view().cur.members...)
+}
 
-// Replication returns the configured replication factor.
-func (rt *Router) Replication() int { return rt.cfg.Replication }
+// Replication returns the committed ring's replication factor.
+func (rt *Router) Replication() int { return rt.view().replication }
 
 // Self returns this node's member URL.
 func (rt *Router) Self() string { return rt.cfg.Self }
-
-// peerList renders member indexes as a comma-separated URL list (the
-// X-KNW-Partial header value).
-func (rt *Router) peerList(idx []int) string {
-	urls := make([]string, len(idx))
-	for i, m := range idx {
-		urls[i] = rt.ring.members[m]
-	}
-	return strings.Join(urls, ",")
-}

@@ -38,6 +38,7 @@ import (
 // routed ingest reports as an error.
 type session struct {
 	rt    *Router
+	v     *ringView // the membership snapshot this request routes on
 	store string
 
 	received int      // keys consumed from the request body
@@ -48,8 +49,9 @@ type session struct {
 	lost     []int  // per-member keys abandoned after retries
 	failed   []bool // member declared unreachable this request
 
-	owners []int  // scratch for ring.owners
-	body   []byte // scratch for frame encoding
+	owners  []int  // scratch for ringView.owners (union indexes)
+	scratch []int  // scratch for the per-ring owner walk
+	body    []byte // scratch for frame encoding
 
 	// act is the request's sampled span (nil when unsampled); hdr is
 	// its rendered X-KNW-Trace value, computed once per session and
@@ -59,9 +61,11 @@ type session struct {
 }
 
 func (rt *Router) newSession(store string, act *trace.Active) *session {
-	n := len(rt.ring.members)
+	v := rt.view()
+	n := len(v.members)
 	return &session{
 		rt:      rt,
+		v:       v,
 		store:   store,
 		pending: make([][]uint64, n),
 		sent:    make([]int, n),
@@ -90,16 +94,18 @@ func (s *session) routeHashed(keys []uint64) {
 	s.received += len(keys)
 }
 
-// routeOne appends one key hash to the buffers of its R owners,
-// flushing any buffer that reaches the threshold. Ring placement is
-// mix64(h): the sketch hash is already universe-folded (possibly far
-// narrower than 64 bits), and ring position sorts by high bits, so the
-// avalanche re-spread is what keeps placement uniform.
+// routeOne appends one key hash to the buffers of its owners — the
+// committed ring's R owners plus, mid-rebalance, the pending ring's
+// (the two-phase cutover's union routing) — flushing any buffer that
+// reaches the threshold. Ring placement is mix64(h): the sketch hash
+// is already universe-folded (possibly far narrower than 64 bits), and
+// ring position sorts by high bits, so the avalanche re-spread is what
+// keeps placement uniform.
 func (s *session) routeOne(h uint64) {
 	rt := s.rt
-	s.owners = rt.ring.owners(mix64(h), rt.cfg.Replication, s.owners)
+	s.owners, s.scratch = s.v.owners(mix64(h), s.owners, s.scratch)
 	for _, m := range s.owners {
-		if m == rt.self {
+		if m == s.v.self {
 			s.localBuf = append(s.localBuf, h)
 			if len(s.localBuf) >= rt.cfg.FlushKeys {
 				s.flushLocal()
@@ -137,14 +143,14 @@ func (s *session) flushLocal() {
 		// The handler validated the store name before routing, so the
 		// only way the local store can reject a batch is a programming
 		// error; count it against self like any other replica loss.
-		s.lost[s.rt.self] += len(s.localBuf)
-		s.failed[s.rt.self] = true
+		s.lost[s.v.self] += len(s.localBuf)
+		s.failed[s.v.self] = true
 		s.act.SetError(err)
 		s.rt.log.Error("local ingest failed", "keys", len(s.localBuf), "err", err,
 			"trace", s.act.TraceHex())
 	} else {
 		s.local += len(s.localBuf)
-		s.sent[s.rt.self] += len(s.localBuf)
+		s.sent[s.v.self] += len(s.localBuf)
 	}
 	s.localBuf = s.localBuf[:0]
 }
@@ -164,8 +170,8 @@ func (s *session) flushPeer(m int) {
 // on every member, so a later estimate reports 0 instead of 404 no
 // matter which node it asks.
 func (s *session) createAll() {
-	for m := range s.rt.ring.members {
-		if m == s.rt.self {
+	for m := range s.v.members {
+		if m == s.v.self {
 			if err := s.rt.local.IngestHashed(s.store, nil); err != nil {
 				s.failed[m] = true
 			}
@@ -185,7 +191,7 @@ func (s *session) createAll() {
 // request; its keys survive on the batch's other owners.
 func (s *session) send(m int, keys []uint64) {
 	rt := s.rt
-	peer := rt.ring.members[m]
+	peer := s.v.members[m]
 	if s.failed[m] {
 		// Already unreachable this request: don't stall the stream
 		// re-timing-out per batch.
@@ -266,17 +272,17 @@ type ingestResult struct {
 	Partial     bool           `json:"partial"`
 }
 
-func (s *session) result() (ingestResult, []int) {
+func (s *session) result() (ingestResult, []string) {
 	out := ingestResult{
 		Store:       s.store,
 		Received:    s.received,
-		Replication: s.rt.cfg.Replication,
+		Replication: s.v.replication,
 		Local:       s.local,
 	}
-	var failedIdx []int
+	var failed []string
 	for m := range s.sent {
-		peer := s.rt.ring.members[m]
-		if m != s.rt.self && s.sent[m] > 0 {
+		peer := s.v.members[m]
+		if m != s.v.self && s.sent[m] > 0 {
 			if out.Forwarded == nil {
 				out.Forwarded = make(map[string]int)
 			}
@@ -289,10 +295,10 @@ func (s *session) result() (ingestResult, []int) {
 			out.Lost[peer] = s.lost[m]
 		}
 		if s.failed[m] {
-			failedIdx = append(failedIdx, m)
+			failed = append(failed, peer)
 		}
 	}
-	sort.Ints(failedIdx)
-	out.Partial = len(failedIdx) > 0
-	return out, failedIdx
+	sort.Strings(failed)
+	out.Partial = len(failed) > 0
+	return out, failed
 }

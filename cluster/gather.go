@@ -33,6 +33,12 @@ type Estimate struct {
 	Partial     bool     `json:"partial"`
 	FailedPeers []string `json:"failed_peers,omitempty"`
 	Replication int      `json:"replication"`
+	// RingEpoch is the committed membership epoch the answer was
+	// assembled under; Rebalancing is set while a transition (union
+	// routing + handoff) was in flight — mirrored in the
+	// X-KNW-Ring-Epoch / X-KNW-Rebalancing headers.
+	RingEpoch   uint64 `json:"ring_epoch"`
+	Rebalancing bool   `json:"rebalancing,omitempty"`
 }
 
 // errNoData distinguishes "no node holds this store" (404) from
@@ -71,15 +77,18 @@ func (rt *Router) mergedEstimate(name string, act *trace.Active) (Estimate, erro
 		return Estimate{}, err
 	}
 	t0 := time.Now()
+	v := rt.view()
 	windowed := rt.local.Window().Buckets > 0
 	out := Estimate{
 		Store:       name,
 		Windowed:    windowed,
-		Nodes:       len(rt.ring.members),
-		Replication: rt.cfg.Replication,
+		Nodes:       len(v.members),
+		Replication: v.replication,
+		RingEpoch:   v.epoch,
+		Rebalancing: v.rebalancing(),
 	}
 
-	results := rt.scatter(name, windowed, act.HeaderValue())
+	results := rt.scatter(v, name, windowed, act.HeaderValue())
 
 	var total, window knw.Estimator
 	var failed []int
@@ -107,7 +116,7 @@ func (rt *Router) mergedEstimate(name string, act *trace.Active) (Estimate, erro
 		if res.err != nil {
 			failed = append(failed, res.member)
 			rt.log.Warn("gather failed", "store", name,
-				"peer", rt.ring.members[res.member], "err", res.err,
+				"peer", v.members[res.member], "err", res.err,
 				"trace", act.TraceHex())
 			continue
 		}
@@ -118,7 +127,7 @@ func (rt *Router) mergedEstimate(name string, act *trace.Active) (Estimate, erro
 	if out.Partial {
 		rt.met.gatherPartial.Inc()
 		for _, m := range failed {
-			out.FailedPeers = append(out.FailedPeers, rt.ring.members[m])
+			out.FailedPeers = append(out.FailedPeers, v.members[m])
 		}
 	}
 	if total == nil {
@@ -146,22 +155,23 @@ func (rt *Router) mergedEstimate(name string, act *trace.Active) (Estimate, erro
 }
 
 // scatter collects every member's envelopes for name concurrently: the
-// local store is read in-process, peers over GET /v1/snapshot. hdr is
-// the caller's rendered trace header ("" when unsampled), attached to
-// every peer fetch.
-func (rt *Router) scatter(name string, windowed bool, hdr string) []gatherRes {
-	results := make([]gatherRes, len(rt.ring.members))
+// local store is read in-process, peers over GET /v1/snapshot. The
+// member space is the view's union list, so mid-rebalance gathers read
+// joining and leaving nodes alike. hdr is the caller's rendered trace
+// header ("" when unsampled), attached to every peer fetch.
+func (rt *Router) scatter(v *ringView, name string, windowed bool, hdr string) []gatherRes {
+	results := make([]gatherRes, len(v.members))
 	var wg sync.WaitGroup
-	for m := range rt.ring.members {
+	for m := range v.members {
 		results[m].member = m
-		if m == rt.self {
+		if m == v.self {
 			results[m] = rt.localSnapshot(m, name, windowed)
 			continue
 		}
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			results[m] = rt.fetchSnapshot(m, name, windowed, hdr)
+			results[m] = rt.fetchSnapshot(v.members[m], m, name, windowed, hdr)
 		}(m)
 	}
 	wg.Wait()
@@ -191,9 +201,8 @@ func (rt *Router) localSnapshot(m int, name string, windowed bool) gatherRes {
 
 // fetchSnapshot pulls one peer's envelopes for name. A 404 means the
 // peer holds no keys for the store — a healthy empty contribution.
-func (rt *Router) fetchSnapshot(m int, name string, windowed bool, hdr string) gatherRes {
+func (rt *Router) fetchSnapshot(peer string, m int, name string, windowed bool, hdr string) gatherRes {
 	res := gatherRes{member: m}
-	peer := rt.ring.members[m]
 	env, found, err := rt.getSnapshot(peer, name, "", hdr)
 	if err != nil {
 		res.err = err
@@ -258,9 +267,10 @@ type TraceResult struct {
 // stripped of scope — each peer answers with its local view only,
 // and the caller merges.
 func (rt *Router) GatherTraces(query string) []TraceResult {
+	v := rt.view()
 	var peers []string
-	for m, peer := range rt.ring.members {
-		if m != rt.self {
+	for m, peer := range v.members {
+		if m != v.self {
 			peers = append(peers, peer)
 		}
 	}

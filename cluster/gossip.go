@@ -108,10 +108,12 @@ type gossiper struct {
 	fanout   int
 	now      func() time.Time // injectable for tests
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	lastSync map[string]int64 // peer → unix nanos of the last complete sync
-	start    int64            // unix nanos the gossiper was built (staleness floor)
+	mu        sync.Mutex
+	rng       *rand.Rand
+	lastSync  map[string]int64 // peer → unix nanos of the last complete sync
+	start     int64            // unix nanos the gossiper was built (staleness floor)
+	peerStale *metrics.GaugeFuncVec
+	watched   map[string]bool // peers with a registered staleness gauge
 
 	loopMu sync.Mutex
 	stop   chan struct{}
@@ -161,17 +163,56 @@ func newGossiper(rt *Router, reg *metrics.Registry) *gossiper {
 	reg.NewGaugeFunc("knwd_gossip_replicas",
 		"Replica envelopes held in the merged view.",
 		func() float64 { _, n := g.replicas.Stats(); return float64(n) })
-	peerStale := reg.NewGaugeFuncVec("knwd_gossip_peer_staleness_seconds",
+	g.peerStale = reg.NewGaugeFuncVec("knwd_gossip_peer_staleness_seconds",
 		"Per-peer replication lag: seconds since the last complete sync with the peer.",
 		"peer")
-	for i, m := range rt.ring.members {
-		if i == rt.self {
-			continue
-		}
-		peer := m
-		peerStale.With(func() float64 { return g.peerStaleness(peer).Seconds() }, peer)
+	g.watched = make(map[string]bool)
+	for _, m := range rt.view().members {
+		g.watchPeer(m)
 	}
 	return g
+}
+
+// watchPeer registers the staleness gauge for one peer the first time
+// it appears in the membership (join path: gauges are registered
+// lazily as the view grows). The gauge reads 0 once the peer leaves
+// the view, so a departed member stops alarming dashboards.
+func (g *gossiper) watchPeer(peer string) {
+	if peer == g.rt.cfg.Self {
+		return
+	}
+	g.mu.Lock()
+	seen := g.watched[peer]
+	if !seen {
+		g.watched[peer] = true
+	}
+	g.mu.Unlock()
+	if seen {
+		return
+	}
+	p := peer
+	g.peerStale.With(func() float64 {
+		if !memberOf(g.rt.view().members, p) {
+			return 0
+		}
+		return g.peerStaleness(p).Seconds()
+	}, p)
+}
+
+// dropPeer forgets a departed member: its replicas leave the merged
+// view and its sync bookkeeping is discarded. Called on epoch commit.
+func (g *gossiper) dropPeer(peer string) {
+	n := g.replicas.DropPeer(peer)
+	g.mu.Lock()
+	delete(g.lastSync, peer)
+	g.mu.Unlock()
+	g.rt.log.Info("gossip replicas dropped for departed member", "peer", peer, "replicas", n)
+}
+
+// memberOf reports whether url is in the sorted member list.
+func memberOf(members []string, url string) bool {
+	i := sort.SearchStrings(members, url)
+	return i < len(members) && members[i] == url
 }
 
 // peerStaleness is the age of the last complete sync with one peer
@@ -307,12 +348,16 @@ func (g *gossiper) round() {
 		"duration_ms", float64(d)/float64(time.Millisecond))
 }
 
-// pickPeers selects this round's sync targets: every other member, or
-// a uniform sample of GossipFanout of them.
+// pickPeers selects this round's sync targets: every other member of
+// the current union view (joining and leaving nodes keep gossiping
+// until the cutover commits), or a uniform sample of GossipFanout of
+// them.
 func (g *gossiper) pickPeers() []string {
-	others := make([]string, 0, len(g.rt.ring.members)-1)
-	for i, m := range g.rt.ring.members {
-		if i != g.rt.self {
+	v := g.rt.view()
+	others := make([]string, 0, len(v.members))
+	for i, m := range v.members {
+		if i != v.self {
+			g.watchPeer(m)
 			others = append(others, m)
 		}
 	}
@@ -483,12 +528,13 @@ func (g *gossiper) pull(peer string, instance uint64, want map[string]uint64, hd
 }
 
 func (g *gossiper) staleness() time.Duration {
+	v := g.rt.view()
 	now := g.now().UnixNano()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	worst := int64(0)
-	for i, m := range g.rt.ring.members {
-		if i == g.rt.self {
+	for i, m := range v.members {
+		if i == v.self {
 			continue
 		}
 		last := g.lastSync[m]
@@ -539,7 +585,7 @@ func (rt *Router) LocalEstimate(name string) (LocalEstimate, error) {
 		Mode:             "local",
 		Replicas:         ve.Replicas,
 		LocalFound:       ve.LocalFound,
-		Nodes:            len(rt.ring.members),
+		Nodes:            len(rt.view().members),
 		StalenessSeconds: rt.gossip.staleness().Seconds(),
 	}, nil
 }

@@ -220,16 +220,19 @@ func (rt *Router) ingestJSON(w http.ResponseWriter, r *http.Request) {
 // the single session's result, or the aggregate for multi-store
 // bodies.
 func (rt *Router) finishIngest(w http.ResponseWriter, sessions ...*session) {
-	res, failedIdx, worst := rt.settle(sessions)
+	res, failed, worst := rt.settle(sessions)
 	status := http.StatusOK
-	if worst >= rt.cfg.Replication {
+	if worst >= res.Replication {
 		// A key's owners are R distinct members, so only ≥ R failures
 		// within one session can have dropped a key on every replica.
+		// (Mid-rebalance the union routing only widens owner sets, so
+		// the committed R stays the conservative loss bound.)
 		status = http.StatusBadGateway
 	}
-	if len(failedIdx) > 0 {
-		w.Header().Set(PartialHeader, rt.peerList(failedIdx))
+	if len(failed) > 0 {
+		w.Header().Set(PartialHeader, strings.Join(failed, ","))
 	}
+	rt.ringHeaders(w)
 	httpx.Reply(w, status, res)
 }
 
@@ -237,10 +240,11 @@ func (rt *Router) finishIngest(w http.ResponseWriter, sessions ...*session) {
 // with the partial-progress counts (the single-node failIngest
 // contract, cluster-shaped).
 func (rt *Router) failIngest(w http.ResponseWriter, status int, err error, sessions ...*session) {
-	res, failedIdx, _ := rt.settle(sessions)
-	if len(failedIdx) > 0 {
-		w.Header().Set(PartialHeader, rt.peerList(failedIdx))
+	res, failed, _ := rt.settle(sessions)
+	if len(failed) > 0 {
+		w.Header().Set(PartialHeader, strings.Join(failed, ","))
 	}
+	rt.ringHeaders(w)
 	httpx.Reply(w, status, map[string]any{
 		"error":       err.Error(),
 		"store":       res.Store,
@@ -257,37 +261,37 @@ func (rt *Router) failIngest(w http.ResponseWriter, status int, err error, sessi
 // session's own result, or the aggregate across stores. worst is the
 // largest per-session failed-peer count — the number the ≥ R
 // key-loss check applies to, since owner sets are per key.
-func (rt *Router) settle(sessions []*session) (ingestResult, []int, int) {
+func (rt *Router) settle(sessions []*session) (ingestResult, []string, int) {
 	switch len(sessions) {
 	case 0:
-		return ingestResult{Replication: rt.cfg.Replication}, nil, 0
+		return ingestResult{Replication: rt.view().replication}, nil, 0
 	case 1:
 		sessions[0].finish()
-		res, failedIdx := sessions[0].result()
-		return res, failedIdx, len(failedIdx)
+		res, failed := sessions[0].result()
+		return res, failed, len(failed)
 	}
-	agg := ingestResult{Replication: rt.cfg.Replication, Store: "(multiple)"}
+	agg := ingestResult{Replication: rt.view().replication, Store: "(multiple)"}
 	worst := 0
-	failedSet := map[int]bool{}
+	failedSet := map[string]bool{}
 	for _, s := range sessions {
 		s.finish()
-		res, failedIdx := s.result()
+		res, failed := s.result()
 		agg.Received += res.Received
 		agg.Local += res.Local
 		agg.Partial = agg.Partial || res.Partial
-		for _, m := range failedIdx {
-			failedSet[m] = true
+		for _, peer := range failed {
+			failedSet[peer] = true
 		}
-		if len(failedIdx) > worst {
-			worst = len(failedIdx)
+		if len(failed) > worst {
+			worst = len(failed)
 		}
 	}
-	failedIdx := make([]int, 0, len(failedSet))
-	for m := range failedSet {
-		failedIdx = append(failedIdx, m)
+	failed := make([]string, 0, len(failedSet))
+	for peer := range failedSet {
+		failed = append(failed, peer)
 	}
-	sort.Ints(failedIdx)
-	return agg, failedIdx, worst
+	sort.Strings(failed)
+	return agg, failed, worst
 }
 
 // HandleEstimate is GET /v1/cluster/estimate. Two read modes:
@@ -315,6 +319,7 @@ func (rt *Router) HandleEstimate(w http.ResponseWriter, r *http.Request) {
 	if est.Partial {
 		w.Header().Set(PartialHeader, strings.Join(est.FailedPeers, ","))
 	}
+	rt.ringHeaders(w)
 	if err != nil {
 		switch {
 		case errors.Is(err, store.ErrNotFound):
@@ -342,19 +347,30 @@ func (rt *Router) serveLocalEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set(StalenessHeader, strconv.FormatFloat(est.StalenessSeconds, 'f', 3, 64))
+	rt.ringHeaders(w)
 	httpx.Reply(w, http.StatusOK, est)
 }
 
-// HandleInfo is GET /v1/cluster/info: the node's static cluster view,
-// for operators and the examples/cluster demo.
+// HandleInfo is GET /v1/cluster/info: the node's membership view, for
+// operators and the examples/cluster demo.
 func (rt *Router) HandleInfo(w http.ResponseWriter, _ *http.Request) {
+	v := rt.view()
 	out := map[string]any{
 		"self":        rt.cfg.Self,
 		"version":     version.Version,
-		"members":     rt.ring.members,
-		"replication": rt.cfg.Replication,
-		"vnodes":      rt.cfg.Vnodes,
+		"members":     v.cur.members,
+		"replication": v.replication,
+		"vnodes":      rt.vnodes,
 		"gossip":      rt.gossip != nil,
+		"ring_epoch":  v.epoch,
+	}
+	if v.rebalancing() {
+		out["pending_epoch"] = v.pendingEpoch
+		out["rebalancing"] = true
+		out["union_members"] = v.members
+	}
+	if health := rt.PeerHealth(); len(health) > 0 {
+		out["peer_health"] = health
 	}
 	if rt.gossip != nil {
 		peers, replicas := rt.gossip.replicas.Stats()
@@ -363,5 +379,6 @@ func (rt *Router) HandleInfo(w http.ResponseWriter, _ *http.Request) {
 		out["gossip_replicas"] = replicas
 		out["staleness_seconds"] = rt.Staleness().Seconds()
 	}
+	rt.ringHeaders(w)
 	httpx.Reply(w, http.StatusOK, out)
 }

@@ -71,8 +71,9 @@ func (rt *Router) GatherSketch(name string, windowed bool, act *trace.Active) (k
 	if windowed {
 		scope = "window"
 	}
-	results := rt.scatterScope(name, scope, act.HeaderValue())
-	acc, info := rt.foldEnvelopes(name, results, act)
+	v := rt.view()
+	results := rt.scatterScope(v, name, scope, act.HeaderValue())
+	acc, info := rt.foldEnvelopes(v, name, results, act)
 	if acc == nil {
 		if info.Partial {
 			return nil, info, fmt.Errorf("cluster: no node could serve %q (unreachable: %v)", name, info.FailedPeers)
@@ -89,8 +90,8 @@ func (rt *Router) GatherSketch(name string, windowed bool, act *trace.Active) (k
 // foldEnvelopes opens and merges one scatter's envelopes, tallying
 // completeness (and the partial-serving metrics) as mergedEstimate
 // does.
-func (rt *Router) foldEnvelopes(name string, results []gatherRes, act *trace.Active) (knw.Estimator, GatherInfo) {
-	info := GatherInfo{Nodes: len(rt.ring.members)}
+func (rt *Router) foldEnvelopes(v *ringView, name string, results []gatherRes, act *trace.Active) (knw.Estimator, GatherInfo) {
+	info := GatherInfo{Nodes: len(v.members)}
 	var acc knw.Estimator
 	for _, res := range results {
 		if res.err == nil && res.env != nil {
@@ -105,9 +106,9 @@ func (rt *Router) foldEnvelopes(name string, results []gatherRes, act *trace.Act
 		}
 		if res.err != nil {
 			info.Partial = true
-			info.FailedPeers = append(info.FailedPeers, rt.ring.members[res.member])
+			info.FailedPeers = append(info.FailedPeers, v.members[res.member])
 			rt.log.Warn("gather failed", "store", name,
-				"peer", rt.ring.members[res.member], "err", res.err,
+				"peer", v.members[res.member], "err", res.err,
 				"trace", act.TraceHex())
 			continue
 		}
@@ -124,19 +125,19 @@ func (rt *Router) foldEnvelopes(name string, results []gatherRes, act *trace.Act
 
 // scatterScope collects every member's envelope for one snapshot scope
 // concurrently — scatter generalized beyond the all-time+window pair.
-func (rt *Router) scatterScope(name, scope, hdr string) []gatherRes {
-	results := make([]gatherRes, len(rt.ring.members))
+func (rt *Router) scatterScope(v *ringView, name, scope, hdr string) []gatherRes {
+	results := make([]gatherRes, len(v.members))
 	var wg sync.WaitGroup
-	for m := range rt.ring.members {
+	for m := range v.members {
 		results[m].member = m
-		if m == rt.self {
+		if m == v.self {
 			results[m].env, results[m].err = rt.localScope(name, scope)
 			continue
 		}
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			env, found, err := rt.getSnapshot(rt.ring.members[m], name, scope, hdr)
+			env, found, err := rt.getSnapshot(v.members[m], name, scope, hdr)
 			results[m].err = err
 			if found {
 				results[m].env = env
@@ -194,9 +195,10 @@ func (rt *Router) GatherSeries(name string, span time.Duration, act *trace.Activ
 		return store.Series{}, GatherInfo{}, fmt.Errorf("%w (%q)", store.ErrNotWindowed, name)
 	}
 	t0 := time.Now()
-	results := rt.scatterScope(name, "buckets", act.HeaderValue())
+	v := rt.view()
+	results := rt.scatterScope(v, name, "buckets", act.HeaderValue())
 
-	info := GatherInfo{Nodes: len(rt.ring.members)}
+	info := GatherInfo{Nodes: len(v.members)}
 	byEpoch := map[int64]knw.Estimator{}
 	var maxEpoch int64
 	var sketchName string
@@ -232,9 +234,9 @@ func (rt *Router) GatherSeries(name string, span time.Duration, act *trace.Activ
 		}
 		if res.err != nil {
 			info.Partial = true
-			info.FailedPeers = append(info.FailedPeers, rt.ring.members[res.member])
+			info.FailedPeers = append(info.FailedPeers, v.members[res.member])
 			rt.log.Warn("series gather failed", "store", name,
-				"peer", rt.ring.members[res.member], "err", res.err,
+				"peer", v.members[res.member], "err", res.err,
 				"trace", act.TraceHex())
 			continue
 		}
@@ -330,7 +332,7 @@ func (rt *Router) LocalSketch(name string) (knw.Estimator, LocalEstimate, error)
 		Mode:             "local",
 		Replicas:         ve.Replicas,
 		LocalFound:       ve.LocalFound,
-		Nodes:            len(rt.ring.members),
+		Nodes:            len(rt.view().members),
 		StalenessSeconds: rt.gossip.staleness().Seconds(),
 	}, nil
 }

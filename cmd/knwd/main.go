@@ -17,6 +17,13 @@
 //	     -self http://10.0.0.1:7070 \
 //	     -peers http://10.0.0.1:7070,http://10.0.0.2:7070,http://10.0.0.3:7070
 //
+// Membership is dynamic: a new node can join a running cluster through
+// any existing member (-join), and -drain makes SIGTERM hand the
+// node's sketches to the surviving owners before it stops:
+//
+//	knwd -listen :7074 -seed 1 -drain \
+//	     -self http://10.0.0.4:7070 -join http://10.0.0.1:7070
+//
 // See the repository README ("Running knwd", "Cluster mode") for the
 // API and curl examples.
 package main
@@ -60,7 +67,9 @@ func main() {
 		readyFile    = flag.String("ready-file", "", "write the bound listen address to this file once serving (readiness probe for scripts)")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling; do not expose publicly)")
 		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster member including this node (e.g. http://10.0.0.1:7070,...); empty = single-node mode")
-		selfURL      = flag.String("self", "", "this node's own base URL, exactly as it appears in -peers (required with -peers)")
+		selfURL      = flag.String("self", "", "this node's own base URL, exactly as it appears in -peers (required with -peers or -join)")
+		joinVia      = flag.String("join", "", "base URL of an existing cluster member to join through; the node boots alone and is rebalanced in (requires -self and a shared -seed)")
+		drain        = flag.Bool("drain", false, "on SIGTERM/SIGINT, leave the ring first: hand re-owned sketches to the surviving owners and commit the shrunken epoch before stopping")
 		replication  = flag.Int("replication", 1, "cluster replicas per key, in [1, len(peers)]")
 		gossipEvery  = flag.Duration("gossip-interval", 0, "anti-entropy gossip interval (cluster mode); 0 disables gossip. With gossip on, estimates answer O(1) from the merged replica view, staleness bounded by ~2x this interval")
 		gossipFanout = flag.Int("gossip-fanout", 0, "peers synced per gossip round (0 = all peers every round)")
@@ -112,18 +121,22 @@ func main() {
 	}
 
 	var clusterCfg *cluster.Config
-	if *peers != "" {
+	if *peers != "" || *joinVia != "" {
 		if *selfURL == "" {
-			log.Fatal("knwd: -peers requires -self (this node's own URL from the peer list)")
+			log.Fatal("knwd: cluster mode requires -self (this node's own URL)")
 		}
 		if *seed == 0 {
 			// Merging across nodes is the whole point of cluster mode, and
 			// envelopes only merge under a shared seed.
 			log.Fatal("knwd: cluster mode requires an explicit -seed shared by every peer")
 		}
+		peerList := []string{*selfURL}
+		if *peers != "" {
+			peerList = strings.Split(*peers, ",")
+		}
 		clusterCfg = &cluster.Config{
 			Self:           *selfURL,
-			Peers:          strings.Split(*peers, ","),
+			Peers:          peerList,
 			Replication:    *replication,
 			GossipInterval: *gossipEvery,
 			GossipFanout:   *gossipFanout,
@@ -131,6 +144,9 @@ func main() {
 		}
 	} else if *gossipEvery > 0 {
 		log.Fatal("knwd: -gossip-interval needs cluster mode (-peers/-self)")
+	}
+	if *drain && clusterCfg == nil {
+		log.Fatal("knwd: -drain needs cluster mode (-peers or -join)")
 	}
 
 	srv, err := service.New(service.Config{
@@ -140,6 +156,8 @@ func main() {
 			Window:  store.Window{Buckets: *winBuckets, Interval: *winInterval},
 		},
 		Cluster:         clusterCfg,
+		JoinVia:         *joinVia,
+		DrainOnShutdown: *drain,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		Pprof:           *pprofOn,

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Churn mode (-churn): scale the cluster up and back down in the
+// middle of the load run and prove the estimates survive it. The
+// named standby nodes (running knwd daemons booted alone with the
+// same -seed) are joined through the first cluster node at ~1/3 of
+// the request budget and removed again at ~2/3, so the run exercises
+// ring-version cutover and sketch handoff under live ingest. At every
+// membership step the controller pauses the workers (so the exact
+// bitset truth and the acked key set coincide), drives the change,
+// and judges every store's merged estimate two-sided against the
+// exact truth — a lost handoff slice shows up as an estimate dip the
+// tolerance does not cover.
+
+// churnCheck is one store's estimate-vs-truth verdict at a step.
+type churnCheck struct {
+	Store     string  `json:"store"`
+	Estimate  float64 `json:"estimate"`
+	True      int     `json:"true"`
+	AbsRelErr float64 `json:"abs_rel_err"`
+	OK        bool    `json:"ok"`
+}
+
+// churnStep is one membership change and its aftermath.
+type churnStep struct {
+	Action     string       `json:"action"` // join or leave
+	Node       string       `json:"node"`
+	AtRequest  int64        `json:"at_request"`
+	Epoch      uint64       `json:"epoch"` // committed epoch after the step
+	DurationMs float64      `json:"duration_ms"`
+	Checks     []churnCheck `json:"checks"`
+	OK         bool         `json:"ok"`
+	Err        string       `json:"err,omitempty"`
+}
+
+// churnController drives the scale-up/scale-down schedule against the
+// live run. The gate is the worker pause point: workers hold it
+// RLocked per request, the controller takes the write lock to
+// quiesce in-flight ingest before each membership step.
+type churnController struct {
+	client   *http.Client
+	addrs    []string // stable cluster members (ingest keeps targeting these)
+	standbys []string
+	names    []string
+	seen     [][]uint64
+	eps      float64
+
+	gate       *sync.RWMutex
+	steps      []churnStep
+	violations int
+	done       chan struct{}
+}
+
+func newChurnController(client *http.Client, addrs, standbys, names []string,
+	seen [][]uint64, eps float64, gate *sync.RWMutex) *churnController {
+	return &churnController{
+		client: client, addrs: addrs, standbys: standbys, names: names,
+		seen: seen, eps: eps, gate: gate, done: make(chan struct{}),
+	}
+}
+
+// run watches the request dispenser and fires the join wave at 1/3 of
+// the budget, the leave wave at 2/3. Returns (closing done) once both
+// waves ran — the workers may still be draining the final third.
+func (c *churnController) run(next *atomic.Int64, total int) {
+	defer close(c.done)
+	joinAt, leaveAt := int64(total)/3, 2*int64(total)/3
+	joined, left := false, false
+	for !(joined && left) {
+		n := next.Load()
+		if !joined && n >= joinAt {
+			for _, node := range c.standbys {
+				c.step("join", node, n)
+			}
+			joined = true
+		}
+		if joined && !left && n >= leaveAt {
+			for _, node := range c.standbys {
+				c.step("leave", node, n)
+			}
+			left = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// step quiesces ingest, applies one membership change through the
+// first stable node, and judges every store's merged estimate against
+// the exact truth under the frozen key set.
+func (c *churnController) step(action, node string, at int64) {
+	c.gate.Lock()
+	defer c.gate.Unlock()
+	t0 := time.Now()
+	st := churnStep{Action: action, Node: node, AtRequest: at, OK: true}
+	defer func() {
+		st.DurationMs = time.Since(t0).Seconds() * 1e3
+		if !st.OK {
+			c.violations++
+		}
+		c.steps = append(c.steps, st)
+		logx.Info("churn step", "action", action, "node", node,
+			"epoch", st.Epoch, "ok", st.OK, "ms", fmt.Sprintf("%.0f", st.DurationMs))
+	}()
+	if err := c.postChange(action, node); err != nil {
+		st.OK, st.Err = false, err.Error()
+		return
+	}
+	st.Epoch = c.ringEpoch()
+	// Workers are quiesced and every acked request's keys are in the
+	// bitsets, so truth is exact here: a handoff that dropped a slice
+	// (or double-committed an epoch and orphaned keys) fails two-sided.
+	tol := 4*c.eps + 0.02
+	for i, name := range c.names {
+		truth := popcount(c.seen[i])
+		if truth == 0 {
+			continue
+		}
+		est, err := fetchEstimate(c.client, c.addrs[0]+"/v1/cluster/estimate", name)
+		if err != nil {
+			st.OK, st.Err = false, fmt.Sprintf("estimate %s: %v", name, err)
+			return
+		}
+		rel := abs(est-float64(truth)) / float64(truth)
+		ok := rel <= tol
+		st.Checks = append(st.Checks, churnCheck{
+			Store: name, Estimate: est, True: truth, AbsRelErr: rel, OK: ok,
+		})
+		if !ok {
+			st.OK = false
+		}
+	}
+}
+
+// postChange POSTs one join/leave through the first stable member.
+func (c *churnController) postChange(action, node string) error {
+	body, _ := json.Marshal(map[string]string{"url": node})
+	resp, err := c.client.Post(c.addrs[0]+"/v1/cluster/"+action,
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg := make([]byte, 512)
+		n, _ := resp.Body.Read(msg)
+		return fmt.Errorf("%s %s: HTTP %d: %s", action, node, resp.StatusCode, msg[:n])
+	}
+	return nil
+}
+
+// ringEpoch reads the committed epoch off the first stable member.
+func (c *churnController) ringEpoch() uint64 {
+	resp, err := c.client.Get(c.addrs[0] + "/v1/cluster/ring")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&out) != nil {
+		return 0
+	}
+	return out.Epoch
+}
+
+// summarize prints the per-step verdicts to stderr.
+func (c *churnController) summarize() {
+	for _, st := range c.steps {
+		verdict := "ok"
+		if !st.OK {
+			verdict = "FAILED"
+			if st.Err != "" {
+				verdict += " (" + st.Err + ")"
+			}
+		}
+		fmt.Fprintf(os.Stderr, "knwload: churn %-5s %s → epoch %d in %.0fms: %s\n",
+			st.Action, st.Node, st.Epoch, st.DurationMs, verdict)
+	}
+}

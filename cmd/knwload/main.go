@@ -25,6 +25,16 @@
 //
 //	knwload -cluster http://127.0.0.1:7070,http://127.0.0.1:7071,http://127.0.0.1:7072
 //
+// -churn layers dynamic membership on a cluster run: the listed
+// standby daemons (each booted alone with the same -seed) are joined
+// through the first cluster node a third of the way in and removed at
+// two thirds, and at every membership step the merged estimates are
+// judged against the generator's exact truth — the scale-up/scale-down
+// soak that proves sketch handoff loses nothing:
+//
+//	knwload -cluster http://127.0.0.1:7070,... \
+//	        -churn http://127.0.0.1:7073,http://127.0.0.1:7074
+//
 // Key streams are drawn per worker from a zipf or uniform distribution
 // over a bounded keyspace — production streams re-see hot keys, which
 // is the regime distinct counting exists for — and every drawn key id
@@ -84,6 +94,7 @@ func main() {
 		readDur  = flag.Duration("read-duration", 2*time.Second, "length of each mode's dedicated read-throughput phase (with -read-ratio)")
 		queryR   = flag.Float64("query-ratio", 0, "fraction of mixed-phase requests that are /v1/query set-algebra reads over adjacent store pairs (needs -stores >= 2). Also enables a dedicated query QPS phase and the final exact-truth validation of /v1/query and /v1/series against the generator's bitsets")
 		epsF     = flag.Float64("epsilon", 0.05, "server sketch epsilon the truth-bound checks assume (must match knwd -epsilon)")
+		churnF   = flag.String("churn", "", "comma-separated base URLs of standby knwd nodes (running alone with the same -seed): join them all through the first -cluster node at ~1/3 of the requests and remove them at ~2/3, judging every store's merged estimate against exact truth at each membership step (needs -cluster)")
 	)
 	flag.Parse()
 	if *mode != "" {
@@ -116,6 +127,9 @@ func main() {
 	if *clusterF != "" {
 		addrs = strings.Split(*clusterF, ",")
 		ingestPath, estimatePath = "/v1/cluster/ingest", "/v1/cluster/estimate"
+	}
+	if *churnF != "" && *clusterF == "" {
+		log.Fatal("knwload: -churn needs -cluster (the stable members the standbys join through)")
 	}
 
 	client := &http.Client{
@@ -183,6 +197,15 @@ func main() {
 	if *clusterF != "" {
 		mixedQueryMode = "gather"
 	}
+	// Churn mode: workers hold churnGate read-locked per request so the
+	// controller can quiesce in-flight ingest around membership steps.
+	var churnGate sync.RWMutex
+	var churn *churnController
+	if *churnF != "" {
+		churn = newChurnController(client, addrs, strings.Split(*churnF, ","),
+			names, seen, *epsF, &churnGate)
+		go churn.run(&next, *requests)
+	}
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
@@ -215,11 +238,7 @@ func main() {
 			if *codec == "binary" {
 				hashed = make([]uint64, *batch)
 			}
-			for {
-				r := int(next.Add(1)) - 1
-				if r >= *requests {
-					break
-				}
+			work := func(r int) {
 				si := r % *stores
 				if readModes != nil && rng.Float64() < *readR {
 					// A read slot: estimate the store mid-ingest, alternating
@@ -230,7 +249,7 @@ func main() {
 						readErrs.Add(1)
 						logx.Warn("read failed", "request", r, "mode", m, "err", err)
 					}
-					continue
+					return
 				}
 				if *queryR > 0 && rng.Float64() < *queryR {
 					// A set-algebra slot: union/intersection/Jaccard over an
@@ -240,7 +259,7 @@ func main() {
 						readErrs.Add(1)
 						logx.Warn("query failed", "request", r, "err", err)
 					}
-					continue
+					return
 				}
 				ingests.Add(1)
 				for i := range ids {
@@ -277,6 +296,15 @@ func main() {
 					logx.Warn("ingest request failed", "request", r, "err", err)
 				}
 			}
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= *requests {
+					break
+				}
+				churnGate.RLock()
+				work(r)
+				churnGate.RUnlock()
+			}
 			latCh <- lats
 			readCh <- reads
 			queryCh <- qs
@@ -284,6 +312,11 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if churn != nil {
+		// The leave wave fires before the request budget runs out, so the
+		// controller is normally done already; wait out stragglers.
+		<-churn.done
+	}
 	close(latCh)
 	close(readCh)
 	close(queryCh)
@@ -430,6 +463,10 @@ func main() {
 		Series:        seriesChecks,
 		Server:        serverDelta(before, after, wall),
 	}
+	if churn != nil {
+		report.Churn = churn.steps
+		violations += churn.violations
+	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -474,6 +511,9 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "knwload: window series: %d/%d stores within bounds\n", ok, len(seriesChecks))
+	}
+	if churn != nil {
+		churn.summarize()
 	}
 	printStages(report.Server.Stages)
 	if report.Server.MaxPeerStaleness > 0 {
@@ -602,6 +642,7 @@ type benchReport struct {
 	Queries              []queryReport `json:"queries,omitempty"`
 	QueryTruth           []pairCheck   `json:"query_truth,omitempty"`
 	Series               []seriesCheck `json:"series,omitempty"`
+	Churn                []churnStep   `json:"churn,omitempty"`
 	Server               serverSide    `json:"server"`
 }
 

@@ -1,9 +1,12 @@
 // The cluster example runs the acceptance scenario for knwd's cluster
-// mode, in process: three nodes joined by a static consistent-hash
-// ring with replication factor 2, 100k keys ingested through a single
-// node, scatter-gathered estimates within ε of the exact truth from
-// every node — then one node is killed and the cluster keeps serving
-// (and ingesting), flagging responses with the X-KNW-Partial header.
+// mode, in process: three nodes joined by a consistent-hash ring with
+// replication factor 2, 100k keys ingested through a single node,
+// scatter-gathered estimates within ε of the exact truth from every
+// node. Then the membership story: a fourth node joins the live ring
+// (epoch cutover + sketch handoff) and drains back out, with the
+// estimates holding ε through both transitions — and finally one node
+// is killed and the cluster keeps serving (and ingesting), flagging
+// responses with the X-KNW-Partial header.
 //
 //	go run ./examples/cluster
 package main
@@ -114,7 +117,58 @@ func main() {
 		}
 	}
 
-	// 3. Kill node C. Every key was replicated on 2 of the 3 nodes, so
+	// 3. Dynamic membership: a fourth node joins the LIVE ring. It boots
+	// alone (its own one-member epoch-1 ring, like knwd -join does),
+	// then any existing member coordinates the cutover: prepare the
+	// epoch-2 descriptor, stream sketch envelopes to the new owner
+	// (O(sketch size), not O(keys) — mergeability at work), commit.
+	fmt.Println("== node D joins the live cluster ==")
+	lnD, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	urlD := "http://" + lnD.Addr().String()
+	srvD, err := service.New(service.Config{
+		Store: store.Config{
+			Kind:    knw.KindConcurrentF0,
+			Options: []knw.Option{knw.WithEpsilon(eps), knw.WithSeed(42)},
+		},
+		Cluster: &cluster.Config{Self: urlD, Peers: []string{urlD}, Replication: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverD := &httptest.Server{Listener: lnD, Config: &http.Server{Handler: srvD.Handler()}}
+	serverD.Start()
+	defer serverD.Close()
+	res := memberChange(peers[0], "join", urlD)
+	fmt.Printf("  joined: epoch %d, %d members\n", res.Epoch, len(res.Members))
+	est, _ := clusterEstimate(urlD, "acme/users")
+	fmt.Printf("  node D merged ≈ %6.0f right after the cutover (rel err %.2f%%)\n",
+		est.AllTime, 100*math.Abs(est.AllTime-totalKeys)/totalKeys)
+	if math.Abs(est.AllTime-totalKeys) > eps*totalKeys {
+		log.Fatal("estimate dipped below ε after the join")
+	}
+	localD, err := srvD.Store().Estimate("acme/users")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  node D local share ≈ %6.0f keys via handoff envelopes\n", localD.AllTime)
+
+	// 4. And drains back out: leave hands D's slices to the surviving
+	// owners before the epoch-3 commit drops it from routing (the same
+	// path knwd -drain runs on SIGTERM).
+	fmt.Println("== node D drains back out ==")
+	res = memberChange(peers[0], "leave", urlD)
+	fmt.Printf("  left: epoch %d, %d members\n", res.Epoch, len(res.Members))
+	est, _ = clusterEstimate(peers[0], "acme/users")
+	fmt.Printf("  node A merged ≈ %6.0f after the drain (rel err %.2f%%)\n",
+		est.AllTime, 100*math.Abs(est.AllTime-totalKeys)/totalKeys)
+	if math.Abs(est.AllTime-totalKeys) > eps*totalKeys {
+		log.Fatal("estimate dipped below ε after the drain")
+	}
+
+	// 5. Kill node C. Every key was replicated on 2 of the 3 nodes, so
 	// the union over A+B still covers the whole stream: estimates stay
 	// within ε, and the response says which peer is missing.
 	fmt.Println("== killing node C ==")
@@ -126,7 +180,7 @@ func main() {
 		log.Fatal("degraded estimate missing partial header or outside ε")
 	}
 
-	// 4. Ingest keeps working degraded too: keys whose owner set
+	// 6. Ingest keeps working degraded too: keys whose owner set
 	// includes C land on their surviving owner, the response reports
 	// what was lost where, and the estimate tracks the new truth.
 	fmt.Println("== ingest 5k more keys with C dead ==")
@@ -151,6 +205,27 @@ func main() {
 		log.Fatal("post-failure ingest lost keys beyond ε")
 	}
 	fmt.Println("== done: replication R=2 rode out a node failure ==")
+}
+
+// memberChange POSTs one join/leave through a member and returns the
+// committed change result.
+func memberChange(via, action, member string) cluster.ChangeResult {
+	body, _ := json.Marshal(map[string]string{"url": member})
+	resp, err := http.Post(via+"/v1/cluster/"+action, "application/json",
+		strings.NewReader(string(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s %s: HTTP %d: %s", action, member, resp.StatusCode, blob)
+	}
+	var res cluster.ChangeResult
+	if err := json.Unmarshal(blob, &res); err != nil {
+		log.Fatal(err)
+	}
+	return res
 }
 
 // clusterEstimate GETs one node's scatter-gathered estimate.

@@ -39,6 +39,16 @@
 //	                   ?mode=gather the scatter-gather union; local is
 //	                   the default once gossip is on
 //	GET  /v1/cluster/info      cluster mode: membership and settings
+//	POST /v1/cluster/join      membership: add {"url": ...} to the ring
+//	                   and cut over (two-phase: union routing + sketch
+//	                   handoff, then epoch commit)
+//	POST /v1/cluster/leave     membership: remove a member (alive —
+//	                   drained first — or dead) and cut over
+//	GET/POST /v1/cluster/ring  membership control plane: descriptor
+//	                   state; prepare (KNWM body); ?phase=commit
+//	POST /v1/cluster/handoff   rebalance data plane: a KNWH envelope
+//	                   stream from a re-owned peer, merged on arrival
+//	GET  /v1/cluster/handoff/status  per-epoch handoff progress
 //	GET  /v1/gossip/digest     gossip: this node's version vector
 //	POST /v1/gossip/pull       gossip: delta/full envelopes since the
 //	                   caller's base versions
@@ -50,8 +60,10 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -106,6 +118,19 @@ type Config struct {
 	// the leaf API cluster forwarding itself targets, so routed traffic
 	// can never loop.
 	Cluster *cluster.Config
+	// JoinVia, when set on a cluster node, makes serve() announce this
+	// node to an existing member (POST {url: self} to
+	// JoinVia/v1/cluster/join) once the listener is up, retrying with
+	// backoff until the join commits — knwd's -join flag. The node
+	// starts on its boot ring (typically just itself) and cuts over to
+	// the cluster's epoch during the join's prepare phase.
+	JoinVia string
+	// DrainOnShutdown makes a cancelled Run leave the ring first —
+	// Drain() hands this node's re-owned sketches to the surviving
+	// owners and commits the shrunken epoch before the listener stops —
+	// knwd's -drain flag. Without it the node just stops serving and
+	// peers mark it dead.
+	DrainOnShutdown bool
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the service
 	// mux (knwd's -pprof flag), so the ingest hot path can be profiled
 	// in place. Off by default: the endpoints expose goroutine dumps
@@ -209,6 +234,11 @@ func New(cfg Config) (*Server, error) {
 		s.handle("POST /v1/cluster/ingest", "/v1/cluster/ingest", rt.HandleIngest)
 		s.handle("GET /v1/cluster/estimate", "/v1/cluster/estimate", rt.HandleEstimate)
 		s.handle("GET /v1/cluster/info", "/v1/cluster/info", rt.HandleInfo)
+		s.handle("POST /v1/cluster/join", "/v1/cluster/join", rt.HandleJoin)
+		s.handle("POST /v1/cluster/leave", "/v1/cluster/leave", rt.HandleLeave)
+		s.handle("/v1/cluster/ring", "/v1/cluster/ring", rt.HandleRing)
+		s.handle("POST /v1/cluster/handoff", "/v1/cluster/handoff", rt.HandleHandoff)
+		s.handle("GET /v1/cluster/handoff/status", "/v1/cluster/handoff/status", rt.HandleHandoffStatus)
 		if rt.GossipEnabled() {
 			s.handle("GET /v1/gossip/digest", "/v1/gossip/digest", rt.HandleGossipDigest)
 			s.handle("POST /v1/gossip/pull", "/v1/gossip/pull", rt.HandleGossipPull)
@@ -314,6 +344,10 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 	if s.router != nil {
 		s.router.StartGossip()
 		defer s.router.StopGossip()
+		defer s.router.Close()
+		if s.cfg.JoinVia != "" {
+			go s.announceJoin(ctx)
+		}
 	}
 
 	ticker := time.NewTicker(s.cfg.CheckpointEvery)
@@ -327,6 +361,15 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 		case err := <-errc:
 			return err
 		case <-ctx.Done():
+			// Drain before the listener stops: the handoff push and the
+			// peers' commit broadcast both need this node still serving.
+			if s.cfg.DrainOnShutdown && s.router != nil {
+				if res, err := s.router.Drain(); err != nil {
+					s.log.Warn("drain failed; shutting down without handoff", "err", err)
+				} else if res.Changed {
+					s.log.Info("drained from ring", "epoch", res.Epoch, "members", len(res.Members))
+				}
+			}
 			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			serr := hs.Shutdown(shutCtx)
@@ -344,6 +387,48 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 			}
 			s.log.Info("shut down cleanly, final checkpoint written")
 			return serr
+		}
+	}
+}
+
+// announceJoin asks an existing cluster member to admit this node
+// (Config.JoinVia): POST {"url": self} to its /v1/cluster/join,
+// retrying with capped backoff until the join commits or ctx ends.
+// Joining is driven by the seed member — it computes the new epoch,
+// streams re-owned sketches here, and commits — so this side only has
+// to keep asking; the request is idempotent once membership sticks.
+func (s *Server) announceJoin(ctx context.Context) {
+	self := s.cfg.Cluster.Self
+	body, _ := json.Marshal(map[string]string{"url": self})
+	backoff := 200 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			s.cfg.JoinVia+"/v1/cluster/join", bytes.NewReader(body))
+		if err != nil {
+			s.log.Error("join request build failed", "via", s.cfg.JoinVia, "err", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				s.log.Info("joined cluster", "via", s.cfg.JoinVia,
+					"epoch", s.router.Epoch(), "attempt", attempt)
+				return
+			}
+			err = fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		}
+		s.log.Warn("join attempt failed", "via", s.cfg.JoinVia,
+			"attempt", attempt, "err", err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
 		}
 	}
 }

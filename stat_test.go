@@ -174,6 +174,80 @@ func TestEpsilonDeltaGuaranteeSetAlgebra(t *testing.T) {
 	}
 }
 
+// TestEpsilonDeltaGuaranteeRebalance: the guarantee must survive a
+// mid-stream membership change. Each trial shards the first half of
+// the stream over 3 node sketches, then scales to 5: the two joiners
+// bootstrap by merging full envelopes from old owners (exactly what
+// the cluster handoff ships — whole sketches, deliberately
+// over-transferred), and the second half lands across all 5. The final
+// merged estimate must obey the same (ε, δ) row as a single sketch
+// over the whole stream — mergeability is what makes handoff lossless
+// and duplicate-free, and this is the statistical check of that claim.
+func TestEpsilonDeltaGuaranteeRebalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep skipped in -short mode")
+	}
+	const truth = 3000
+	keys := make([]uint64, 0, truth+truth/2)
+	for i := uint64(0); i < truth; i++ {
+		keys = append(keys, i)
+	}
+	for i := uint64(0); i < truth/2; i++ { // duplicates: distinctness, not counting
+		keys = append(keys, i)
+	}
+	half := len(keys) / 2
+	for _, s := range statSettings {
+		s := s
+		t.Run(fmt.Sprintf("eps=%g_delta=%g", s.eps, s.delta), func(t *testing.T) {
+			failures := 0
+			for trial := 0; trial < statTrials; trial++ {
+				opts := []knw.Option{
+					knw.WithEpsilon(s.eps), knw.WithDelta(s.delta),
+					knw.WithSeed(int64(1000*trial + 57)), // shared seed: the cluster invariant
+				}
+				nodes := make([]*knw.F0, 5)
+				for i := range nodes {
+					nodes[i] = knw.NewF0(opts...)
+				}
+				// Phase 1: three nodes shard the first half of the stream.
+				for i, k := range keys[:half] {
+					nodes[i%3].Add(k)
+				}
+				// Handoff: each joiner receives a full envelope from an old
+				// owner. Keys now counted on two nodes must still count once.
+				if err := knw.MergeInto(nodes[3], nodes[0]); err != nil {
+					t.Fatal(err)
+				}
+				if err := knw.MergeInto(nodes[4], nodes[1]); err != nil {
+					t.Fatal(err)
+				}
+				// Phase 2: five nodes shard the rest, then a gather merges
+				// every node's envelope into one union estimate.
+				for i, k := range keys[half:] {
+					nodes[i%5].Add(k)
+				}
+				union := knw.NewF0(opts...)
+				for _, nd := range nodes {
+					if err := knw.MergeInto(union, nd); err != nil {
+						t.Fatal(err)
+					}
+				}
+				est := union.Estimate()
+				if math.IsNaN(est) || math.Abs(est-truth) > s.eps*truth {
+					failures++
+				}
+			}
+			if budget := failureBudget(statTrials, s.delta); failures > budget {
+				t.Errorf("rebalance(ε=%g, δ=%g): %d/%d post-handoff estimates outside (1±ε)·F0; budget %d (δ·N+3σ) — handoff broke the guarantee",
+					s.eps, s.delta, failures, statTrials, budget)
+			} else {
+				t.Logf("rebalance(ε=%g, δ=%g): %d/%d failures (budget %d)",
+					s.eps, s.delta, failures, statTrials, budget)
+			}
+		})
+	}
+}
+
 // TestEpsilonDeltaGuaranteeL0 is the turnstile counterpart: streams
 // with real deletions, truth = the number of keys whose net frequency
 // is non-zero. Every trial inserts truth+removed keys and fully

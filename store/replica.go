@@ -318,6 +318,26 @@ func (rs *ReplicaSet) MergedSketch(name string) (knw.Estimator, ViewEstimate, er
 	return acc, ViewEstimate{AllTime: acc.Estimate(), Replicas: replicas, LocalFound: localFound}, nil
 }
 
+// DropPeer discards every replica held for one peer and returns how
+// many were dropped — called when cluster membership removes the peer,
+// so merged-view estimates stop counting a departed node's envelopes.
+// (Its keys survive: handoff merged them into the new owners' own
+// stores before the membership change committed.) Each affected
+// store's view cache is invalidated.
+func (rs *ReplicaSet) DropPeer(peer string) int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	pr := rs.peers[peer]
+	if pr == nil {
+		return 0
+	}
+	for name := range pr.stores {
+		rs.touch[name]++
+	}
+	delete(rs.peers, peer)
+	return len(pr.stores)
+}
+
 // Stats reports the view's size: peers known, replicas held.
 func (rs *ReplicaSet) Stats() (peers, replicas int) {
 	rs.mu.Lock()

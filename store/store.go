@@ -499,6 +499,36 @@ func (s *Store) Merge(name string, envelope []byte) error {
 	return nil
 }
 
+// MergeWindow folds a peer's window envelope into name's current
+// window bucket, creating the entry if needed — the windowed
+// counterpart of Merge, used by cluster handoff when a node ships its
+// live window to a new owner. The merged keys land in the bucket that
+// is current at arrival: the peer's per-bucket event times are not in
+// the envelope, so the receiving ring treats them as "seen now", which
+// keeps the window estimate an upper-bounded union (a key can only
+// stay visible slightly longer, never disappear early). The all-time
+// sketch and its delta version are untouched.
+func (s *Store) MergeWindow(name string, envelope []byte) error {
+	peer, err := knw.Open(envelope)
+	if err != nil {
+		return err
+	}
+	if err := knw.Compatible(s.template, peer); err != nil {
+		return err
+	}
+	e, lerr := s.lookup(name, true)
+	if lerr != nil {
+		return lerr
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.window == nil {
+		return fmt.Errorf("%w (%q)", ErrNotWindowed, name)
+	}
+	s.met.rotations.Add(uint64(e.window.rotate(s.now())))
+	return knw.MergeInto(e.window.current(), peer)
+}
+
 // Snapshot appends name's all-time sketch as a self-describing
 // envelope to buf (which may be nil) — the bytes a peer feeds to Merge
 // or PUT back through Restore. It returns ErrNotFound for
